@@ -1,0 +1,35 @@
+# Artifact-style automation (the paper's artifact drives everything through
+# make; these targets map onto the dune equivalents).
+
+RESULTS ?= results
+
+.PHONY: all build test demo bench tables figures csv clean
+
+all: build
+
+build:
+	dune build
+
+test:
+	dune runtest
+
+# minutes: one category end to end (the artifact's `make demo`)
+demo: build
+	dune exec bin/reqisc_cli.exe -- compile alu_2 --mode full --route chain --pulses
+
+# hours-equivalent full regeneration (the artifact's `make results`)
+bench: build
+	dune exec bench/main.exe -- all
+
+tables: build
+	dune exec bench/main.exe -- table1 table2 table3
+
+figures: build
+	dune exec bench/main.exe -- fig4 fig5 fig6 fig12 fig13 fig14 fig15 fig16
+
+csv: build
+	dune exec bench/main.exe -- all --csv-dir $(RESULTS)
+
+clean:
+	dune clean
+	rm -rf $(RESULTS)
