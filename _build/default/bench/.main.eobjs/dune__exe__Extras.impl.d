@@ -1,0 +1,1 @@
+bench/extras.ml: Benchmarks Circuit Compiler Decomp Float List Microarch Noise Numerics Printf Quantum Util Weyl

@@ -1,0 +1,1 @@
+bench/main.ml: Array Extras Figures List Printf Sys Tables Unix Util

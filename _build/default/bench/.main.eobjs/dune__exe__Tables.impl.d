@@ -1,0 +1,1 @@
+bench/tables.ml: Benchmarks Circuit Compiler Coupling Duration Hashtbl Int64 List Microarch Numerics Printf Util

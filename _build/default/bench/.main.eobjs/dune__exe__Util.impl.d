@@ -1,0 +1,1 @@
+bench/util.ml: Array Compiler Filename List Microarch Numerics Printf String Unix

@@ -1,0 +1,59 @@
+(* ReQISC benchmark harness: regenerates every table and figure of the
+   paper's evaluation section. Usage:
+
+     dune exec bench/main.exe [-- TARGET ...] [--big] [--haar-n N]
+                                              [--trajectories N]
+
+   Targets: table1 table2 table3 fig4 fig5 fig6 fig12 fig13 fig14 fig15
+   fig16 all (default: all). *)
+
+let () =
+  let args = Array.to_list Sys.argv in
+  let has f = List.mem f args in
+  let get_int flag default =
+    let rec go = function
+      | a :: b :: _ when a = flag -> ( try int_of_string b with _ -> default)
+      | _ :: rest -> go rest
+      | [] -> default
+    in
+    go args
+  in
+  let big = has "--big" in
+  (let rec find_csv = function
+     | "--csv-dir" :: d :: _ -> Util.csv_dir := Some d
+     | _ :: rest -> find_csv rest
+     | [] -> ()
+   in
+   find_csv args);
+  let haar_n = get_int "--haar-n" 2000 in
+  let trajectories = get_int "--trajectories" 120 in
+  let targets =
+    List.filter
+      (fun a ->
+        List.mem a
+          [ "table1"; "table2"; "table3"; "fig4"; "fig5"; "fig6"; "fig12"; "fig13";
+            "fig14"; "fig15"; "fig16"; "templates"; "variational"; "calibration";
+            "decoherence"; "calibrate"; "leakage"; "all" ])
+      args
+  in
+  let targets = if targets = [] then [ "all" ] else targets in
+  let want t = List.mem t targets || List.mem "all" targets in
+  let total_t0 = Unix.gettimeofday () in
+  if want "table1" then Tables.table1 ~big ();
+  if want "table3" then Tables.table3 ~haar_n ();
+  if want "fig4" then Figures.fig4 ();
+  if want "fig5" then Figures.fig5 ();
+  if want "fig6" then Figures.fig6 ~haar_n ();
+  if want "table2" then Tables.table2 ~big ();
+  if want "fig12" then Figures.fig12 ();
+  if want "fig13" then Figures.fig13 ();
+  if want "fig14" then Figures.fig14 ();
+  if want "fig15" then Figures.fig15 ~trajectories ();
+  if want "fig16" then Figures.fig16 ();
+  if want "templates" then Extras.templates ();
+  if want "variational" then Extras.variational ();
+  if want "calibration" then Extras.calibration ();
+  if want "decoherence" then Extras.decoherence ~trajectories ();
+  if want "calibrate" then Extras.calibrate ();
+  if want "leakage" then Extras.leakage_study ();
+  Printf.printf "\ntotal bench time: %.1fs\n" (Unix.gettimeofday () -. total_t0)

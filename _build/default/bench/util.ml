@@ -1,0 +1,50 @@
+(* Shared helpers for the benchmark harness. *)
+
+let hr title =
+  Printf.printf "\n==================== %s ====================\n%!" title
+
+let sub title = Printf.printf "\n---- %s ----\n%!" title
+
+let timeit f =
+  let t0 = Unix.gettimeofday () in
+  let r = f () in
+  (r, Unix.gettimeofday () -. t0)
+
+let geomean = function
+  | [] -> nan
+  | xs ->
+    exp (List.fold_left (fun acc x -> acc +. log x) 0.0 xs /. float_of_int (List.length xs))
+
+let mean = function
+  | [] -> nan
+  | xs -> List.fold_left ( +. ) 0.0 xs /. float_of_int (List.length xs)
+
+let paper line = Printf.printf "  [paper] %s\n%!" line
+
+(* permutation fix for circuits that end with a tracked wire mapping *)
+let arrange_matrix n (m : int array) =
+  let dim = 1 lsl n in
+  Numerics.Mat.init dim dim (fun y x ->
+      let ok = ref true in
+      for l = 0 to n - 1 do
+        if (y lsr (n - 1 - m.(l))) land 1 <> (x lsr (n - 1 - l)) land 1 then ok := false
+      done;
+      if !ok then Numerics.Cx.one else Numerics.Cx.zero)
+
+let xy = Microarch.Coupling.xy ~g:1.0
+let su4_isa = Compiler.Metrics.Su4_isa xy
+let cnot_isa = Compiler.Metrics.Cnot_isa
+
+(* optional CSV mirroring of the printed results (artifact-style outputs) *)
+let csv_dir : string option ref = ref None
+
+let csv name header rows =
+  match !csv_dir with
+  | None -> ()
+  | Some dir ->
+    (try Unix.mkdir dir 0o755 with Unix.Unix_error (Unix.EEXIST, _, _) -> ());
+    let oc = open_out (Filename.concat dir (name ^ ".csv")) in
+    output_string oc (String.concat "," header ^ "\n");
+    List.iter (fun row -> output_string oc (String.concat "," row ^ "\n")) rows;
+    close_out oc;
+    Printf.printf "  [csv] wrote %s/%s.csv (%d rows)\n%!" dir name (List.length rows)

@@ -1,0 +1,134 @@
+(* reqisc command-line tool.
+
+   Usage:
+     reqisc_cli list
+     reqisc_cli compile BENCH [--mode eff|full|nc] [--route chain|grid] [--pulses]
+     reqisc_cli pulse GATE [--coupling xy|xx] (GATE in cnot|cz|iswap|sqisw|b|swap)
+*)
+
+let suite = lazy (Benchmarks.Suite.suite ~big:true ())
+
+let find_bench name =
+  match List.find_opt (fun (b : Benchmarks.Suite.bench) -> b.name = name) (Lazy.force suite) with
+  | Some b -> b
+  | None ->
+    Printf.eprintf "unknown benchmark %s (try `reqisc_cli list`)\n" name;
+    exit 1
+
+let cmd_list () =
+  List.iter
+    (fun (cat, bs) ->
+      Printf.printf "%-12s %s\n" cat
+        (String.concat ", " (List.map (fun (b : Benchmarks.Suite.bench) -> b.name) bs)))
+    (Benchmarks.Suite.by_category (Lazy.force suite))
+
+let flag_value args flag =
+  let rec go = function
+    | a :: b :: _ when a = flag -> Some b
+    | _ :: rest -> go rest
+    | [] -> None
+  in
+  go args
+
+let cmd_compile name args =
+  let b = find_bench name in
+  let mode =
+    match flag_value args "--mode" with
+    | Some "full" -> Compiler.Pipeline.Full
+    | Some "nc" -> Compiler.Pipeline.Nc
+    | _ -> Compiler.Pipeline.Eff
+  in
+  let rng = Numerics.Rng.create 1L in
+  let input = Compiler.Pipeline.program_to_cnot_input b.program in
+  let base = Compiler.Metrics.report Compiler.Metrics.Cnot_isa input in
+  Printf.printf "%s (%s), %d qubits\n" b.name b.category input.Circuit.n;
+  Printf.printf "input (CNOT ISA):   %s\n"
+    (Format.asprintf "%a" Compiler.Metrics.pp_report base);
+  let out = Compiler.Pipeline.compile ~mode rng b.program in
+  let isa = Compiler.Metrics.Su4_isa (Microarch.Coupling.xy ~g:1.0) in
+  let r = Compiler.Metrics.report isa out.Compiler.Pipeline.circuit in
+  Printf.printf "%s:  %s  (mirrored %d)\n"
+    (Compiler.Pipeline.mode_to_string mode)
+    (Format.asprintf "%a" Compiler.Metrics.pp_report r)
+    out.Compiler.Pipeline.mirrored;
+  (match flag_value args "--route" with
+  | Some kind ->
+    let n = out.Compiler.Pipeline.circuit.Circuit.n in
+    let topo =
+      if kind = "grid" then begin
+        let cols = int_of_float (Float.ceil (sqrt (float_of_int n))) in
+        Compiler.Routing.grid ~rows:((n + cols - 1) / cols) ~cols
+      end
+      else Compiler.Routing.chain n
+    in
+    let routed = Compiler.Routing.route ~mirror:true rng topo out.Compiler.Pipeline.circuit in
+    Printf.printf "routed (%s):        #2Q=%d (+%d swaps, %d absorbed)\n" kind
+      (Circuit.count_2q routed.Compiler.Routing.circuit)
+      routed.Compiler.Routing.swaps_inserted routed.Compiler.Routing.swaps_absorbed
+  | None -> ());
+  if List.mem "--pulses" args then begin
+    match Reqisc.pulses (Microarch.Coupling.xy ~g:1.0) out.Compiler.Pipeline.circuit with
+    | Error e -> Printf.printf "pulse synthesis failed: %s\n" e
+    | Ok instrs ->
+      Printf.printf "%-8s %-5s %10s %10s %10s %10s\n" "qubits" "mode" "tau" "A1" "A2" "delta";
+      List.iter
+        (fun (i : Reqisc.pulse_instruction) ->
+          let p = i.pulse in
+          Printf.printf "(%d,%d)    %-5s %10.4f %10.4f %10.4f %10.4f\n" (fst i.qubits)
+            (snd i.qubits)
+            (Microarch.Tau.subscheme_to_string p.Microarch.Genashn.subscheme)
+            p.Microarch.Genashn.tau
+            (-2.0 *. p.Microarch.Genashn.drive_x1)
+            (-2.0 *. p.Microarch.Genashn.drive_x2)
+            p.Microarch.Genashn.delta)
+        instrs
+  end
+
+let cmd_pulse name args =
+  let gate =
+    match name with
+    | "cnot" -> Quantum.Gates.cnot
+    | "cz" -> Quantum.Gates.cz
+    | "iswap" -> Quantum.Gates.iswap
+    | "sqisw" -> Quantum.Gates.sqisw
+    | "b" -> Quantum.Gates.b_gate
+    | "swap" -> Quantum.Gates.swap
+    | g ->
+      Printf.eprintf "unknown gate %s\n" g;
+      exit 1
+  in
+  let coupling =
+    match flag_value args "--coupling" with
+    | Some "xx" -> Microarch.Coupling.xx ~g:1.0
+    | _ -> Microarch.Coupling.xy ~g:1.0
+  in
+  match Microarch.Genashn.solve coupling gate with
+  | Error e ->
+    Printf.eprintf "solve failed: %s\n" e;
+    exit 1
+  | Ok r ->
+    let p = r.Microarch.Genashn.pulse in
+    Printf.printf "gate %s under %s\n" name
+      (Format.asprintf "%a" Microarch.Coupling.pp coupling);
+    Printf.printf "class   %s\n" (Weyl.Coords.to_string r.Microarch.Genashn.coords);
+    Printf.printf "mode    %s\n" (Microarch.Tau.subscheme_to_string p.Microarch.Genashn.subscheme);
+    Printf.printf "tau     %.6f /g\n" p.Microarch.Genashn.tau;
+    Printf.printf "A1      %.6f\n" (-2.0 *. p.Microarch.Genashn.drive_x1);
+    Printf.printf "A2      %.6f\n" (-2.0 *. p.Microarch.Genashn.drive_x2);
+    Printf.printf "delta   %.6f\n" p.Microarch.Genashn.delta;
+    Printf.printf "error   %.2e\n"
+      (Numerics.Mat.frobenius_dist (Microarch.Genashn.reconstruct r) gate)
+
+let usage () =
+  print_endline
+    "usage: reqisc_cli list | compile BENCH [--mode eff|full|nc] [--route \
+     chain|grid] [--pulses] | pulse GATE [--coupling xy|xx]"
+
+let () =
+  match Array.to_list Sys.argv with
+  | _ :: "list" :: _ -> cmd_list ()
+  | _ :: "compile" :: name :: rest -> cmd_compile name rest
+  | _ :: "pulse" :: name :: rest -> cmd_pulse name rest
+  | _ ->
+    usage ();
+    exit 1

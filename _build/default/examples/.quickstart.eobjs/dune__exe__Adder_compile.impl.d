@@ -1,0 +1,1 @@
+examples/adder_compile.ml: Array Benchmarks Circuit Compiler Cx Decomp Format List Numerics Printf Reqisc Rng State

@@ -1,0 +1,1 @@
+examples/export_formats.ml: Benchmarks Circuit Filename Microarch Numerics Printf Qasm Reqisc

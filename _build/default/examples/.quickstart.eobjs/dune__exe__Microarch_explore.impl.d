@@ -1,0 +1,1 @@
+examples/microarch_explore.ml: Coupling Float Format Genashn List Mat Microarch Numerics Printf Quantum Tau Weyl

@@ -1,0 +1,1 @@
+examples/microarch_explore.mli:

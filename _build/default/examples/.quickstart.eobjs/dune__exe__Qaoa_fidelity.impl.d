@@ -1,0 +1,1 @@
+examples/qaoa_fidelity.ml: Benchmarks Compiler Float Microarch Noise Numerics Printf Reqisc Rng

@@ -1,0 +1,1 @@
+examples/quickstart.ml: Circuit Compiler Decomp Format Gate List Microarch Numerics Printf Reqisc

@@ -1,0 +1,1 @@
+lib/benchmarks/generators.ml: Array Circuit Compiler Decomp Float Gate Int64 List Numerics Phoenix Quantum Rng

@@ -1,0 +1,1 @@
+lib/benchmarks/generators.mli: Circuit Compiler Phoenix

@@ -1,0 +1,1 @@
+lib/benchmarks/real_format.ml: Array Buffer Circuit Decomp Gate Hashtbl List Printf String

@@ -1,0 +1,1 @@
+lib/benchmarks/real_format.mli: Circuit

@@ -1,0 +1,1 @@
+lib/benchmarks/suite.ml: Circuit Compiler Float Generators List Metrics Pipeline

@@ -1,0 +1,247 @@
+open Numerics
+open Compiler
+
+(* ------------------------------------------------- Type-I: reversible *)
+
+let tof n =
+  if n < 3 then invalid_arg "tof: need >= 3 wires";
+  let gates = List.init (n - 2) (fun i -> Gate.ccx i (i + 1) (i + 2)) in
+  Circuit.create n (gates @ [ Gate.cx (n - 2) (n - 1) ] @ List.rev gates)
+
+(* Cuccaro ripple-carry adder: wires are
+   [c; b0; a0; b1; a1; ...; b_{k-1}; a_{k-1}; z].
+   MAJ/UMA in their standard 3-CX/CCX form. *)
+let ripple_add k =
+  if k < 1 then invalid_arg "ripple_add: need k >= 1";
+  let n = (2 * k) + 2 in
+  let c = 0 and z = n - 1 in
+  let b i = 1 + (2 * i) and a i = 2 + (2 * i) in
+  let maj x y w = [ Gate.cx w y; Gate.cx w x; Gate.ccx x y w ] in
+  let uma x y w = [ Gate.ccx x y w; Gate.cx w x; Gate.cx x y ] in
+  let majs =
+    List.concat
+      (List.init k (fun i -> if i = 0 then maj c (b 0) (a 0) else maj (a (i - 1)) (b i) (a i)))
+  in
+  let umas =
+    List.concat
+      (List.init k (fun j ->
+           let i = k - 1 - j in
+           if i = 0 then uma c (b 0) (a 0) else uma (a (i - 1)) (b i) (a i)))
+  in
+  Circuit.create n (majs @ [ Gate.cx (a (k - 1)) z ] @ umas)
+
+let bit_adder k =
+  (* half/full adder cascade: a_i + b_i with carries into spare wire *)
+  let n = (2 * k) + 1 in
+  let a i = i and b i = k + i in
+  let carry = n - 1 in
+  let gates =
+    List.concat
+      (List.init k (fun i ->
+           [ Gate.ccx (a i) (b i) carry; Gate.cx (a i) (b i) ]
+           @ (if i < k - 1 then [ Gate.ccx (b i) carry (b (i + 1)); Gate.cx carry (b (i + 1)) ] else [])))
+  in
+  Circuit.create n gates
+
+let comparator k =
+  (* borrow-ripple comparison of two k-bit registers into the last wire *)
+  let n = (2 * k) + 1 in
+  let a i = i and b i = k + i in
+  let borrow = n - 1 in
+  let step i =
+    [ Gate.x (a i); Gate.ccx (a i) (b i) borrow; Gate.x (a i); Gate.cx (b i) (a i) ]
+  in
+  let fwd = List.concat (List.init k step) in
+  Circuit.create n (fwd @ [ Gate.cx borrow (a 0) ] @ List.rev fwd)
+
+let alu k =
+  (* ALU slice: operand select + conditional add/xor, RevLib alu-v* style *)
+  let n = (2 * k) + 3 in
+  let ctl = 0 and aux = n - 1 in
+  let a i = 1 + i and b i = 1 + k + i in
+  let slice i =
+    [
+      Gate.ccx ctl (a i) (b i);
+      Gate.cx (a i) (b i);
+      Gate.ccx (a i) (b i) aux;
+      Gate.cx aux (b i);
+    ]
+  in
+  Circuit.create n ([ Gate.x ctl ] @ List.concat (List.init k slice) @ [ Gate.cx ctl aux ])
+
+let modulo k =
+  (* conditional subtract chains: x mod m skeleton *)
+  let n = k + 2 in
+  let flag = n - 1 in
+  let step i =
+    [ Gate.ccx i ((i + 1) mod k) flag; Gate.cx flag i; Gate.ccx ((i + 1) mod k) flag i ]
+  in
+  Circuit.create n (List.concat (List.init k step))
+
+let mult k =
+  (* shift-and-add multiplier: partial products via Toffolis *)
+  let n = (3 * k) + 2 in
+  let a i = i and b j = k + j and p l = (2 * k) + l in
+  let carry = n - 1 in
+  let pp i j =
+    let t = p ((i + j) mod (k + 1)) in
+    [ Gate.ccx (a i) (b j) t; Gate.cx t carry ]
+  in
+  Circuit.create n
+    (List.concat
+       (List.concat_map (fun i -> List.init k (fun j -> pp i j)) (List.init k (fun i -> i))))
+
+let square k =
+  (* squaring: denser partial products (upper-triangular plus carries) *)
+  let n = (2 * k) + 2 in
+  let a i = i and p l = k + (l mod (k + 1)) in
+  let carry = n - 1 in
+  let pp i j =
+    let t = p (i + j) in
+    if i = j then [ Gate.cx (a i) t; Gate.ccx (a i) t carry ]
+    else [ Gate.ccx (a i) (a j) t; Gate.ccx (a i) t carry; Gate.cx t carry ]
+  in
+  let pairs =
+    List.concat_map (fun i -> List.init (k - i) (fun d -> (i, i + d))) (List.init k (fun i -> i))
+  in
+  Circuit.create n (List.concat_map (fun (i, j) -> pp i j) pairs)
+
+let sym k =
+  (* symmetric function: majority cascade *)
+  let n = k + 2 in
+  let acc = k and aux = k + 1 in
+  let step i = [ Gate.ccx i acc aux; Gate.cx i acc; Gate.cx aux acc ] in
+  Circuit.create n (List.concat (List.init k step) @ [ Gate.ccx 0 1 aux ])
+
+let encoding k =
+  (* encoder tree: CX fan-out plus CCX parity checks *)
+  let n = k + 2 in
+  let parity = n - 1 in
+  let fanout = List.init (k - 1) (fun i -> Gate.cx i (i + 1)) in
+  let checks = List.init (k - 1) (fun i -> Gate.ccx i (i + 1) parity) in
+  Circuit.create n (fanout @ checks @ List.rev fanout)
+
+let random_reversible ~seed n ~gates ~x_frac =
+  let rng = Rng.create (Int64.of_int (seed * 7919)) in
+  let gl =
+    List.init gates (fun _ ->
+        let r = Rng.float rng 1.0 in
+        if r < x_frac then Gate.x (Rng.int rng n)
+        else if r < 0.55 then begin
+          let a = Rng.int rng n in
+          let b = (a + 1 + Rng.int rng (n - 1)) mod n in
+          Gate.cx a b
+        end
+        else begin
+          let a = Rng.int rng n in
+          let b = (a + 1 + Rng.int rng (n - 1)) mod n in
+          let c = ref ((b + 1 + Rng.int rng (n - 1)) mod n) in
+          while !c = a || !c = b do
+            c := (!c + 1) mod n
+          done;
+          Gate.ccx a b !c
+        end)
+  in
+  Circuit.create n gl
+
+let hwb ~seed n ~gates = random_reversible ~seed n ~gates ~x_frac:0.1
+let urf ~seed n ~gates = random_reversible ~seed:(seed + 100) n ~gates ~x_frac:0.05
+
+let grover ~data ~iters =
+  if data < 3 then invalid_arg "grover: need >= 3 data qubits";
+  let anc = max 1 (data - 2) in
+  let n = data + anc in
+  let avail = List.init anc (fun i -> data + i) in
+  let controls = List.init (data - 1) (fun i -> i) in
+  let mcz () =
+    [ Gate.h (data - 1) ]
+    @ Decomp.mcx ~controls ~target:(data - 1) ~avail
+    @ [ Gate.h (data - 1) ]
+  in
+  let h_layer = List.init data (fun i -> Gate.h i) in
+  let x_layer = List.init data (fun i -> Gate.x i) in
+  let iteration = mcz () @ h_layer @ x_layer @ mcz () @ x_layer @ h_layer in
+  Circuit.create n (h_layer @ List.concat (List.init iters (fun _ -> iteration)))
+
+let qft n =
+  let gates = ref [] in
+  for i = 0 to n - 1 do
+    gates := Gate.h i :: !gates;
+    for j = i + 1 to n - 1 do
+      gates := Gate.cphase j i (Float.pi /. (2.0 ** float_of_int (j - i))) :: !gates
+    done
+  done;
+  Circuit.create n (List.rev !gates)
+
+(* --------------------------------------------- Type-II: Pauli programs *)
+
+let string_with n placed =
+  let s = Array.make n Quantum.Pauli.I in
+  List.iter (fun (q, op) -> s.(q) <- op) placed;
+  s
+
+let qaoa ~seed n ~layers =
+  let rng = Rng.create (Int64.of_int (seed * 104729)) in
+  (* ring plus random chords: every vertex degree >= 2, approx 3-regular *)
+  let edges = ref (List.init n (fun i -> (i, (i + 1) mod n))) in
+  for _ = 1 to n / 2 do
+    let a = Rng.int rng n in
+    let b = (a + 2 + Rng.int rng (n - 3)) mod n in
+    if a <> b && not (List.mem (a, b) !edges || List.mem (b, a) !edges) then
+      edges := (a, b) :: !edges
+  done;
+  let terms =
+    List.concat
+      (List.init layers (fun l ->
+           let gamma = 0.4 +. (0.13 *. float_of_int l) in
+           let beta = 0.7 -. (0.11 *. float_of_int l) in
+           List.map
+             (fun (a, b) ->
+               Phoenix.
+                 { pauli = string_with n [ (a, Quantum.Pauli.Z); (b, Quantum.Pauli.Z) ]; angle = gamma })
+             !edges
+           @ List.init n (fun q ->
+                 Phoenix.{ pauli = string_with n [ (q, Quantum.Pauli.X) ]; angle = beta })))
+  in
+  Phoenix.{ n; terms }
+
+let pf n ~steps =
+  let dt = 0.15 in
+  let term q1 q2 op = Phoenix.{ pauli = string_with n [ (q1, op); (q2, op) ]; angle = dt } in
+  let layer =
+    List.concat
+      (List.init (n - 1) (fun i ->
+           [ term i (i + 1) Quantum.Pauli.X; term i (i + 1) Quantum.Pauli.Y; term i (i + 1) Quantum.Pauli.Z ]))
+  in
+  Phoenix.{ n; terms = List.concat (List.init steps (fun _ -> layer)) }
+
+let uccsd ~seed n ~excitations =
+  let rng = Rng.create (Int64.of_int (seed * 31337)) in
+  let xy = [| Quantum.Pauli.X; Quantum.Pauli.Y |] in
+  let terms =
+    List.concat
+      (List.init excitations (fun _ ->
+           (* a double excitation: 4 distinct qubits with X/Y mix and Z chain *)
+           let qs = Array.init n (fun i -> i) in
+           Rng.shuffle rng qs;
+           let picked = List.sort compare [ qs.(0); qs.(1); qs.(2); qs.(3) ] in
+           let angle = Rng.uniform rng ~lo:0.05 ~hi:0.6 in
+           (* the usual 8-term expansion collapses to a few representative
+              strings here: pick 2 per excitation *)
+           List.init 2 (fun v ->
+               let s = Array.make n Quantum.Pauli.I in
+               List.iteri
+                 (fun pos q ->
+                   s.(q) <- xy.((v + pos) mod 2);
+                   (* Z chain between consecutive picked qubits *)
+                   ())
+                 picked;
+               (match picked with
+               | [ q1; _; _; q4 ] ->
+                 for q = q1 + 1 to q4 - 1 do
+                   if not (List.mem q picked) then s.(q) <- Quantum.Pauli.Z
+                 done
+               | _ -> ());
+               Phoenix.{ pauli = s; angle })))
+  in
+  Phoenix.{ n; terms }

@@ -1,0 +1,72 @@
+(** Synthetic benchmark-circuit generators covering the paper's 17
+    categories (Table 1). RevLib / TKet-bench files are not redistributable
+    here, so each generator reproduces the *structure* of its category:
+    CCX/CX reversible networks for the arithmetic-logic families, QFT /
+    Grover circuits, and Pauli-rotation programs for the Hamiltonian
+    families. All generators are deterministic for a given size/seed. *)
+
+open Compiler
+
+(** {1 Type-I: reversible / digital-logic circuits (CCX-based)} *)
+
+(** [tof n] is a chain of [n - 2] overlapping Toffolis on [n] wires. *)
+val tof : int -> Circuit.t
+
+(** [ripple_add k] is the Cuccaro ripple-carry adder on two k-bit registers
+    (2k + 2 wires); computes a + b into b with carry-out. *)
+val ripple_add : int -> Circuit.t
+
+(** [bit_adder k] is a simpler half/full-adder cascade on 2k + 1 wires. *)
+val bit_adder : int -> Circuit.t
+
+(** [comparator k] computes a borrow-ripple comparison of two k-bit
+    registers. *)
+val comparator : int -> Circuit.t
+
+(** [alu k] is an ALU-slice network (RevLib alu-v* style) of width
+    [2k + 3]. *)
+val alu : int -> Circuit.t
+
+(** [modulo k] is a small modular-reduction style network. *)
+val modulo : int -> Circuit.t
+
+(** [mult k] is a shift-and-add multiplier skeleton (k x k partial
+    products). *)
+val mult : int -> Circuit.t
+
+(** [square k] is the denser squaring variant of [mult]. *)
+val square : int -> Circuit.t
+
+(** [sym k] is a symmetric-function cascade (majority-tree style). *)
+val sym : int -> Circuit.t
+
+(** [encoding k] is an encoder tree: CX fan-outs with CCX parity checks. *)
+val encoding : int -> Circuit.t
+
+(** [hwb ~seed n ~gates] is a pseudo-random reversible permutation network
+    (the structural stand-in for RevLib's hwb family). *)
+val hwb : seed:int -> int -> gates:int -> Circuit.t
+
+(** [urf ~seed n ~gates] is a denser pseudo-random reversible function. *)
+val urf : seed:int -> int -> gates:int -> Circuit.t
+
+(** [grover ~data ~iters] is Grover search marking the all-ones string on
+    [data] qubits, with the dirty ancillas the MCX ladder needs. *)
+val grover : data:int -> iters:int -> Circuit.t
+
+(** [qft n] is the standard quantum Fourier transform (H + CPhase). *)
+val qft : int -> Circuit.t
+
+(** {1 Type-II: Hamiltonian-evolution programs (Pauli rotations)} *)
+
+(** [qaoa ~seed n ~layers] is MaxCut QAOA on a connected pseudo-random
+    3-regular-ish graph. *)
+val qaoa : seed:int -> int -> layers:int -> Phoenix.program
+
+(** [pf n ~steps] is a first-order Trotter product formula for the
+    Heisenberg chain (XX + YY + ZZ neighbors). *)
+val pf : int -> steps:int -> Phoenix.program
+
+(** [uccsd ~seed n ~excitations] draws UCCSD-style excitation strings
+    (weight-4 with Z chains) with deterministic angles. *)
+val uccsd : seed:int -> int -> excitations:int -> Phoenix.program

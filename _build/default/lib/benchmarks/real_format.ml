@@ -1,0 +1,113 @@
+let fail_at line msg = failwith (Printf.sprintf ".real line %d: %s" line msg)
+
+let of_string s =
+  let lines = String.split_on_char '\n' s in
+  let numvars = ref 0 in
+  let var_index : (string, int) Hashtbl.t = Hashtbl.create 16 in
+  let gates = ref [] in
+  let in_body = ref false in
+  List.iteri
+    (fun idx raw ->
+      let lineno = idx + 1 in
+      let line = String.trim raw in
+      let line =
+        match String.index_opt line '#' with
+        | Some i -> String.trim (String.sub line 0 i)
+        | None -> line
+      in
+      if line <> "" then begin
+        let tokens =
+          List.filter (fun t -> t <> "") (String.split_on_char ' ' line)
+        in
+        match tokens with
+        | ".version" :: _ | ".inputs" :: _ | ".outputs" :: _ | ".constants" :: _
+        | ".garbage" :: _ | ".inputbus" :: _ | ".outputbus" :: _ ->
+          ()
+        | [ ".numvars"; n ] -> (
+          match int_of_string_opt n with
+          | Some k -> numvars := k
+          | None -> fail_at lineno "bad .numvars")
+        | ".variables" :: vars ->
+          List.iteri (fun i v -> Hashtbl.replace var_index v i) vars
+        | [ ".begin" ] -> in_body := true
+        | [ ".end" ] -> in_body := false
+        | name :: operands when !in_body || (String.length name > 0 && (name.[0] = 't' || name.[0] = 'f')) ->
+          let resolve v =
+            match Hashtbl.find_opt var_index v with
+            | Some i -> i
+            | None -> (
+              (* files without .variables use x0, x1, ... or bare indices *)
+              match int_of_string_opt v with
+              | Some i -> i
+              | None -> fail_at lineno ("unknown variable " ^ v))
+          in
+          let wires = List.map resolve operands in
+          let kind = name.[0] in
+          let declared =
+            match int_of_string_opt (String.sub name 1 (String.length name - 1)) with
+            | Some k -> k
+            | None -> fail_at lineno ("bad gate " ^ name)
+          in
+          if declared <> List.length wires then fail_at lineno "operand count mismatch";
+          let all = List.init !numvars (fun i -> i) in
+          (match (kind, List.rev wires) with
+          | 't', target :: rev_controls ->
+            let controls = List.rev rev_controls in
+            let avail =
+              List.filter (fun w -> not (List.mem w wires)) all
+            in
+            (match controls with
+            | [] -> gates := Gate.x target :: !gates
+            | [ c ] -> gates := Gate.cx c target :: !gates
+            | [ c1; c2 ] -> gates := Gate.ccx c1 c2 target :: !gates
+            | _ ->
+              if avail = [] then fail_at lineno "multi-control gate with no free line";
+              gates := List.rev_append (Decomp.mcx ~controls ~target ~avail) !gates)
+          | 'f', b :: a :: rev_controls ->
+            (* fredkin: swap the last two lines under the controls *)
+            (match List.rev rev_controls with
+            | [] ->
+              gates := Gate.cx a b :: Gate.cx b a :: Gate.cx a b :: !gates
+            | [ c ] -> gates := Gate.cswap c a b :: !gates
+            | _ -> fail_at lineno "multi-control fredkin unsupported")
+          | _ -> fail_at lineno ("unsupported gate " ^ name))
+        | _ -> fail_at lineno ("unexpected line: " ^ line)
+      end)
+    lines;
+  if !numvars = 0 then failwith ".real: missing .numvars";
+  Circuit.create !numvars (List.rev !gates)
+
+let to_string (c : Circuit.t) =
+  let buf = Buffer.create 512 in
+  Buffer.add_string buf ".version 2.0\n";
+  Buffer.add_string buf (Printf.sprintf ".numvars %d\n" c.n);
+  let vars = List.init c.n (fun i -> Printf.sprintf "x%d" i) in
+  Buffer.add_string buf (".variables " ^ String.concat " " vars ^ "\n");
+  Buffer.add_string buf ".begin\n";
+  List.iter
+    (fun (g : Gate.t) ->
+      let v i = Printf.sprintf "x%d" g.qubits.(i) in
+      let lineof =
+        match g.label with
+        | "x" -> Printf.sprintf "t1 %s" (v 0)
+        | "cx" -> Printf.sprintf "t2 %s %s" (v 0) (v 1)
+        | "ccx" -> Printf.sprintf "t3 %s %s %s" (v 0) (v 1) (v 2)
+        | "cswap" -> Printf.sprintf "f3 %s %s %s" (v 0) (v 1) (v 2)
+        | l -> invalid_arg ("Real_format.to_string: unsupported gate " ^ l)
+      in
+      Buffer.add_string buf (lineof ^ "\n"))
+    c.gates;
+  Buffer.add_string buf ".end\n";
+  Buffer.contents buf
+
+let load path =
+  let ic = open_in path in
+  let len = in_channel_length ic in
+  let s = really_input_string ic len in
+  close_in ic;
+  of_string s
+
+let save path c =
+  let oc = open_out path in
+  output_string oc (to_string c);
+  close_out oc

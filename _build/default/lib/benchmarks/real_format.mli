@@ -1,0 +1,20 @@
+(** RevLib [.real] format support.
+
+    The paper's Type-I benchmarks are distributed as RevLib [.real] files
+    (multiple-control Toffoli netlists). This reader lets actual RevLib
+    files drive the compiler: [tN] gates become X/CX/CCX (multi-control
+    Toffolis are decomposed with dirty ancillas borrowed from the other
+    circuit lines), [fN] gates become Fredkins. The writer emits the subset
+    this repository generates (X/CX/CCX/CSWAP). *)
+
+(** [of_string s] parses a [.real] document into a circuit.
+    @raise Failure with a line-numbered message on malformed input, or when
+    a multi-control gate has no free line to borrow. *)
+val of_string : string -> Circuit.t
+
+(** [to_string c] serializes an X/CX/CCX/CSWAP circuit.
+    @raise Invalid_argument on gates outside the representable set. *)
+val to_string : Circuit.t -> string
+
+val load : string -> Circuit.t
+val save : string -> Circuit.t -> unit

@@ -1,0 +1,1 @@
+lib/circuit/circuit.ml: Array Cx Float Format Gate Hashtbl List Mat Numerics Printf State Weyl

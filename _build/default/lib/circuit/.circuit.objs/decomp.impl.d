@@ -1,0 +1,1 @@
+lib/circuit/decomp.ml: Array Circuit Float Gate List Mat Numerics Printf Quantum String Weyl

@@ -1,0 +1,1 @@
+lib/circuit/decomp.mli: Circuit Gate Weyl

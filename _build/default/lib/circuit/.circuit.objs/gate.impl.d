@@ -1,0 +1,1 @@
+lib/circuit/gate.ml: Array Cx Format Gates Mat Numerics Printf Quantum String

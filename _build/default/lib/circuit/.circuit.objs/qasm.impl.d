@@ -1,0 +1,1 @@
+lib/circuit/qasm.ml: Array Buffer Circuit Cx Gate List Mat Numerics Option Printf Scanf String

@@ -1,0 +1,1 @@
+lib/circuit/state.ml: Array Cx Gate List Mat Numerics Rng

@@ -1,0 +1,1 @@
+lib/circuit/state.mli: Cx Gate Numerics Rng

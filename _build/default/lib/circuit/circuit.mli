@@ -1,0 +1,55 @@
+(** Circuits: ordered gate lists on [n] wires, plus the metrics the
+    evaluation reports (#2Q, Depth2Q, duration). *)
+
+open Numerics
+
+type t = { n : int; gates : Gate.t list }
+
+(** [create n gates] validates wire indices. *)
+val create : int -> Gate.t list -> t
+
+val empty : int -> t
+
+(** [append c g] adds a gate at the end. *)
+val append : t -> Gate.t -> t
+
+(** [concat a b] runs [a] then [b] (same width). *)
+val concat : t -> t -> t
+
+val gate_count : t -> int
+
+(** [count_2q c] counts gates acting on exactly two wires (gates on three or
+    more wires must be lowered first; they are rejected). *)
+val count_2q : t -> int
+
+(** [count_2q_loose c] counts 2Q gates, counting a k>=3-wire gate as if each
+    counted 0 — used on not-yet-lowered circuits for diagnostics. *)
+val count_2q_loose : t -> int
+
+(** [depth_2q c] is the depth of the circuit restricted to its 2Q gates. *)
+val depth_2q : t -> int
+
+(** [duration ~tau c] is the critical-path time where each gate [g] costs
+    [tau g] (1Q gates are conventionally free: pass a [tau] returning 0 for
+    them). *)
+val duration : tau:(Gate.t -> float) -> t -> float
+
+(** [max_arity c] is the widest gate. *)
+val max_arity : t -> int
+
+(** [unitary c] is the full 2^n x 2^n matrix; intended for n <= 11. *)
+val unitary : t -> Mat.t
+
+(** [dagger c] reverses and inverts. *)
+val dagger : t -> t
+
+(** [remap f c] renames every wire through [f] (must stay within [n]). *)
+val remap : (int -> int) -> t -> t
+
+(** [distinct_2q ?digits c] counts distinct two-qubit gate classes by Weyl
+    coordinates rounded to [digits] (default 6) — the calibration-overhead
+    metric of Fig. 13. *)
+val distinct_2q : ?digits:int -> t -> int
+
+val pp : Format.formatter -> t -> unit
+val to_string : t -> string

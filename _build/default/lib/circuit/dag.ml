@@ -1,0 +1,57 @@
+type t = {
+  n : int;
+  gates : Gate.t array;
+  preds : int list array;
+  succs : int list array;
+}
+
+let of_circuit (c : Circuit.t) =
+  let gates = Array.of_list c.gates in
+  let m = Array.length gates in
+  let preds = Array.make m [] in
+  let succs = Array.make m [] in
+  let last_on_wire = Array.make c.n (-1) in
+  Array.iteri
+    (fun i (g : Gate.t) ->
+      let ps = ref [] in
+      Array.iter
+        (fun q ->
+          let p = last_on_wire.(q) in
+          if p >= 0 && not (List.mem p !ps) then ps := p :: !ps;
+          last_on_wire.(q) <- i)
+        g.qubits;
+      preds.(i) <- List.rev !ps;
+      List.iter (fun p -> succs.(p) <- succs.(p) @ [ i ]) !ps)
+    gates;
+  { n = c.n; gates; preds; succs }
+
+let to_circuit d = Circuit.create d.n (Array.to_list d.gates)
+
+let initial_front d =
+  let out = ref [] in
+  Array.iteri (fun i ps -> if ps = [] then out := i :: !out) d.preds;
+  List.rev !out
+
+let topo_order d =
+  let m = Array.length d.gates in
+  let indeg = Array.map List.length d.preds in
+  let order = ref [] in
+  let queue = Queue.create () in
+  for i = 0 to m - 1 do
+    if indeg.(i) = 0 then Queue.add i queue
+  done;
+  while not (Queue.is_empty queue) do
+    let i = Queue.pop queue in
+    order := i :: !order;
+    List.iter
+      (fun s ->
+        indeg.(s) <- indeg.(s) - 1;
+        if indeg.(s) = 0 then Queue.add s queue)
+      d.succs.(i)
+  done;
+  List.rev !order
+
+let last_layer d =
+  let out = ref [] in
+  Array.iteri (fun i ss -> if ss = [] then out := i :: !out) d.succs;
+  List.rev !out

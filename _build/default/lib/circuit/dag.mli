@@ -1,0 +1,23 @@
+(** Gate dependency DAG (wire-adjacency order), used by routing and
+    partitioning passes. *)
+
+type t = {
+  n : int;  (** wire count *)
+  gates : Gate.t array;
+  preds : int list array;  (** immediate predecessor gate indices *)
+  succs : int list array;
+}
+
+val of_circuit : Circuit.t -> t
+val to_circuit : t -> Circuit.t
+
+(** [front ~blocked dag] lists gate indices all of whose predecessors
+    satisfy [blocked i = false] ... i.e. are already consumed. *)
+val initial_front : t -> int list
+
+(** [topo_order dag] is a topological ordering of gate indices (stable:
+    original order among independent gates). *)
+val topo_order : t -> int list
+
+(** [last_layer dag] is the set of gates with no successors. *)
+val last_layer : t -> int list

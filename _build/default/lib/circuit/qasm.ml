@@ -1,0 +1,191 @@
+open Numerics
+
+(* ------------------------------------------------------------ printing *)
+
+let mat_params m =
+  let n = Mat.rows m in
+  let buf = Buffer.create 128 in
+  for i = 0 to n - 1 do
+    for j = 0 to n - 1 do
+      let v = Mat.get m i j in
+      if i > 0 || j > 0 then Buffer.add_char buf ',';
+      Buffer.add_string buf (Printf.sprintf "%.17g,%.17g" (Cx.re v) (Cx.im v))
+    done
+  done;
+  Buffer.contents buf
+
+let gate_line (g : Gate.t) =
+  let qs = String.concat "," (List.map (fun q -> Printf.sprintf "q[%d]" q) (Array.to_list g.qubits)) in
+  let simple = [ "x"; "y"; "z"; "h"; "s"; "sdg"; "t"; "tdg"; "cx"; "cz"; "swap"; "iswap"; "ccx"; "cswap"; "ccz"; "peres" ] in
+  (* constant gates keep their readable names; parametrized gates are
+     written as explicit unitaries so the round-trip is exact (the parser
+     still accepts hand-written rx/ry/rz/u3/cp/rzz/can forms) *)
+  if List.mem g.label simple then Printf.sprintf "%s %s;" g.label qs
+  else Printf.sprintf "unitary(%s) %s;" (mat_params g.mat) qs
+
+let to_string (c : Circuit.t) =
+  let buf = Buffer.create 1024 in
+  Buffer.add_string buf "REQASM 1.0;\n";
+  Buffer.add_string buf (Printf.sprintf "qreg q[%d];\n" c.n);
+  List.iter
+    (fun g ->
+      Buffer.add_string buf (gate_line g);
+      Buffer.add_char buf '\n')
+    c.gates;
+  Buffer.contents buf
+
+(* ------------------------------------------------------------- parsing *)
+
+let fail_at line msg = failwith (Printf.sprintf "Qasm.of_string: line %d: %s" line msg)
+
+let parse_floats s =
+  List.map
+    (fun tok ->
+      match float_of_string_opt (String.trim tok) with
+      | Some f -> f
+      | None -> failwith ("bad float " ^ tok))
+    (String.split_on_char ',' s)
+
+let parse_qubits s =
+  List.map
+    (fun tok ->
+      let tok = String.trim tok in
+      try Scanf.sscanf tok "q[%d]" (fun i -> i)
+      with _ -> failwith ("bad qubit " ^ tok))
+    (String.split_on_char ',' s)
+
+(* split "name(args) q[..],q[..]" into (name, Some args, qubit string) *)
+let split_gate str =
+  let str = String.trim str in
+  let first_space =
+    match String.index_opt str ' ' with
+    | Some i -> i
+    | None -> failwith "missing qubits"
+  in
+  match String.index_opt str '(' with
+  | Some i when i < first_space ->
+    let close =
+      match String.rindex_opt str ')' with
+      | Some c -> c
+      | None -> failwith "unbalanced parentheses"
+    in
+    let name = String.sub str 0 i in
+    let args = String.sub str (i + 1) (close - i - 1) in
+    let rest = String.sub str (close + 1) (String.length str - close - 1) in
+    (name, Some args, String.trim rest)
+  | _ -> (
+    match String.index_opt str ' ' with
+    | Some i ->
+      ( String.sub str 0 i,
+        None,
+        String.trim (String.sub str (i + 1) (String.length str - i - 1)) )
+    | None -> failwith "missing qubits")
+
+let build_gate line name args qubits =
+  let q i = List.nth qubits i in
+  let arity k =
+    if List.length qubits <> k then fail_at line (name ^ ": wrong qubit count")
+  in
+  let one_arg () =
+    match args with
+    | Some a -> ( match parse_floats a with [ f ] -> f | _ -> fail_at line "expected one parameter")
+    | None -> fail_at line "missing parameter"
+  in
+  match name with
+  | "x" -> arity 1; Gate.x (q 0)
+  | "y" -> arity 1; Gate.y (q 0)
+  | "z" -> arity 1; Gate.z (q 0)
+  | "h" -> arity 1; Gate.h (q 0)
+  | "s" -> arity 1; Gate.s (q 0)
+  | "sdg" -> arity 1; Gate.sdg (q 0)
+  | "t" -> arity 1; Gate.t (q 0)
+  | "tdg" -> arity 1; Gate.tdg (q 0)
+  | "rx" -> arity 1; Gate.rx (q 0) (one_arg ())
+  | "ry" -> arity 1; Gate.ry (q 0) (one_arg ())
+  | "rz" -> arity 1; Gate.rz (q 0) (one_arg ())
+  | "u3" ->
+    arity 1;
+    (match Option.map parse_floats args with
+    | Some [ a; b; c ] -> Gate.u3 (q 0) a b c
+    | _ -> fail_at line "u3 expects 3 parameters")
+  | "cx" -> arity 2; Gate.cx (q 0) (q 1)
+  | "cz" -> arity 2; Gate.cz (q 0) (q 1)
+  | "swap" -> arity 2; Gate.swap (q 0) (q 1)
+  | "iswap" -> arity 2; Gate.iswap (q 0) (q 1)
+  | "cp" -> arity 2; Gate.cphase (q 0) (q 1) (one_arg ())
+  | "rzz" -> arity 2; Gate.rzz (q 0) (q 1) (one_arg ())
+  | "can" ->
+    arity 2;
+    (match Option.map parse_floats args with
+    | Some [ a; b; c ] -> Gate.can (q 0) (q 1) a b c
+    | _ -> fail_at line "can expects 3 parameters")
+  | "ccx" -> arity 3; Gate.ccx (q 0) (q 1) (q 2)
+  | "cswap" -> arity 3; Gate.cswap (q 0) (q 1) (q 2)
+  | "ccz" -> arity 3; Gate.ccz (q 0) (q 1) (q 2)
+  | "peres" -> arity 3; Gate.peres (q 0) (q 1) (q 2)
+  | "unitary" -> (
+    match Option.map parse_floats args with
+    | Some entries ->
+      let k = List.length qubits in
+      let dim = 1 lsl k in
+      if List.length entries <> 2 * dim * dim then
+        fail_at line "unitary: wrong entry count";
+      let arr = Array.of_list entries in
+      let m =
+        Mat.init dim dim (fun i j ->
+            let base = 2 * ((i * dim) + j) in
+            Cx.mk arr.(base) arr.(base + 1))
+      in
+      Gate.make (if k = 1 then "u" else "su4") (Array.of_list qubits) m
+    | None -> fail_at line "unitary: missing entries")
+  | other -> fail_at line ("unknown gate " ^ other)
+
+let of_string s =
+  let lines = String.split_on_char '\n' s in
+  let n = ref 0 in
+  let gates = ref [] in
+  List.iteri
+    (fun idx raw ->
+      let lineno = idx + 1 in
+      let line = String.trim raw in
+      let line =
+        match String.index_opt line '/' with
+        | Some i when i + 1 < String.length line && line.[i + 1] = '/' ->
+          String.trim (String.sub line 0 i)
+        | _ -> line
+      in
+      if line <> "" then begin
+        let stmt =
+          if String.length line > 0 && line.[String.length line - 1] = ';' then
+            String.sub line 0 (String.length line - 1)
+          else line
+        in
+        let stmt = String.trim stmt in
+        if String.length stmt >= 6 && String.sub stmt 0 6 = "REQASM" then ()
+        else if String.length stmt >= 4 && String.sub stmt 0 4 = "qreg" then begin
+          try Scanf.sscanf stmt "qreg q[%d]" (fun k -> n := k)
+          with _ -> fail_at lineno "bad qreg"
+        end
+        else begin
+          match split_gate stmt with
+          | name, args, qstr ->
+            let qubits = try parse_qubits qstr with Failure m -> fail_at lineno m in
+            gates := build_gate lineno name args qubits :: !gates
+          | exception Failure m -> fail_at lineno m
+        end
+      end)
+    lines;
+  if !n = 0 then failwith "Qasm.of_string: missing qreg declaration";
+  Circuit.create !n (List.rev !gates)
+
+let save path c =
+  let oc = open_out path in
+  output_string oc (to_string c);
+  close_out oc
+
+let load path =
+  let ic = open_in path in
+  let len = in_channel_length ic in
+  let s = really_input_string ic len in
+  close_in ic;
+  of_string s

@@ -1,0 +1,18 @@
+(** A QASM-flavoured text format for circuits.
+
+    Supports the gate vocabulary this repository emits: named 1Q gates,
+    rotations, [cx]/[cz]/[swap]/[iswap]/[cp]/[rzz], [can(x,y,z)], [ccx] and
+    friends, plus [u(...)] / [su4(...)] with explicit matrix entries so any
+    compiled circuit round-trips exactly. *)
+
+(** [to_string c] serializes a circuit. *)
+val to_string : Circuit.t -> string
+
+(** [of_string s] parses back what [to_string] produced.
+    @raise Failure with a line-numbered message on malformed input. *)
+val of_string : string -> Circuit.t
+
+(** [save path c] / [load path] file convenience wrappers. *)
+val save : string -> Circuit.t -> unit
+
+val load : string -> Circuit.t

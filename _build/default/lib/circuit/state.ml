@@ -1,0 +1,70 @@
+open Numerics
+
+let zero n =
+  let v = Array.make (1 lsl n) Cx.zero in
+  v.(0) <- Cx.one;
+  v
+
+let apply_gate_arr ~n st (g : Gate.t) =
+  let k = Array.length g.qubits in
+  let dim = 1 lsl n in
+  if Array.length st <> dim then invalid_arg "State.apply_gate_arr: size mismatch";
+  let bitpos = Array.map (fun q -> n - 1 - q) g.qubits in
+  let mask = Array.fold_left (fun acc p -> acc lor (1 lsl p)) 0 bitpos in
+  let sub = 1 lsl k in
+  let idx = Array.make sub 0 in
+  let amps = Array.make sub Cx.zero in
+  let m = g.mat in
+  for base = 0 to dim - 1 do
+    if base land mask = 0 then begin
+      (* gather the 2^k amplitudes touched by this gate instance *)
+      for p = 0 to sub - 1 do
+        let i = ref base in
+        for pos = 0 to k - 1 do
+          if (p lsr (k - 1 - pos)) land 1 = 1 then i := !i lor (1 lsl bitpos.(pos))
+        done;
+        idx.(p) <- !i;
+        amps.(p) <- st.(!i)
+      done;
+      for r = 0 to sub - 1 do
+        let acc = ref Cx.zero in
+        for c = 0 to sub - 1 do
+          acc := Cx.( +: ) !acc (Cx.( *: ) (Mat.get m r c) amps.(c))
+        done;
+        st.(idx.(r)) <- !acc
+      done
+    end
+  done
+
+let run_from ~n gates st =
+  let v = Array.copy st in
+  List.iter (fun g -> apply_gate_arr ~n v g) gates;
+  v
+
+let run ~n gates = run_from ~n gates (zero n)
+let probabilities st = Array.map Cx.norm2 st
+
+let sample rng probs =
+  let r = Rng.float rng 1.0 in
+  let acc = ref 0.0 and out = ref (Array.length probs - 1) in
+  (try
+     Array.iteri
+       (fun i p ->
+         acc := !acc +. p;
+         if !acc >= r then begin
+           out := i;
+           raise Exit
+         end)
+       probs
+   with Exit -> ());
+  !out
+
+let fidelity a b =
+  let ip = ref Cx.zero in
+  Array.iteri (fun i ai -> ip := Cx.( +: ) !ip (Cx.( *: ) (Cx.conj ai) b.(i))) a;
+  Cx.norm2 !ip
+
+let hellinger_fidelity p q =
+  let s = ref 0.0 in
+  Array.iteri (fun i pi -> s := !s +. sqrt (pi *. q.(i))) p;
+  !s *. !s

@@ -1,0 +1,32 @@
+(** Statevector simulation kernel.
+
+    States are flat arrays of 2^n amplitudes; qubit 0 is the most
+    significant index bit, matching {!Quantum.Gates.embed}. *)
+
+open Numerics
+
+(** [zero n] is |0...0> on n qubits. *)
+val zero : int -> Cx.t array
+
+(** [apply_gate_arr ~n st g] applies the gate in place. *)
+val apply_gate_arr : n:int -> Cx.t array -> Gate.t -> unit
+
+(** [run ~n gates] simulates the gate list from |0...0>. *)
+val run : n:int -> Gate.t list -> Cx.t array
+
+(** [run_from ~n gates st] simulates starting from a copy of [st]. *)
+val run_from : n:int -> Gate.t list -> Cx.t array -> Cx.t array
+
+(** [probabilities st] is the Born distribution over basis states. *)
+val probabilities : Cx.t array -> float array
+
+(** [sample rng probs] draws one basis index. *)
+val sample : Rng.t -> float array -> int
+
+(** [fidelity a b] is |<a|b>|^2. *)
+val fidelity : Cx.t array -> Cx.t array -> float
+
+(** [hellinger_fidelity p q] is the Hellinger fidelity
+    [(sum_i sqrt(p_i q_i))^2] between two distributions — the program
+    fidelity metric of Section 6.1.1. *)
+val hellinger_fidelity : float array -> float array -> float

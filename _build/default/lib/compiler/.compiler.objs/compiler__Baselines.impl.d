@@ -1,0 +1,1 @@
+lib/compiler/baselines.ml: Array Blocks Circuit Decomp Gate List Phoenix Synth Weyl

@@ -1,0 +1,1 @@
+lib/compiler/baselines.mli: Circuit Numerics Phoenix

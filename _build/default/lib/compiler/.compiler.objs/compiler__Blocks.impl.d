@@ -1,0 +1,1 @@
+lib/compiler/blocks.ml: Array Circuit Gate List Mat Numerics Quantum Weyl

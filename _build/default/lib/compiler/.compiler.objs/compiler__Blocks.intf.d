@@ -1,0 +1,1 @@
+lib/compiler/blocks.mli: Circuit Gate Mat Numerics

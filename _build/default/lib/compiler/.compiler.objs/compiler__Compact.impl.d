@@ -1,0 +1,1 @@
+lib/compiler/compact.ml: Array Blocks Circuit Gate Hashtbl List Mat Numerics Option Printf Quantum Synth Template

@@ -1,0 +1,1 @@
+lib/compiler/compact.mli: Circuit Gate Numerics

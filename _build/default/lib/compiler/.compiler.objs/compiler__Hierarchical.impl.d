@@ -1,0 +1,1 @@
+lib/compiler/hierarchical.ml: Array Blocks Circuit Compact Gate List Numerics Rng Template

@@ -1,0 +1,1 @@
+lib/compiler/hierarchical.mli: Circuit Numerics

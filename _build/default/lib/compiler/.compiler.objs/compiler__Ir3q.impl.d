@@ -1,0 +1,1 @@
+lib/compiler/ir3q.ml: Array Gate List Mat Numerics Quantum Template

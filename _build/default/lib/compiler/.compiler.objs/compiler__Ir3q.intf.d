@@ -1,0 +1,1 @@
+lib/compiler/ir3q.mli: Gate Mat Numerics Template

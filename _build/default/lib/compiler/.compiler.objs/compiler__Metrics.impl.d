@@ -1,0 +1,1 @@
+lib/compiler/metrics.ml: Circuit Format Gate Microarch Weyl

@@ -1,0 +1,1 @@
+lib/compiler/metrics.mli: Circuit Format Gate Microarch

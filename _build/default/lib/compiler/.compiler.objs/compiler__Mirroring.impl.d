@@ -1,0 +1,1 @@
+lib/compiler/mirroring.ml: Array Circuit Gate List Mat Numerics Printf Quantum Weyl

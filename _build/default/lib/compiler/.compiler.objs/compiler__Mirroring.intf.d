@@ -1,0 +1,1 @@
+lib/compiler/mirroring.mli: Circuit

@@ -1,0 +1,1 @@
+lib/compiler/phoenix.ml: Array Blocks Circuit Expm Float Gate Gates List Mat Numerics Pauli Quantum

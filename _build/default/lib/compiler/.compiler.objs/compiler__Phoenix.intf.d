@@ -1,0 +1,1 @@
+lib/compiler/phoenix.mli: Circuit Gate Quantum

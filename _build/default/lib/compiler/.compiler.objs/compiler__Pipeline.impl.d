@@ -1,0 +1,1 @@
+lib/compiler/pipeline.ml: Circuit Decomp Hierarchical Mirroring Numerics Phoenix Template

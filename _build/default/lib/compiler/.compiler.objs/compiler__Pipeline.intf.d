@@ -1,0 +1,1 @@
+lib/compiler/pipeline.mli: Circuit Numerics Phoenix

@@ -1,0 +1,1 @@
+lib/compiler/routing.ml: Array Circuit Dag Float Gate Hashtbl List Mat Numerics Option Quantum Queue

@@ -1,0 +1,1 @@
+lib/compiler/routing.mli: Circuit Numerics

@@ -1,0 +1,1 @@
+lib/compiler/synth.ml: Array Cx Gate List Mat Numerics Quantum Svd

@@ -1,0 +1,1 @@
+lib/compiler/synth.mli: Gate Mat Numerics Rng

@@ -1,0 +1,1 @@
+lib/compiler/template.ml: Array Blocks Buffer Circuit Cx Decomp Float Gate Hashtbl List Mat Numerics Printf Rng Synth Weyl

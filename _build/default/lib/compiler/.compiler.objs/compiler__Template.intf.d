@@ -1,0 +1,1 @@
+lib/compiler/template.mli: Circuit Gate Mat Numerics Rng

@@ -1,0 +1,1 @@
+lib/compiler/variational.ml: Array Circuit Gate Hashtbl List Mat Microarch Numerics Quantum String Synth Template Weyl

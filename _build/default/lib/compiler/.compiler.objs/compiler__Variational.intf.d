@@ -1,0 +1,1 @@
+lib/compiler/variational.mli: Circuit Microarch Numerics

@@ -1,0 +1,29 @@
+(** Baseline compilers mimicking the mechanisms of the paper's comparison
+    points: Qiskit O3-style peephole + 2Q-block resynthesis, TKet-style
+    Pauli-gadget optimization, and BQSKit-style partition + approximate
+    synthesis (with its characteristic distinct-gate explosion). *)
+
+(** [qiskit_like c] consolidates 2Q runs and resynthesizes each block into
+    at most 3 CNOTs; output is a CNOT+1Q circuit. *)
+val qiskit_like : Circuit.t -> Circuit.t
+
+(** [tket_like c] is [qiskit_like] after an extra commutation-aware CX
+    cleanup round. For Pauli programs use [tket_like_pauli]. *)
+val tket_like : Circuit.t -> Circuit.t
+
+(** [tket_like_pauli p] runs the PauliSimp-style pass (merge + reorder)
+    before lowering through ladders and [qiskit_like]. *)
+val tket_like_pauli : Phoenix.program -> Circuit.t
+
+type bqskit_target = To_cnot | To_su4
+
+(** [bqskit_like rng ~target c] partitions into 3Q blocks and approximately
+    resynthesizes each one (no threshold, no template reuse), into CNOT
+    circuits or {Can, U3} circuits. *)
+val bqskit_like : Numerics.Rng.t -> target:bqskit_target -> Circuit.t -> Circuit.t
+
+(** [qiskit_su4 c] / [tket_su4 c]: the SU(4)-variant baselines of the
+    ablation study — the CNOT-based result with 2Q runs fused into SU(4)s. *)
+val qiskit_su4 : Circuit.t -> Circuit.t
+
+val tket_su4 : Circuit.t -> Circuit.t

@@ -1,0 +1,32 @@
+(** Greedy linear block collection: partition a circuit into contiguous
+    blocks over at most [w] wires, preserving semantics when each block is
+    replaced by its fused unitary (in block order). *)
+
+open Numerics
+
+type block = {
+  qubits : int list;  (** sorted wire set, size <= w *)
+  gates : Gate.t list;  (** original gates, in order *)
+}
+
+(** [collect ~w c] partitions the whole circuit. Gates of arity > w each get
+    their own block. *)
+val collect : w:int -> Circuit.t -> block list
+
+(** [block_unitary b] is the fused unitary on the block's wires (wire order =
+    sorted [qubits]). *)
+val block_unitary : block -> Mat.t
+
+(** [count_2q b] counts 2Q gates inside the block. *)
+val count_2q : block -> int
+
+(** [to_circuit n blocks] re-emits the blocks' gates in order (identity
+    transformation; used to check the partition). *)
+val to_circuit : int -> block list -> Circuit.t
+
+(** [fuse_2q c] consolidates maximal runs on each wire pair into single
+    [su4] gates, dropping blocks that fuse to the identity class (they
+    become pure 1Q gates). 1Q gates outside any 2Q block are merged and
+    kept. The result contains only [su4] (label "su4") and 1Q gates and is
+    exactly equivalent to [c]. *)
+val fuse_2q : Circuit.t -> Circuit.t

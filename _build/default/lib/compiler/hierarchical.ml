@@ -1,0 +1,51 @@
+open Numerics
+
+let resynthesize lib rng ~w block =
+  ignore rng;
+  let k = Blocks.count_2q block in
+  let u = Blocks.block_unitary block in
+  let qarr = Array.of_list block.Blocks.qubits in
+  if List.length block.Blocks.qubits > w then None
+  else begin
+    let e = Template.template_entry lib ~max_gates:(min (k - 1) 7) u in
+    match e.Template.best with
+    | Some gates when List.length (List.filter Gate.is_2q gates) < k ->
+      Some (List.map (Gate.remap (fun q -> qarr.(q))) gates)
+    | _ -> None
+  end
+
+let one_round lib rng ~w ~m_th ~compacting (c : Circuit.t) =
+  let fused = Blocks.fuse_2q c in
+  (* the compacting pass is quadratic-ish in circuit size; past a few
+     hundred SU(4)s its expected win no longer pays for the synthesis
+     probes, so it is gated (the paper caps its Fig. 13/14 studies at
+     comparable sizes) *)
+  let fused =
+    if compacting && Circuit.count_2q fused <= 300 then Compact.run rng fused
+    else fused
+  in
+  let blocks = Blocks.collect ~w fused in
+  let gates =
+    List.concat_map
+      (fun (b : Blocks.block) ->
+        if Blocks.count_2q b > m_th then
+          match resynthesize lib rng ~w b with
+          | Some gates -> gates
+          | None -> b.gates
+        else b.gates)
+      blocks
+  in
+  Blocks.fuse_2q (Circuit.create c.n gates)
+
+let run ?(w = 3) ?(m_th = 4) ?(compacting = true) ?(rounds = 2) rng (c : Circuit.t) =
+  let lib = Template.create_library (Rng.split rng) in
+  let rec go k current best_count =
+    if k = 0 then current
+    else begin
+      let next = one_round lib rng ~w ~m_th ~compacting current in
+      let count = Circuit.count_2q next in
+      if count >= best_count then current else go (k - 1) next count
+    end
+  in
+  let fused = Blocks.fuse_2q c in
+  go rounds fused (Circuit.count_2q fused)

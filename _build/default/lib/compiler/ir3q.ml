@@ -1,0 +1,33 @@
+open Numerics
+
+let circuits =
+  [
+    ("toffoli", [ Gate.ccx 0 1 2 ]);
+    ("ccz", [ Gate.ccz 0 1 2 ]);
+    ("fredkin", [ Gate.cswap 0 1 2 ]);
+    ("peres", [ Gate.peres 0 1 2 ]);
+    (* Cuccaro majority / unmajority-and-add on (x, y, w) *)
+    ("maj", [ Gate.cx 2 1; Gate.cx 2 0; Gate.ccx 0 1 2 ]);
+    ("uma", [ Gate.ccx 0 1 2; Gate.cx 2 0; Gate.cx 0 1 ]);
+    (* doubly-controlled rotations show up in encoded arithmetic *)
+    ("toffoli_mirror", [ Gate.ccx 0 1 2; Gate.cx 0 1 ]);
+    ("and_cascade", [ Gate.ccx 0 1 2; Gate.cx 1 2 ]);
+    ("parity_check", [ Gate.cx 0 2; Gate.cx 1 2; Gate.ccx 0 1 2 ]);
+  ]
+
+let circuit_of name = List.assoc name circuits
+
+let unitary_of gates =
+  List.fold_left
+    (fun acc (g : Gate.t) ->
+      Mat.mul (Quantum.Gates.embed ~n:3 ~qubits:(Array.to_list g.qubits) g.mat) acc)
+    (Mat.identity 8) gates
+
+let named = List.map (fun (n, gs) -> (n, unitary_of gs)) circuits
+
+let preload lib =
+  List.map
+    (fun (name, u) ->
+      let t = Template.template_for lib u in
+      (name, List.length (List.filter Gate.is_2q t)))
+    named

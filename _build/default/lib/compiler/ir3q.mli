@@ -1,0 +1,18 @@
+(** The named 3-qubit IRs of real-world reversible programs (Section 5.2.1):
+    Toffoli, Peres, MAJ/UMA (Cuccaro), Fredkin, CCZ and friends. Used to
+    pre-populate the template library ("pre-synthesis") and to document the
+    bounded-template-library claim of Section 6.5.1. *)
+
+open Numerics
+
+(** [named] lists (name, 8x8 unitary) for each standard IR. *)
+val named : (string * Mat.t) list
+
+(** [circuit_of name] is a reference CCX/CX realization of the IR (wires
+    0..2).
+    @raise Not_found for unknown names. *)
+val circuit_of : string -> Gate.t list
+
+(** [preload lib] synthesizes a template for every named IR into the
+    library; returns (name, #SU(4) of the template) for reporting. *)
+val preload : Template.library -> (string * int) list

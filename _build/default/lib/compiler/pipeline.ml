@@ -1,0 +1,41 @@
+type program = Gates of Circuit.t | Pauli of Phoenix.program
+type mode = Eff | Full | Nc
+
+type output = {
+  circuit : Circuit.t;
+  final_mapping : int array;
+  mirrored : int;
+  template_classes : int;
+}
+
+let mode_to_string = function Eff -> "ReQISC-Eff" | Full -> "ReQISC-Full" | Nc -> "ReQISC-NC"
+let program_width = function Gates c -> c.Circuit.n | Pauli p -> p.Phoenix.n
+
+let program_to_cnot_input = function
+  | Gates c -> Decomp.lower_to_cx c
+  | Pauli p -> Phoenix.to_cx_circuit p
+
+let compile ?(mode = Eff) ?(mirror_threshold = Mirroring.default_threshold) rng p =
+  let lib = Template.create_library (Numerics.Rng.split rng) in
+  let su4_stage =
+    match p with
+    | Gates c ->
+      (* program-aware, template-based synthesis over the CCX-based IR *)
+      Template.run lib (Decomp.lower_3q c)
+    | Pauli prog ->
+      (* ISA-independent high-level pass, then fuse *)
+      Phoenix.to_su4_circuit prog
+  in
+  let optimized =
+    match mode with
+    | Eff -> su4_stage
+    | Full -> Hierarchical.run ~compacting:true rng su4_stage
+    | Nc -> Hierarchical.run ~compacting:false rng su4_stage
+  in
+  let m = Mirroring.run ~r:mirror_threshold optimized in
+  {
+    circuit = m.Mirroring.circuit;
+    final_mapping = m.Mirroring.final_mapping;
+    mirrored = m.Mirroring.mirrored;
+    template_classes = Template.library_size lib;
+  }

@@ -1,0 +1,33 @@
+(** End-to-end ReQISC compilation (Section 5.4): program-aware template
+    synthesis, optional hierarchical synthesis, near-identity mirroring,
+    and (separately, see {!Routing}) mirroring-SABRE mapping. *)
+
+(** Input programs: Type-I reversible networks (CCX/CX/1Q circuits) or
+    Type-II Pauli-rotation programs. *)
+type program = Gates of Circuit.t | Pauli of Phoenix.program
+
+type mode =
+  | Eff  (** template synthesis only: minimal calibration overhead *)
+  | Full  (** + hierarchical synthesis with DAG compacting *)
+  | Nc  (** Full without the compacting pass (ablation) *)
+
+type output = {
+  circuit : Circuit.t;  (** su4 + 1Q gates only *)
+  final_mapping : int array;  (** wire permutation left by gate mirroring *)
+  mirrored : int;  (** near-identity gates resolved by mirroring *)
+  template_classes : int;  (** distinct 3Q IRs synthesized *)
+}
+
+val mode_to_string : mode -> string
+
+(** [compile rng ~mode p] runs the pipeline. [mirror_threshold] is the
+    near-identity radius (default {!Mirroring.default_threshold}). *)
+val compile :
+  ?mode:mode -> ?mirror_threshold:float -> Numerics.Rng.t -> program -> output
+
+(** [program_width p]. *)
+val program_width : program -> int
+
+(** [program_to_cnot_input p] is the CNOT-based form of the program (what
+    the baselines consume, and the reference for Table 1/2 metrics). *)
+val program_to_cnot_input : program -> Circuit.t

@@ -1,0 +1,183 @@
+open Numerics
+
+type slot = Free2q of int * int | Free1q of int | Fixed of Gate.t
+
+let slot_wires = function
+  | Free2q (a, b) -> [| a; b |]
+  | Free1q q -> [| q |]
+  | Fixed g -> g.Gate.qubits
+
+(* Environment of a slot: with M = B . target† . A (n-qubit operators) and
+   the slot acting on wires [qs], E[i][j] = sum_s M[idx(j,s), idx(i,s)] so
+   that Tr(M . embed g) = Tr(Eᵀ g). *)
+let environment ~n m qs =
+  let k = Array.length qs in
+  let gate_pos = Array.map (fun q -> n - 1 - q) qs in
+  let spect_pos =
+    Array.of_list
+      (List.filter
+         (fun p -> not (Array.exists (fun gp -> gp = p) gate_pos))
+         (List.init n (fun i -> i)))
+  in
+  let idx g s =
+    let v = ref 0 in
+    Array.iteri
+      (fun pos p -> if (g lsr (k - 1 - pos)) land 1 = 1 then v := !v lor (1 lsl p))
+      gate_pos;
+    Array.iteri
+      (fun pos p -> if (s lsr pos) land 1 = 1 then v := !v lor (1 lsl p))
+      spect_pos;
+    !v
+  in
+  let sub = 1 lsl k and spect = 1 lsl (n - k) in
+  Mat.init sub sub (fun i j ->
+      let acc = ref Cx.zero in
+      for s = 0 to spect - 1 do
+        acc := Cx.( +: ) !acc (Mat.get m (idx j s) (idx i s))
+      done;
+      !acc)
+
+let embed ~n (qs : int array) mat =
+  Quantum.Gates.embed ~n ~qubits:(Array.to_list qs) mat
+
+let optimize ?(sweeps = 400) ?(restarts = 6) ?(tol = 1e-10) rng ~n ~target slots =
+  let dim = 1 lsl n in
+  let slots_arr = Array.of_list slots in
+  let m_slots = Array.length slots_arr in
+  let tdag = Mat.dagger target in
+  let run_restart () =
+    (* current slot matrices *)
+    let mats =
+      Array.map
+        (function
+          | Free2q _ -> Quantum.Haar.su4 rng
+          | Free1q _ -> Quantum.Haar.su2 rng
+          | Fixed g -> g.Gate.mat)
+        slots_arr
+    in
+    let embedded () = Array.mapi (fun i s -> embed ~n (slot_wires s) mats.(i)) slots_arr in
+    let fval () =
+      let p =
+        Array.fold_left (fun acc e -> Mat.mul e acc) (Mat.identity dim) (embedded ())
+      in
+      Cx.norm (Mat.trace (Mat.mul tdag p))
+    in
+    let best = ref (fval ()) in
+    let stall = ref 0 in
+    (try
+       for _ = 1 to sweeps do
+         (* suffix products: suffix.(k) = emb(m-1) ... emb(k) *)
+         let emb = embedded () in
+         let suffix = Array.make (m_slots + 1) (Mat.identity dim) in
+         for k = m_slots - 1 downto 0 do
+           suffix.(k) <- Mat.mul suffix.(k + 1) emb.(k)
+         done;
+         let prefix = ref (Mat.identity dim) in
+         (* prefix = emb(k-1) ... emb(0) as k advances *)
+         for k = 0 to m_slots - 1 do
+           (match slots_arr.(k) with
+           | Fixed _ -> ()
+           | Free2q _ | Free1q _ ->
+             let a = suffix.(k + 1) in
+             let menv = Mat.mul !prefix (Mat.mul tdag a) in
+             let e = environment ~n menv (slot_wires slots_arr.(k)) in
+             mats.(k) <- Svd.unitary_maximizer (Mat.transpose e));
+           prefix := Mat.mul (embed ~n (slot_wires slots_arr.(k)) mats.(k)) !prefix
+         done;
+         let f = fval () in
+         let converged = 1.0 -. (!best /. float_of_int dim) < tol in
+         (* once below tol, keep polishing toward machine precision *)
+         let thresh = if converged then 1e-16 else 1e-13 *. float_of_int dim in
+         if f -. !best < thresh then incr stall else stall := 0;
+         if f > !best then best := f;
+         if 1.0 -. (!best /. float_of_int dim) < 1e-14 then raise Exit;
+         if !stall > (if converged then 6 else 12) then raise Exit
+       done
+     with Exit -> ());
+    (Array.copy mats, 1.0 -. (!best /. float_of_int dim))
+  in
+  let best_mats = ref [||] and best_inf = ref infinity in
+  (try
+     for _ = 1 to restarts do
+       let mats, inf = run_restart () in
+       if inf < !best_inf then begin
+         best_inf := inf;
+         best_mats := mats
+       end;
+       if !best_inf < tol then raise Exit
+     done
+   with Exit -> ());
+  let gates =
+    List.concat
+      (List.mapi
+         (fun i s ->
+           match s with
+           | Free2q (a, b) -> [ Gate.su4 a b !best_mats.(i) ]
+           | Free1q q ->
+             if Mat.equal ~tol:1e-11 !best_mats.(i) (Mat.identity 2) then []
+             else [ Gate.one_q q !best_mats.(i) ]
+           | Fixed g -> [ g ])
+         slots)
+  in
+  (gates, !best_inf)
+
+let pair_cycle n =
+  match n with
+  | 2 -> [| (0, 1) |]
+  | 3 -> [| (0, 1); (1, 2); (0, 2) |]
+  | _ ->
+    Array.of_list
+      (List.concat_map (fun i -> List.init (n - i - 1) (fun j -> (i, i + j + 1))) (List.init n (fun i -> i)))
+
+let su4_template ~n m =
+  let cyc = pair_cycle n in
+  let front = List.init n (fun q -> Free1q q) in
+  let mid =
+    List.init m (fun k ->
+        let a, b = cyc.(k mod Array.length cyc) in
+        Free2q (a, b))
+  in
+  let back = List.init n (fun q -> Free1q q) in
+  front @ mid @ back
+
+let cx_template ~n m =
+  let cyc = pair_cycle n in
+  let front = List.init n (fun q -> Free1q q) in
+  let mid =
+    List.concat
+      (List.init m (fun k ->
+           let a, b = cyc.(k mod Array.length cyc) in
+           [ Fixed (Gate.cx a b); Free1q a; Free1q b ]))
+  in
+  front @ mid
+
+let search_counts ?(tol = 1e-9) rng ~n ~target ~max_gates ~template ~count_2q =
+  let rec go m =
+    if m > max_gates then None
+    else begin
+      let slots = template ~n m in
+      let restarts = if m <= 1 then 2 else 4 + m in
+      let gates, inf = optimize ~restarts ~tol rng ~n ~target slots in
+      if inf < tol then Some (gates, count_2q gates) else go (m + 1)
+    end
+  in
+  go 0
+
+let count_su4 gates = List.length (List.filter Gate.is_2q gates)
+
+let min_su4 ?(tol = 1e-9) rng ~n ~target ~max_gates =
+  search_counts ~tol rng ~n ~target ~max_gates ~template:su4_template ~count_2q:count_su4
+
+let min_cx ?(tol = 1e-9) rng ~n ~target ~max_gates =
+  search_counts ~tol rng ~n ~target ~max_gates ~template:cx_template ~count_2q:count_su4
+
+let min_cx_desc ?(tol = 1e-9) rng ~n ~target ~max_gates ~min_gates =
+  let rec go m best =
+    if m < min_gates then best
+    else begin
+      let slots = cx_template ~n m in
+      let gates, inf = optimize ~restarts:3 ~sweeps:250 ~tol rng ~n ~target slots in
+      if inf < tol then go (m - 1) (Some (gates, count_su4 gates)) else best
+    end
+  in
+  go max_gates None

@@ -1,0 +1,42 @@
+(** Program-aware template-based synthesis (Section 5.2).
+
+    Type-I programs are CCX/CX/1Q reversible networks. The pass partitions
+    them into 3-qubit blocks, synthesizes each distinct block unitary once
+    into a minimal-#SU(4) template (memoized in a library keyed by a
+    phase-invariant fingerprint), and assembles the program by unrolling
+    blocks through their templates. Equivalent-circuit-class variants
+    (wire-permutation symmetries of the block) are tried so that neighboring
+    blocks expose fusable SU(4)s on shared pairs. *)
+
+open Numerics
+
+type library
+
+(** [create_library rng] starts an empty memoized template library. *)
+val create_library : Rng.t -> library
+
+(** [library_size lib] is the number of distinct 3Q classes synthesized. *)
+val library_size : library -> int
+
+(** Memoized synthesis record for one distinct block unitary. *)
+type entry = {
+  mutable best : Gate.t list option;  (** minimal template found so far *)
+  mutable tried_up_to : int;  (** largest gate count already searched *)
+}
+
+(** [template_entry lib ~max_gates u] looks up (or synthesizes, searching up
+    to [max_gates] SU(4)s) the template record for [u]. *)
+val template_entry : library -> ?max_gates:int -> Mat.t -> entry
+
+(** [template_for lib u] returns the minimal-#SU(4) gate list (wires 0..2,
+    or 0..1 for 4x4 input) synthesizing [u] up to global phase. *)
+val template_for : library -> Mat.t -> Gate.t list
+
+(** [run lib c] applies template-based synthesis to a CCX-based circuit:
+    output contains only su4 and 1Q gates; equivalent to [c] up to the
+    synthesis tolerance. *)
+val run : library -> Circuit.t -> Circuit.t
+
+(** [fingerprint u] is the phase-invariant rounded key used by the library;
+    exposed for other memoizing passes. *)
+val fingerprint : Mat.t -> string

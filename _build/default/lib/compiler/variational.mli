@@ -1,0 +1,13 @@
+(** Variational-program support (Section 5.3.1): shift the reconfiguration
+    burden from 2Q gates to 1Q gates by re-expressing every SU(4) in a
+    compiled circuit over a {e fixed} 2Q basis gate (SQiSW or B) dressed
+    with parametrized 1Q gates. The result needs exactly one calibrated 2Q
+    gate (constant calibration cost, PMW-tunable 1Q parameters) at the price
+    of a ~2x higher 2Q count. *)
+
+(** [rewrite rng ~basis c] replaces each 2Q gate of an su4+1Q circuit by
+    [gates_needed] applications of the fixed basis gate with 1Q dressings
+    (synthesized to ~1e-9 infidelity, memoized per gate class). The output
+    has [Circuit.distinct_2q = 1] whenever it contains any 2Q gate. *)
+val rewrite :
+  ?basis:Microarch.Duration.basis -> Numerics.Rng.t -> Circuit.t -> Circuit.t

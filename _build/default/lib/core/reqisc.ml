@@ -1,0 +1,50 @@
+open Numerics
+
+type mode = Compiler.Pipeline.mode = Eff | Full | Nc
+
+type compiled = Compiler.Pipeline.output = {
+  circuit : Circuit.t;
+  final_mapping : int array;
+  mirrored : int;
+  template_classes : int;
+}
+
+let compile ?(mode = Eff) rng c =
+  Compiler.Pipeline.compile ~mode rng (Compiler.Pipeline.Gates c)
+
+let compile_pauli ?(mode = Eff) rng p =
+  Compiler.Pipeline.compile ~mode rng (Compiler.Pipeline.Pauli p)
+
+let route ?(mirror = true) rng topology c = Compiler.Routing.route ~mirror rng topology c
+
+type pulse_instruction = {
+  qubits : int * int;
+  pulse : Microarch.Genashn.pulse;
+  pre : (Mat.t * Mat.t) option;
+  post : (Mat.t * Mat.t) option;
+}
+
+let pulses coupling (c : Circuit.t) =
+  let rec go acc = function
+    | [] -> Ok (List.rev acc)
+    | (g : Gate.t) :: rest ->
+      if not (Gate.is_2q g) then go acc rest
+      else begin
+        match Microarch.Genashn.solve coupling g.mat with
+        | Error e -> Error (Printf.sprintf "%s: %s" (Gate.to_string g) e)
+        | Ok r ->
+          let instr =
+            {
+              qubits = (g.qubits.(0), g.qubits.(1));
+              pulse = r.Microarch.Genashn.pulse;
+              pre = Some (r.Microarch.Genashn.b1, r.Microarch.Genashn.b2);
+              post = Some (r.Microarch.Genashn.a1, r.Microarch.Genashn.a2);
+            }
+          in
+          go (instr :: acc) rest
+      end
+  in
+  go [] c.Circuit.gates
+
+let metrics = Compiler.Metrics.report
+let xy_coupling = Microarch.Coupling.xy ~g:1.0

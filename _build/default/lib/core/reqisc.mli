@@ -1,0 +1,57 @@
+(** ReQISC public facade: one-stop entry points tying the compiler and the
+    genAshN microarchitecture together.
+
+    The full per-subsystem APIs remain available as [Numerics], [Quantum],
+    [Weyl], [Circuit]/[Gate]/..., [Microarch], [Compiler], [Noise] and
+    [Benchmarks]; this module only re-exports the flows a downstream user
+    needs for "compile my program and give me pulses". *)
+
+open Numerics
+
+(** {1 Compilation} *)
+
+type mode = Compiler.Pipeline.mode = Eff | Full | Nc
+
+type compiled = Compiler.Pipeline.output = {
+  circuit : Circuit.t;
+  final_mapping : int array;
+  mirrored : int;
+  template_classes : int;
+}
+
+(** [compile rng ~mode circuit] compiles a Type-I (CCX/CX/1Q) circuit to the
+    SU(4) ISA. *)
+val compile : ?mode:mode -> Rng.t -> Circuit.t -> compiled
+
+(** [compile_pauli rng ~mode p] compiles a Pauli-rotation program. *)
+val compile_pauli : ?mode:mode -> Rng.t -> Compiler.Phoenix.program -> compiled
+
+(** [route rng topology compiled] maps a compiled circuit onto hardware with
+    mirroring-SABRE. *)
+val route :
+  ?mirror:bool -> Rng.t -> Compiler.Routing.topology -> Circuit.t ->
+  Compiler.Routing.routed
+
+(** {1 Pulse generation (the microarchitecture)} *)
+
+type pulse_instruction = {
+  qubits : int * int;
+  pulse : Microarch.Genashn.pulse;  (** drive amplitudes, detuning, duration *)
+  pre : (Mat.t * Mat.t) option;  (** 1Q corrections before (per qubit) *)
+  post : (Mat.t * Mat.t) option;  (** 1Q corrections after *)
+}
+
+(** [pulses coupling c] runs Algorithm 1 on every 2Q gate of a compiled
+    circuit, producing the executable pulse program. Near-identity gates
+    must have been mirrored away by compilation; an unsolvable gate is an
+    [Error]. *)
+val pulses :
+  Microarch.Coupling.t -> Circuit.t -> (pulse_instruction list, string) result
+
+(** {1 Metrics} *)
+
+val metrics : Compiler.Metrics.isa -> Circuit.t -> Compiler.Metrics.report
+
+(** [xy_coupling] is the default flux-tunable-transmon coupling with
+    strength 1 (durations then read in units of 1/g). *)
+val xy_coupling : Microarch.Coupling.t

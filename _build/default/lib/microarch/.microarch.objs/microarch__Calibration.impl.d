@@ -1,0 +1,1 @@
+lib/microarch/calibration.ml: Circuit Float Gate Hashtbl List Weyl

@@ -1,0 +1,1 @@
+lib/microarch/calibration.mli: Circuit Weyl

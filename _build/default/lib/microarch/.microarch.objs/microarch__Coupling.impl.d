@@ -1,0 +1,1 @@
+lib/microarch/coupling.ml: Array Cx Float Format List Mat Numerics Printf Quantum Rng Svd

@@ -1,0 +1,1 @@
+lib/microarch/coupling.mli: Format Mat Numerics Rng

@@ -1,0 +1,1 @@
+lib/microarch/duration.ml: Float Quantum Tau Weyl

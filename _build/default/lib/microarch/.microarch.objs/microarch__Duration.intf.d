@@ -1,0 +1,1 @@
+lib/microarch/duration.mli: Coupling Numerics Rng Weyl

@@ -1,0 +1,1 @@
+lib/microarch/ea_param.ml: Array Coupling Eig Float Genashn List Mat Numerics Tau

@@ -1,0 +1,1 @@
+lib/microarch/ea_param.mli: Coupling

@@ -1,0 +1,1 @@
+lib/microarch/genashn.ml: Array Coupling Cx Expm Float List Mat Numerics Optimize Option Printf Quantum Roots Tau Weyl

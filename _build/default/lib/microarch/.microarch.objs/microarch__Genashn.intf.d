@@ -1,0 +1,1 @@
+lib/microarch/genashn.mli: Coupling Mat Numerics Stdlib Tau Weyl

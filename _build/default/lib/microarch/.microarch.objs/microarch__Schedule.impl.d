@@ -1,0 +1,1 @@
+lib/microarch/schedule.ml: Array Buffer Circuit Float Gate Genashn List Printf Tau Weyl

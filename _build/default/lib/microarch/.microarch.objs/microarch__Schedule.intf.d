@@ -1,0 +1,1 @@
+lib/microarch/schedule.mli: Circuit Coupling Genashn

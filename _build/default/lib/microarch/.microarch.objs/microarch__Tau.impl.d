@@ -1,0 +1,1 @@
+lib/microarch/tau.ml: Coupling Float Weyl

@@ -1,0 +1,1 @@
+lib/microarch/tau.mli: Coupling Weyl

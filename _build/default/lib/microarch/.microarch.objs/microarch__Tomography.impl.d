@@ -1,0 +1,1 @@
+lib/microarch/tomography.ml: Array Coupling Float Genashn Mat Numerics Optimize Quantum Weyl

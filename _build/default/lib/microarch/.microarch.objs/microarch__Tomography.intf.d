@@ -1,0 +1,1 @@
+lib/microarch/tomography.mli: Coupling Genashn Mat Numerics Weyl

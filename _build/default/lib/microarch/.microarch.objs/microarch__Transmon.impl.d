@@ -1,0 +1,1 @@
+lib/microarch/transmon.ml: Array Coupling Cx Expm Genashn List Mat Numerics

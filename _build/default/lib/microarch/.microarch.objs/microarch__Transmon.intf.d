@@ -1,0 +1,1 @@
+lib/microarch/transmon.mli: Genashn Mat Numerics

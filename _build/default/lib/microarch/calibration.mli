@@ -1,0 +1,34 @@
+(** Calibration-cost model (Sections 4.5 and 6.5): estimate the experimental
+    effort to bring a compiled program on line, following the paper's
+    accounting — cost scales linearly with the number of distinct SU(4)
+    classes, with a fixed one-time device characterization and a discount
+    for gate families covered by model-based parameter generation
+    (continuous families share one characterized parameter map). *)
+
+type cost = {
+  distinct_classes : int;  (** distinct SU(4) classes in the program *)
+  families : int;  (** distinct gate families (classes modulo scaling along
+                       a chamber ray) — what model-based generation must
+                       characterize *)
+  experiments : int;  (** estimated calibration experiments *)
+}
+
+(** Tunables with the defaults used in the evaluation: a device
+    characterization costs [base_experiments]; every distinct class costs
+    [per_gate_experiments]; with [model_based = true] only one class per
+    family pays full price, the rest cost [per_interpolated]. *)
+type policy = {
+  base_experiments : int;
+  per_gate_experiments : int;
+  per_interpolated : int;
+  model_based : bool;
+}
+
+val default_policy : policy
+
+(** [classes c] lists the distinct Weyl classes (rounded) of a circuit. *)
+val classes : Circuit.t -> Weyl.Coords.t list
+
+(** [estimate ?policy c] computes the calibration cost of a compiled
+    circuit. *)
+val estimate : ?policy:policy -> Circuit.t -> cost

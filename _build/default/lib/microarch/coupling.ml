@@ -1,0 +1,127 @@
+open Numerics
+
+type t = { a : float; b : float; c : float }
+
+let make a b c =
+  if not (a >= b && b >= Float.abs c) then
+    invalid_arg
+      (Printf.sprintf "Coupling.make: need a >= b >= |c| (got %g %g %g)" a b c);
+  if a <= 0.0 then invalid_arg "Coupling.make: need a > 0";
+  { a; b; c }
+
+let xy ~g = make (g /. 2.0) (g /. 2.0) 0.0
+let xx ~g = make g 0.0 0.0
+let strength { a; b; c } = a +. b +. Float.abs c
+
+let normalized h =
+  let g = strength h in
+  { a = h.a /. g; b = h.b /. g; c = h.c /. g }
+
+let matrix { a; b; c } =
+  Mat.add
+    (Mat.add (Mat.rsmul a Quantum.Pauli.xx) (Mat.rsmul b Quantum.Pauli.yy))
+    (Mat.rsmul c Quantum.Pauli.zz)
+
+let random rng =
+  let draw () = Float.abs (Rng.gaussian rng) in
+  let v = [| draw (); draw (); draw () |] in
+  Array.sort (fun x y -> compare y x) v;
+  let c = if Rng.bool rng then v.(2) else -.v.(2) in
+  normalized (make v.(0) v.(1) c)
+
+(* ------------------------------------------------------------ SO(3) lift *)
+
+let su2_of_so3 r =
+  let r00 = r.(0).(0) and r01 = r.(0).(1) and r02 = r.(0).(2) in
+  let r10 = r.(1).(0) and r11 = r.(1).(1) and r12 = r.(1).(2) in
+  let r20 = r.(2).(0) and r21 = r.(2).(1) and r22 = r.(2).(2) in
+  let tr = r00 +. r11 +. r22 in
+  let w, x, y, z =
+    if tr > 0.0 then begin
+      let s = 2.0 *. sqrt (tr +. 1.0) in
+      (s /. 4.0, (r21 -. r12) /. s, (r02 -. r20) /. s, (r10 -. r01) /. s)
+    end
+    else if r00 >= r11 && r00 >= r22 then begin
+      let s = 2.0 *. sqrt (1.0 +. r00 -. r11 -. r22) in
+      ((r21 -. r12) /. s, s /. 4.0, (r01 +. r10) /. s, (r02 +. r20) /. s)
+    end
+    else if r11 >= r22 then begin
+      let s = 2.0 *. sqrt (1.0 +. r11 -. r00 -. r22) in
+      ((r02 -. r20) /. s, (r01 +. r10) /. s, s /. 4.0, (r12 +. r21) /. s)
+    end
+    else begin
+      let s = 2.0 *. sqrt (1.0 +. r22 -. r00 -. r11) in
+      ((r10 -. r01) /. s, (r02 +. r20) /. s, (r12 +. r21) /. s, s /. 4.0)
+    end
+  in
+  (* u = w I - i (x σx + y σy + z σz) *)
+  Mat.of_arrays
+    [|
+      [| Cx.mk w (-.z); Cx.mk (-.y) (-.x) |];
+      [| Cx.mk y (-.x); Cx.mk w z |];
+    |]
+
+(* ------------------------------------------------------------ normal form *)
+
+type normal_form = {
+  canonical : t;
+  u1 : Mat.t;
+  u2 : Mat.t;
+  h1 : Mat.t;
+  h2 : Mat.t;
+  shift : float;
+}
+
+let paulis = Quantum.Pauli.[ matrix_1q I; matrix_1q X; matrix_1q Y; matrix_1q Z ]
+let pauli i = List.nth paulis i
+
+let pauli_coeff h i j =
+  Cx.re (Mat.trace (Mat.mul (Mat.kron (pauli i) (pauli j)) h)) /. 4.0
+
+let normal_form h =
+  if Mat.rows h <> 4 || not (Mat.is_hermitian ~tol:1e-8 h) then
+    invalid_arg "Coupling.normal_form: need 4x4 Hermitian";
+  (* coefficient matrix of the two-local part, axes {X,Y,Z} *)
+  let cmat =
+    Mat.init 3 3 (fun i j -> Cx.of_float (pauli_coeff h (i + 1) (j + 1)))
+  in
+  let u, s, v = Svd.svd cmat in
+  let to_real m = Array.init 3 (fun i -> Array.init 3 (fun j -> Cx.re (Mat.get m i j))) in
+  let r1 = to_real u and r2 = to_real v in
+  let det3 r =
+    (r.(0).(0) *. ((r.(1).(1) *. r.(2).(2)) -. (r.(1).(2) *. r.(2).(1))))
+    -. (r.(0).(1) *. ((r.(1).(0) *. r.(2).(2)) -. (r.(1).(2) *. r.(2).(0))))
+    +. (r.(0).(2) *. ((r.(1).(0) *. r.(2).(1)) -. (r.(1).(1) *. r.(2).(0))))
+  in
+  let d = [| s.(0); s.(1); s.(2) |] in
+  let flip_last r =
+    Array.iteri (fun i row -> row.(2) <- -.row.(2); ignore i) r;
+    d.(2) <- -.d.(2)
+  in
+  if det3 r1 < 0.0 then flip_last r1;
+  if det3 r2 < 0.0 then flip_last r2;
+  if d.(0) < 1e-12 then failwith "Coupling.normal_form: no entangling part";
+  let canonical = make d.(0) d.(1) d.(2) in
+  let u1 = su2_of_so3 r1 and u2 = su2_of_so3 r2 in
+  (* residual single-qubit parts, in the original frame *)
+  let shift = pauli_coeff h 0 0 in
+  let h1 =
+    List.fold_left Mat.add (Mat.create 2 2)
+      (List.mapi (fun k p -> Mat.rsmul (pauli_coeff h (k + 1) 0) p)
+         Quantum.Pauli.[ matrix_1q X; matrix_1q Y; matrix_1q Z ])
+  in
+  let h2 =
+    List.fold_left Mat.add (Mat.create 2 2)
+      (List.mapi (fun k p -> Mat.rsmul (pauli_coeff h 0 (k + 1)) p)
+         Quantum.Pauli.[ matrix_1q X; matrix_1q Y; matrix_1q Z ])
+  in
+  { canonical; u1; u2; h1; h2; shift }
+
+let reassemble nf =
+  let locals = Mat.kron nf.u1 nf.u2 in
+  let two_local = Mat.mul3 locals (matrix nf.canonical) (Mat.dagger locals) in
+  Mat.add
+    (Mat.add two_local (Mat.rsmul nf.shift (Mat.identity 4)))
+    (Mat.add (Mat.kron nf.h1 (Mat.identity 2)) (Mat.kron (Mat.identity 2) nf.h2))
+
+let pp ppf { a; b; c } = Format.fprintf ppf "H[%.4f, %.4f, %.4f]" a b c

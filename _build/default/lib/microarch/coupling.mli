@@ -1,0 +1,62 @@
+(** Two-qubit coupling Hamiltonians and their canonical normal form.
+
+    Every time-independent 2Q coupling reduces (Bennett et al. / Dür et al.)
+    to [a·XX + b·YY + c·ZZ] with [a >= b >= |c|, a > 0] after single-qubit
+    basis changes; the residual single-qubit terms can be absorbed into the
+    drives. The genAshN scheme takes the canonical coefficients as input. *)
+
+open Numerics
+
+type t = { a : float; b : float; c : float }
+
+(** [make a b c] checks [a >= b >= |c|] and [a > 0]. *)
+val make : float -> float -> float -> t
+
+(** [xy ~g] is the flux-tunable-transmon coupling [g/2 (XX + YY)]. *)
+val xy : g:float -> t
+
+(** [xx ~g] is the Ising-type coupling [g·XX] (trapped ions, lab frame). *)
+val xx : g:float -> t
+
+(** [strength h] is [g := a + b + |c|] (eq. 3), the normalization used when
+    reporting durations in units of g^-1. *)
+val strength : t -> float
+
+(** [normalized h] rescales so that [strength h = 1]. *)
+val normalized : t -> t
+
+(** [matrix h] is the 4x4 Hermitian [a XX + b YY + c ZZ]. *)
+val matrix : t -> Mat.t
+
+(** [random rng] draws random canonical coefficients with strength 1:
+    directions uniform over the valid cone. *)
+val random : Rng.t -> t
+
+(** {1 Normal form of an arbitrary coupling} *)
+
+type normal_form = {
+  canonical : t;  (** coefficients (a, b, c) *)
+  u1 : Mat.t;  (** local basis change on qubit 0 *)
+  u2 : Mat.t;  (** local basis change on qubit 1 *)
+  h1 : Mat.t;  (** residual 1Q term on qubit 0 (2x2 Hermitian) *)
+  h2 : Mat.t;  (** residual 1Q term on qubit 1 *)
+  shift : float;  (** identity component Tr(H)/4 *)
+}
+
+(** [normal_form h] decomposes a 4x4 Hermitian coupling as
+
+    {v h = (u1 ⊗ u2) (a XX + b YY + c ZZ) (u1† ⊗ u2†)
+           + h1 ⊗ I + I ⊗ h2 + shift·I v}
+
+    @raise Failure if the two-local part vanishes (no entangling coupling). *)
+val normal_form : Mat.t -> normal_form
+
+(** [reassemble nf] rebuilds the original Hamiltonian from its normal form
+    (used by tests). *)
+val reassemble : normal_form -> Mat.t
+
+(** [su2_of_so3 r] lifts a 3x3 rotation matrix to an SU(2) element [u] with
+    [u σ_k u† = Σ_i r_ik σ_i]. *)
+val su2_of_so3 : float array array -> Mat.t
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,66 @@
+(** The genAshN gate scheme (Algorithm 1): time-optimal realization of any
+    SU(4) target, up to single-qubit corrections, under an arbitrary
+    canonical coupling Hamiltonian with constant local drives.
+
+    The synthesized control is
+
+    {v exp(-i tau (H + drive_x1·XI + drive_x2·IX + delta·(ZI + IZ))) v}
+
+    which equals the target after the single-qubit corrections:
+    [(a1 ⊗ a2) realized (b1 ⊗ b2) = target]. *)
+
+open Numerics
+
+type pulse = {
+  tau : float;  (** duration (time-optimal, Theorem 1) *)
+  subscheme : Tau.subscheme;
+  drive_x1 : float;  (** coefficient of X on qubit 0 *)
+  drive_x2 : float;  (** coefficient of X on qubit 1 *)
+  delta : float;  (** shared detuning: coefficient of Z on both qubits *)
+}
+
+type result = {
+  pulse : pulse;
+  coords : Weyl.Coords.t;  (** canonical class of the target *)
+  realized : Mat.t;  (** the bare evolution [exp(-i tau H_total)] *)
+  a1 : Mat.t;  (** left 1Q correction, qubit 0 *)
+  a2 : Mat.t;
+  b1 : Mat.t;  (** right 1Q correction, qubit 0 *)
+  b2 : Mat.t;
+}
+
+(** [amplitude_penalty p] is [|A1| + |A2| + |delta|] — the physical
+    implementation penalty minimized when several roots exist (§4.2). *)
+val amplitude_penalty : pulse -> float
+
+(** [hamiltonian coupling p] assembles the driven 4x4 Hamiltonian. *)
+val hamiltonian : Coupling.t -> pulse -> Mat.t
+
+(** [evolve coupling p] is [exp(-i tau H_total)]. *)
+val evolve : Coupling.t -> pulse -> Mat.t
+
+(** [solve_coords coupling c] finds the pulse steering to the class [c].
+    Fails (with a message) for near-identity classes whose optimal-time
+    realization needs amplitudes beyond the solver's search bound — those
+    are the gates the compiler must mirror (§4.3). *)
+val solve_coords : Coupling.t -> Weyl.Coords.t -> (pulse, string) Stdlib.result
+
+(** [solve coupling u] runs the full Algorithm 1 on a 4x4 unitary: pulse plus
+    exact single-qubit corrections. *)
+val solve : Coupling.t -> Mat.t -> (result, string) Stdlib.result
+
+(** [reconstruct r] is [(a1 ⊗ a2) realized (b1 ⊗ b2)]; equals the target. *)
+val reconstruct : result -> Mat.t
+
+(** [ea_grid coupling c ~n] evaluates the EA residual magnitude on an n x n
+    grid of (Ω, delta) seeds — the data behind the Fig. 4 solution-profile
+    plot. Returns [(omega, delta, |residual|)] triples. *)
+val ea_grid :
+  Coupling.t -> Weyl.Coords.t -> n:int -> (float * float * float) array
+
+(** [ea_roots coupling c] enumerates the distinct (Ω, delta) roots of the
+    equal-amplitude transcendental system for class [c] (first quadrant,
+    grid + Newton, deduplicated) — the solution profile of Fig. 4. The
+    returned pairs are in the same-sign parametrization used internally
+    (for EA- faces they refer to the reduced dual problem). *)
+val ea_roots : Coupling.t -> Weyl.Coords.t -> (float * float) list

@@ -1,0 +1,24 @@
+(** Pulse scheduling: turn a compiled SU(4) circuit into per-qubit pulse
+    tracks with explicit start times (ASAP scheduling), the last mile before
+    an AWG. 1Q corrections are treated as zero-duration virtual/PMW phase
+    updates, matching the paper's control stack. *)
+
+type event = {
+  qubits : int * int;
+  start : float;  (** start time in 1/g units *)
+  pulse : Genashn.pulse;
+}
+
+type t = {
+  n : int;
+  events : event list;  (** sorted by start time *)
+  makespan : float;  (** total schedule length *)
+}
+
+(** [schedule coupling c] solves every 2Q gate with Algorithm 1 and places
+    it as early as its wires allow. Fails on unsolvable (near-identity)
+    gates — mirror them at compile time first. *)
+val schedule : Coupling.t -> Circuit.t -> (t, string) result
+
+(** [to_string s] renders a human-readable timetable. *)
+val to_string : t -> string

@@ -1,0 +1,46 @@
+type subscheme = ND | EA_same | EA_opposite
+
+let subscheme_to_string = function
+  | ND -> "ND"
+  | EA_same -> "EA+"
+  | EA_opposite -> "EA-"
+
+type plan = {
+  tau : float;
+  target_plus : float * float * float;
+  subscheme : subscheme;
+}
+
+(* Free evolution under H[a,b,c] for time t realizes exactly (at, bt, ct) in
+   the repository's Can convention, and the frontier must hit that point at
+   time t; hence the Theorem-1 formulas apply to chamber coordinates as-is. *)
+let to_plus (c : Weyl.Coords.t) = (c.x, c.y, c.z)
+
+(* Frontier-hit time of a W_ext point (appendix eq. 19). *)
+let hit_time (h : Coupling.t) (x, y, z) =
+  Float.max
+    (x /. h.a)
+    (Float.max ((x +. y +. z) /. (h.a +. h.b +. h.c)) ((x +. y -. z) /. (h.a +. h.b -. h.c)))
+
+let mirror_plus (x, y, z) = ((Float.pi /. 2.0) -. x, y, -.z)
+
+let tau_opt h c =
+  let p = to_plus c in
+  Float.min (hit_time h p) (hit_time h (mirror_plus p))
+
+let face (h : Coupling.t) (x, y, z) tau =
+  (* which of the three constraints is tight at the hit time; ties prefer
+     the analytic ND scheme *)
+  let nd = x /. h.a in
+  let ea_same = (x +. y +. z) /. (h.a +. h.b +. h.c) in
+  let eps = 1e-12 *. (1.0 +. tau) in
+  if nd >= tau -. eps then ND
+  else if ea_same >= tau -. eps then EA_same
+  else EA_opposite
+
+let plan h c =
+  let p = to_plus c in
+  let m = mirror_plus p in
+  let t1 = hit_time h p and t2 = hit_time h m in
+  let tau, target_plus = if t1 <= t2 then (t1, p) else (t2, m) in
+  { tau; target_plus; subscheme = face h target_plus tau }

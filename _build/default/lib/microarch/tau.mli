@@ -1,0 +1,32 @@
+(** Theorem-1 optimal gate times and execution-mode (subscheme) selection.
+
+    Internally the solver works in the appendix's [exp(+i η·Σ)] convention,
+    where the extended Weyl chamber W_ext identifies [(x, y, z)] with
+    [(pi/2 - x, y, -z)]; a chamber coordinate from {!Weyl.Coords} (main-text
+    [exp(-i ...)] convention) maps to the + convention by flipping z. *)
+
+type subscheme =
+  | ND  (** no detuning: independent X drives, delta = 0 *)
+  | EA_same  (** equal amplitudes, same sign: Ω (XI + IX) + delta (ZI + IZ) *)
+  | EA_opposite  (** equal amplitudes, opposite sign: Ω (XI - IX) + delta (ZI + IZ) *)
+
+val subscheme_to_string : subscheme -> string
+
+type plan = {
+  tau : float;  (** optimal duration *)
+  target_plus : float * float * float;
+      (** W_ext point (appendix convention) actually steered to; either the
+          converted target or its [(pi/2 - x, y, -z)] mirror image *)
+  subscheme : subscheme;
+}
+
+(** [to_plus c] converts a canonical chamber coordinate to the appendix
+    convention (z sign flip). *)
+val to_plus : Weyl.Coords.t -> float * float * float
+
+(** [tau_opt coupling coords] is just the minimal duration. *)
+val tau_opt : Coupling.t -> Weyl.Coords.t -> float
+
+(** [plan coupling coords] picks the faster of the two W_ext images and the
+    frontier face it sits on (which fixes the drive pattern). *)
+val plan : Coupling.t -> Weyl.Coords.t -> plan

@@ -1,0 +1,64 @@
+open Numerics
+
+type params = { anharmonicity : float; g : float }
+
+(* qutrit lowering operator *)
+let lower =
+  Mat.of_arrays
+    [|
+      [| Cx.zero; Cx.one; Cx.zero |];
+      [| Cx.zero; Cx.zero; Cx.of_float (sqrt 2.0) |];
+      [| Cx.zero; Cx.zero; Cx.zero |];
+    |]
+
+let raise_ = Mat.dagger lower
+let number = Mat.mul raise_ lower
+let id3 = Mat.identity 3
+let k1 m = Mat.kron m id3
+let k2 m = Mat.kron id3 m
+
+let hamiltonian p (pulse : Genashn.pulse) =
+  let n1 = k1 number and n2 = k2 number in
+  let anh m =
+    (* n(n-1)/2 per transmon *)
+    Mat.rsmul (p.anharmonicity /. 2.0) (Mat.sub (Mat.mul m m) m)
+  in
+  let coupling =
+    Mat.rsmul p.g
+      (Mat.add (Mat.mul (k1 raise_) (k2 lower)) (Mat.mul (k1 lower) (k2 raise_)))
+  in
+  let drive c m = Mat.rsmul c (Mat.add m (Mat.dagger m)) in
+  let detuning = Mat.rsmul (-2.0 *. pulse.Genashn.delta) (Mat.add n1 n2) in
+  List.fold_left Mat.add detuning
+    [
+      anh n1;
+      anh n2;
+      coupling;
+      drive pulse.Genashn.drive_x1 (k1 lower);
+      drive pulse.Genashn.drive_x2 (k2 lower);
+    ]
+
+let evolve p pulse = Expm.herm_expi (hamiltonian p pulse) ~t:pulse.Genashn.tau
+
+(* computational indices in the 9-dim |n1 n2> basis *)
+let comp = [| 0; 1; 3; 4 |]
+
+let computational_block u9 =
+  Mat.init 4 4 (fun i j -> Mat.get u9 comp.(i) comp.(j))
+
+let leakage p pulse =
+  let u = evolve p pulse in
+  let total = ref 0.0 in
+  Array.iter
+    (fun col ->
+      (* population remaining in the computational subspace for this input *)
+      let kept = ref 0.0 in
+      Array.iter (fun row -> kept := !kept +. Cx.norm2 (Mat.get u row col)) comp;
+      total := !total +. (1.0 -. !kept))
+    comp;
+  !total /. 4.0
+
+let model_fidelity p pulse =
+  let ideal = Genashn.evolve (Coupling.xy ~g:p.g) pulse in
+  let block = computational_block (evolve p pulse) in
+  Cx.norm (Mat.trace (Mat.mul (Mat.dagger ideal) block)) /. 4.0

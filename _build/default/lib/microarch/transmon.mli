@@ -1,0 +1,41 @@
+(** Three-level (qutrit) transmon-pair model: validates the claim of
+    Section 4.4 that the genAshN pulses act benignly on real transmons —
+    no deliberate |11> <-> |02> transition, so leakage out of the
+    computational subspace stays perturbative, controlled by the
+    anharmonicity-to-coupling ratio.
+
+    Model (drive rotating frame, RWA, resonant pair):
+
+    {v H = Δ (n1 + n2) + (alpha/2) Σ n_i (n_i - 1)
+         + g (a1† a2 + a1 a2†) + Σ_i c_i (a_i + a_i†) v}
+
+    with Δ = -2 delta and c_i the qubit-i X-drive coefficient of the pulse.
+    The two-level truncation of this Hamiltonian is exactly the driven
+    model Algorithm 1 solves. *)
+
+open Numerics
+
+type params = {
+  anharmonicity : float;  (** alpha in units of the energy scale; < 0 for
+                              transmons, typically -20 to -50 in units of g *)
+  g : float;  (** XY coupling strength *)
+}
+
+(** [hamiltonian p pulse] is the 9x9 rotating-frame Hamiltonian. *)
+val hamiltonian : params -> Genashn.pulse -> Mat.t
+
+(** [evolve p pulse] is the full 9x9 evolution over the pulse duration. *)
+val evolve : params -> Genashn.pulse -> Mat.t
+
+(** [computational_block u9] extracts the (non-unitary when leaking) 4x4
+    block on the computational subspace |n1 n2>, n_i in {0,1}. *)
+val computational_block : Mat.t -> Mat.t
+
+(** [leakage p pulse] is the average population leaked out of the
+    computational subspace over the four computational input states. *)
+val leakage : params -> Genashn.pulse -> float
+
+(** [model_fidelity p pulse] compares the qutrit evolution's computational
+    block against the ideal two-level evolution of the same pulse:
+    [|Tr(U_ideal† U_block)| / 4]. Approaches 1 as |alpha| grows. *)
+val model_fidelity : params -> Genashn.pulse -> float

@@ -1,0 +1,1 @@
+lib/noise/decoherence.ml: Array Circuit Float Gate List Numerics Quantum Rng State

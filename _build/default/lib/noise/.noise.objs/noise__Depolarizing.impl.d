@@ -1,0 +1,1 @@
+lib/noise/depolarizing.ml: Array Circuit Gate List Numerics Quantum Rng State

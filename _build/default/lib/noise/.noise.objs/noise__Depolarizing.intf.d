@@ -1,0 +1,1 @@
+lib/noise/depolarizing.mli: Circuit Gate Numerics Rng

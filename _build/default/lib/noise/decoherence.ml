@@ -1,0 +1,82 @@
+open Numerics
+
+type params = { t1 : float; t2 : float }
+
+(* Pauli-twirl of amplitude damping + pure dephasing over a span dt:
+   p_x = p_y = (1 - e^{-dt/T1}) / 4, p_z = (1 - e^{-dt/T2})/2 - p_x
+   (clamped at 0 when T2 ~ 2 T1). *)
+let twirl_probs params dt =
+  if dt <= 0.0 then (0.0, 0.0, 0.0)
+  else begin
+    let px = (1.0 -. exp (-.dt /. params.t1)) /. 4.0 in
+    let pz = Float.max 0.0 (((1.0 -. exp (-.dt /. params.t2)) /. 2.0) -. px) in
+    (px, px, pz)
+  end
+
+let inject_idle rng params ~n st q dt =
+  let px, py, pz = twirl_probs params dt in
+  let r = Rng.float rng 1.0 in
+  let op =
+    if r < px then Some Quantum.Pauli.X
+    else if r < px +. py then Some Quantum.Pauli.Y
+    else if r < px +. py +. pz then Some Quantum.Pauli.Z
+    else None
+  in
+  match op with
+  | Some p ->
+    State.apply_gate_arr ~n st (Gate.make "idle" [| q |] (Quantum.Pauli.matrix_1q p))
+  | None -> ()
+
+let pauli_pairs =
+  let ops = Quantum.Pauli.[ I; X; Y; Z ] in
+  List.concat_map
+    (fun p1 ->
+      List.filter_map
+        (fun p2 -> if p1 = Quantum.Pauli.I && p2 = Quantum.Pauli.I then None else Some (p1, p2))
+        ops)
+    ops
+  |> Array.of_list
+
+let noisy_distribution rng params ~tau ~gate_error ~trajectories (c : Circuit.t) =
+  let dim = 1 lsl c.n in
+  let acc = Array.make dim 0.0 in
+  for _ = 1 to trajectories do
+    let st = State.zero c.n in
+    let clock = Array.make c.n 0.0 in
+    List.iter
+      (fun (g : Gate.t) ->
+        let w = tau g in
+        let start = Array.fold_left (fun m q -> Float.max m clock.(q)) 0.0 g.qubits in
+        (* idle noise on the gate's wires up to the common start *)
+        Array.iter
+          (fun q ->
+            inject_idle rng params ~n:c.n st q (start -. clock.(q));
+            clock.(q) <- start +. w)
+          g.qubits;
+        State.apply_gate_arr ~n:c.n st g;
+        let p = gate_error g in
+        if p > 0.0 && Rng.float rng 1.0 < p then begin
+          let p1, p2 = pauli_pairs.(Rng.int rng 15) in
+          let inject q op =
+            if op <> Quantum.Pauli.I then
+              State.apply_gate_arr ~n:c.n st
+                (Gate.make "dep" [| q |] (Quantum.Pauli.matrix_1q op))
+          in
+          if Array.length g.qubits = 2 then begin
+            inject g.qubits.(0) p1;
+            inject g.qubits.(1) p2
+          end
+        end)
+      c.gates;
+    (* drift every wire to the end of the schedule *)
+    let finish = Array.fold_left Float.max 0.0 clock in
+    Array.iteri (fun q t -> inject_idle rng params ~n:c.n st q (finish -. t)) clock;
+    let probs = State.probabilities st in
+    Array.iteri (fun i p -> acc.(i) <- acc.(i) +. p) probs
+  done;
+  Array.map (fun v -> v /. float_of_int trajectories) acc
+
+let program_fidelity rng params ~tau ~gate_error ~trajectories c =
+  let noisy = noisy_distribution rng params ~tau ~gate_error ~trajectories c in
+  let ideal = State.probabilities (State.run ~n:c.n c.gates) in
+  State.hellinger_fidelity noisy ideal

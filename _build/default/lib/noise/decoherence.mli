@@ -1,0 +1,36 @@
+(** Duration-aware decoherence: Pauli-twirled T1/T2 idling noise on top of
+    the per-gate depolarizing channel. Because errors accrue with wall-clock
+    time rather than gate count, this model quantifies the paper's central
+    argument that time-minimal pulses directly buy fidelity on
+    decoherence-dominated hardware. *)
+
+open Numerics
+
+type params = {
+  t1 : float;  (** relaxation time, 1/g units *)
+  t2 : float;  (** dephasing time, 1/g units; t2 <= 2 t1 physically *)
+}
+
+(** [noisy_distribution rng params ~tau ~gate_error ~trajectories c]
+    simulates [c] where each gate [g] lasts [tau g]; idle wires accumulate
+    twirled T1/T2 errors for their idle spans and each 2Q gate additionally
+    suffers depolarizing noise with probability [gate_error g]. *)
+val noisy_distribution :
+  Rng.t ->
+  params ->
+  tau:(Gate.t -> float) ->
+  gate_error:(Gate.t -> float) ->
+  trajectories:int ->
+  Circuit.t ->
+  float array
+
+(** [program_fidelity rng params ~tau ~gate_error ~trajectories c] is the
+    Hellinger fidelity of the noisy distribution against the ideal one. *)
+val program_fidelity :
+  Rng.t ->
+  params ->
+  tau:(Gate.t -> float) ->
+  gate_error:(Gate.t -> float) ->
+  trajectories:int ->
+  Circuit.t ->
+  float

@@ -1,0 +1,49 @@
+open Numerics
+
+type model = { p_of_gate : Gate.t -> float }
+
+let uniform_p p = { p_of_gate = (fun g -> if Gate.is_2q g then p else 0.0) }
+
+let duration_scaled ~p0 ~tau0 ~tau =
+  { p_of_gate = (fun g -> if Gate.is_2q g then p0 *. tau g /. tau0 else 0.0) }
+
+let ideal_distribution (c : Circuit.t) =
+  State.probabilities (State.run ~n:c.n c.gates)
+
+(* the 15 non-identity two-qubit Paulis *)
+let pauli_pairs =
+  let ops = Quantum.Pauli.[ I; X; Y; Z ] in
+  List.concat_map
+    (fun p1 -> List.filter_map (fun p2 -> if p1 = Quantum.Pauli.I && p2 = Quantum.Pauli.I then None else Some (p1, p2)) ops)
+    ops
+  |> Array.of_list
+
+let noisy_distribution rng model ~trajectories (c : Circuit.t) =
+  let dim = 1 lsl c.n in
+  let acc = Array.make dim 0.0 in
+  for _ = 1 to trajectories do
+    let st = State.zero c.n in
+    List.iter
+      (fun (g : Gate.t) ->
+        State.apply_gate_arr ~n:c.n st g;
+        let p = model.p_of_gate g in
+        if p > 0.0 && Rng.float rng 1.0 < p then begin
+          let p1, p2 = pauli_pairs.(Rng.int rng 15) in
+          let inject q op =
+            if op <> Quantum.Pauli.I then
+              State.apply_gate_arr ~n:c.n st
+                (Gate.make "pauli" [| q |] (Quantum.Pauli.matrix_1q op))
+          in
+          inject g.qubits.(0) p1;
+          inject g.qubits.(1) p2
+        end)
+      c.gates;
+    let probs = State.probabilities st in
+    Array.iteri (fun i p -> acc.(i) <- acc.(i) +. p) probs
+  done;
+  Array.map (fun v -> v /. float_of_int trajectories) acc
+
+let program_fidelity rng model ~trajectories c =
+  let noisy = noisy_distribution rng model ~trajectories c in
+  let ideal = ideal_distribution c in
+  State.hellinger_fidelity noisy ideal

@@ -1,0 +1,30 @@
+(** Depolarizing-noise simulation by Pauli-trajectory sampling (the noise
+    model of Section 6.7: a two-qubit depolarizing channel after every 2Q
+    gate, with error probability proportional to the gate's duration). *)
+
+open Numerics
+
+type model = {
+  p_of_gate : Gate.t -> float;
+      (** per-gate error probability; return 0 for noiseless gates *)
+}
+
+(** [uniform_p p] applies probability [p] to every 2Q gate. *)
+val uniform_p : float -> model
+
+(** [duration_scaled ~p0 ~tau0 ~tau] scales the base error [p0] (at
+    reference duration [tau0]) linearly with each gate's duration:
+    p = p0 * tau(g) / tau0. *)
+val duration_scaled : p0:float -> tau0:float -> tau:(Gate.t -> float) -> model
+
+(** [ideal_distribution c] is the exact output distribution from |0..0>. *)
+val ideal_distribution : Circuit.t -> float array
+
+(** [noisy_distribution rng model ~trajectories c] estimates the noisy
+    output distribution by averaging Pauli-insertion trajectories. *)
+val noisy_distribution :
+  Rng.t -> model -> trajectories:int -> Circuit.t -> float array
+
+(** [program_fidelity rng model ~trajectories c] is the Hellinger fidelity
+    between the noisy and ideal distributions of [c]. *)
+val program_fidelity : Rng.t -> model -> trajectories:int -> Circuit.t -> float

@@ -1,0 +1,1 @@
+lib/numerics/eig.ml: Array Cx Float Mat

@@ -1,0 +1,1 @@
+lib/numerics/expm.ml: Array Cx Eig Mat

@@ -1,0 +1,1 @@
+lib/numerics/expm.mli: Cx Mat

@@ -1,0 +1,1 @@
+lib/numerics/mat.ml: Array Cx Float Format List Printf

@@ -1,0 +1,1 @@
+lib/numerics/svd.ml: Array Cx Eig Float Fun List Mat

@@ -1,0 +1,26 @@
+type t = Complex.t
+
+let zero = Complex.zero
+let one = Complex.one
+let i = Complex.i
+let re (z : t) = z.Complex.re
+let im (z : t) = z.Complex.im
+let mk re im : t = { Complex.re; im }
+let of_float x : t = { Complex.re = x; im = 0.0 }
+let polar r theta : t = Complex.polar r theta
+let expi theta = polar 1.0 theta
+let ( +: ) = Complex.add
+let ( -: ) = Complex.sub
+let ( *: ) = Complex.mul
+let ( /: ) = Complex.div
+let scale a (z : t) : t = { Complex.re = a *. z.Complex.re; im = a *. z.Complex.im }
+let neg = Complex.neg
+let conj = Complex.conj
+let norm = Complex.norm
+let norm2 = Complex.norm2
+let arg = Complex.arg
+let sqrt = Complex.sqrt
+let exp = Complex.exp
+let close ?(tol = 1e-9) a b = norm (a -: b) <= tol
+let pp ppf (z : t) = Format.fprintf ppf "%.6g%+.6gi" z.Complex.re z.Complex.im
+let to_string z = Format.asprintf "%a" pp z

@@ -1,0 +1,51 @@
+(** Complex scalar helpers and infix operators.
+
+    Thin layer over [Stdlib.Complex] giving the arithmetic a readable infix
+    syntax ([+:], [*:], ...) and the handful of constructions the rest of the
+    code needs constantly (unit phases, near-equality). *)
+
+type t = Complex.t
+
+val zero : t
+val one : t
+val i : t
+
+val re : t -> float
+val im : t -> float
+
+(** [mk re im] builds [re + i*im]. *)
+val mk : float -> float -> t
+
+(** [of_float x] is the real scalar [x]. *)
+val of_float : float -> t
+
+(** [polar r theta] is [r * exp(i*theta)]. *)
+val polar : float -> float -> t
+
+(** [expi theta] is [exp(i*theta)]. *)
+val expi : float -> t
+
+val ( +: ) : t -> t -> t
+val ( -: ) : t -> t -> t
+val ( *: ) : t -> t -> t
+val ( /: ) : t -> t -> t
+
+(** [scale a z] multiplies [z] by the real scalar [a]. *)
+val scale : float -> t -> t
+
+val neg : t -> t
+val conj : t -> t
+val norm : t -> float
+
+(** [norm2 z] is the squared modulus. *)
+val norm2 : t -> float
+
+val arg : t -> float
+val sqrt : t -> t
+val exp : t -> t
+
+(** [close ?tol a b] tests [|a - b| <= tol] (default [1e-9]). *)
+val close : ?tol:float -> t -> t -> bool
+
+val pp : Format.formatter -> t -> unit
+val to_string : t -> string

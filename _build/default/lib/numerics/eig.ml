@@ -1,0 +1,93 @@
+open Cx
+
+let offdiag_norm m =
+  let n = Mat.rows m in
+  let s = ref 0.0 in
+  for i = 0 to n - 1 do
+    for j = 0 to n - 1 do
+      if i <> j then s := !s +. Cx.norm2 (Mat.get m i j)
+    done
+  done;
+  Float.sqrt !s
+
+(* One complex Jacobi rotation zeroing the (p,q) element of Hermitian [a],
+   accumulating the rotation into [v] (a <- g† a g, v <- v g). *)
+let rotate a v p q =
+  let apq = Mat.get a p q in
+  let napq = Cx.norm apq in
+  if napq > 1e-300 then begin
+    let app = Cx.re (Mat.get a p p) and aqq = Cx.re (Mat.get a q q) in
+    let theta = 0.5 *. atan2 (2.0 *. napq) (aqq -. app) in
+    let c = cos theta and s = sin theta in
+    let eip = Cx.scale (1.0 /. napq) apq in
+    (* g[p][p]=c; g[p][q]=s*eip; g[q][p]=-s*conj(eip); g[q][q]=c *)
+    let n = Mat.rows a in
+    (* a <- g† a g : update columns p,q then rows p,q *)
+    for i = 0 to n - 1 do
+      let aip = Mat.get a i p and aiq = Mat.get a i q in
+      Mat.set a i p (Cx.scale c aip -: (Cx.scale s (Cx.conj eip) *: aiq));
+      Mat.set a i q ((Cx.scale s eip *: aip) +: Cx.scale c aiq)
+    done;
+    for j = 0 to n - 1 do
+      let apj = Mat.get a p j and aqj = Mat.get a q j in
+      Mat.set a p j (Cx.scale c apj -: (Cx.scale s eip *: aqj));
+      Mat.set a q j ((Cx.scale s (Cx.conj eip) *: apj) +: Cx.scale c aqj)
+    done;
+    for i = 0 to n - 1 do
+      let vip = Mat.get v i p and viq = Mat.get v i q in
+      Mat.set v i p (Cx.scale c vip -: (Cx.scale s (Cx.conj eip) *: viq));
+      Mat.set v i q ((Cx.scale s eip *: vip) +: Cx.scale c viq)
+    done
+  end
+
+let jacobi a0 =
+  let n = Mat.rows a0 in
+  if n <> Mat.cols a0 then invalid_arg "Eig: non-square matrix";
+  let a = Mat.copy a0 in
+  let v = Mat.identity n in
+  let max_sweeps = 100 in
+  let tol = 1e-14 *. (1.0 +. Mat.max_abs a0) in
+  let sweep = ref 0 in
+  while offdiag_norm a > tol && !sweep < max_sweeps do
+    incr sweep;
+    for p = 0 to n - 2 do
+      for q = p + 1 to n - 1 do
+        rotate a v p q
+      done
+    done
+  done;
+  let w = Array.init n (fun i -> Cx.re (Mat.get a i i)) in
+  (w, v)
+
+let sort_eig (w, v) =
+  let n = Array.length w in
+  let order = Array.init n (fun i -> i) in
+  Array.sort (fun i j -> compare w.(i) w.(j)) order;
+  let w' = Array.map (fun i -> w.(i)) order in
+  let v' = Mat.init n n (fun i j -> Mat.get v i order.(j)) in
+  (w', v')
+
+let hermitian m =
+  let tol = 1e-8 *. (1.0 +. Mat.max_abs m) in
+  if not (Mat.is_hermitian ~tol m) then invalid_arg "Eig.hermitian: not Hermitian";
+  sort_eig (jacobi m)
+
+let symmetric_real m = sort_eig (jacobi m)
+
+let is_joint_diagonalizer v a b =
+  let tol m = 1e-9 *. (1.0 +. Mat.max_abs m) in
+  let da = Mat.mul3 (Mat.transpose v) a v and db = Mat.mul3 (Mat.transpose v) b v in
+  offdiag_norm da <= tol a && offdiag_norm db <= tol b
+
+let simultaneous_real a b =
+  (* Deterministic sequence of mixing angles; a generic angle separates the
+     joint spectrum of a commuting pair with probability 1. *)
+  let angles = [ 0.7853; 1.1234; 0.3141; 2.0345; 0.5555; 1.7771; 2.9113; 0.1000 ] in
+  let rec try_angles = function
+    | [] -> failwith "Eig.simultaneous_real: could not separate joint spectrum"
+    | t :: rest ->
+      let c = Mat.add (Mat.rsmul (cos t) a) (Mat.rsmul (sin t) b) in
+      let _, v = symmetric_real c in
+      if is_joint_diagonalizer v a b then v else try_angles rest
+  in
+  try_angles angles

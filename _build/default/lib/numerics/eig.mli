@@ -1,0 +1,25 @@
+(** Eigendecompositions by cyclic Jacobi iteration.
+
+    Sized for the small Hermitian / real-symmetric operators used in KAK
+    decomposition and pulse synthesis (n <= 16 in practice, works for any n). *)
+
+(** [hermitian m] diagonalizes a complex Hermitian matrix:
+    [m = v * diag(w) * v†] with [v] unitary and [w] real, sorted ascending.
+    @raise Invalid_argument if [m] is not square. *)
+val hermitian : Mat.t -> float array * Mat.t
+
+(** [symmetric_real m] diagonalizes a real symmetric matrix (given as a
+    complex matrix with zero imaginary parts): [m = v * diag(w) * vᵀ] with
+    [v] real orthogonal and [w] sorted ascending. *)
+val symmetric_real : Mat.t -> float array * Mat.t
+
+(** [simultaneous_real a b] finds a single real orthogonal [v] diagonalizing
+    the pair of commuting real symmetric matrices [a] and [b]:
+    [vᵀ a v] and [vᵀ b v] both diagonal. Retries over deterministic random
+    mixing angles to break degeneracies.
+    @raise Failure if no mixing angle separates the joint spectrum. *)
+val simultaneous_real : Mat.t -> Mat.t -> Mat.t
+
+(** [offdiag_norm m] is the Frobenius norm of the strictly off-diagonal part;
+    useful for asserting diagonalization quality in tests. *)
+val offdiag_norm : Mat.t -> float

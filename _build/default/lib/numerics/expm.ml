@@ -1,0 +1,7 @@
+let herm_apply h f =
+  let w, v = Eig.hermitian h in
+  let n = Mat.rows h in
+  let d = Mat.init n n (fun i j -> if i = j then f w.(i) else Cx.zero) in
+  Mat.mul3 v d (Mat.dagger v)
+
+let herm_expi h ~t = herm_apply h (fun w -> Cx.expi (-.t *. w))

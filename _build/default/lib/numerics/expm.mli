@@ -1,0 +1,13 @@
+(** Matrix exponentials of Hermitian generators.
+
+    Quantum evolutions in this project always exponentiate a Hermitian
+    Hamiltonian, so the exponential is computed exactly through the
+    eigendecomposition — no Padé scaling-and-squaring needed. *)
+
+(** [herm_expi h ~t] is [exp(-i * t * h)] for Hermitian [h]; the result is
+    unitary to working precision. *)
+val herm_expi : Mat.t -> t:float -> Mat.t
+
+(** [herm_apply h f] is [v * diag(f w_k) * v†] for Hermitian
+    [h = v diag(w) v†]; generalizes [herm_expi] to any spectral function. *)
+val herm_apply : Mat.t -> (float -> Cx.t) -> Mat.t

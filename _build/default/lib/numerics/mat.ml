@@ -1,0 +1,236 @@
+open Cx
+
+type t = { rows : int; cols : int; a : Cx.t array }
+
+let create rows cols =
+  if rows <= 0 || cols <= 0 then invalid_arg "Mat.create: non-positive size";
+  { rows; cols; a = Array.make (rows * cols) Cx.zero }
+
+let init rows cols f =
+  if rows <= 0 || cols <= 0 then invalid_arg "Mat.init: non-positive size";
+  { rows; cols; a = Array.init (rows * cols) (fun k -> f (k / cols) (k mod cols)) }
+
+let of_arrays rows_arr =
+  let rows = Array.length rows_arr in
+  if rows = 0 then invalid_arg "Mat.of_arrays: empty";
+  let cols = Array.length rows_arr.(0) in
+  Array.iter
+    (fun r -> if Array.length r <> cols then invalid_arg "Mat.of_arrays: ragged rows")
+    rows_arr;
+  init rows cols (fun i j -> rows_arr.(i).(j))
+
+let of_real_arrays rows_arr =
+  of_arrays (Array.map (Array.map Cx.of_float) rows_arr)
+
+let identity n = init n n (fun i j -> if i = j then Cx.one else Cx.zero)
+let rows m = m.rows
+let cols m = m.cols
+let get m i j = m.a.((i * m.cols) + j)
+let set m i j v = m.a.((i * m.cols) + j) <- v
+let copy m = { m with a = Array.copy m.a }
+
+let same_shape op a b =
+  if a.rows <> b.rows || a.cols <> b.cols then
+    invalid_arg (Printf.sprintf "Mat.%s: shape mismatch" op)
+
+let add a b =
+  same_shape "add" a b;
+  { a with a = Array.init (Array.length a.a) (fun k -> a.a.(k) +: b.a.(k)) }
+
+let sub a b =
+  same_shape "sub" a b;
+  { a with a = Array.init (Array.length a.a) (fun k -> a.a.(k) -: b.a.(k)) }
+
+let mul a b =
+  if a.cols <> b.rows then invalid_arg "Mat.mul: inner dimension mismatch";
+  let n = a.rows and m = b.cols and k = a.cols in
+  let out = create n m in
+  for i = 0 to n - 1 do
+    for p = 0 to k - 1 do
+      let aip = a.a.((i * k) + p) in
+      if aip <> Cx.zero then
+        for j = 0 to m - 1 do
+          out.a.((i * m) + j) <- out.a.((i * m) + j) +: (aip *: b.a.((p * m) + j))
+        done
+    done
+  done;
+  out
+
+let mul3 a b c = mul a (mul b c)
+
+let mul_list = function
+  | [] -> invalid_arg "Mat.mul_list: empty"
+  | m :: ms -> List.fold_left mul m ms
+
+let smul s m = { m with a = Array.map (fun z -> s *: z) m.a }
+let rsmul s m = { m with a = Array.map (Cx.scale s) m.a }
+let neg m = { m with a = Array.map Cx.neg m.a }
+let transpose m = init m.cols m.rows (fun i j -> get m j i)
+let dagger m = init m.cols m.rows (fun i j -> Cx.conj (get m j i))
+let conj m = { m with a = Array.map Cx.conj m.a }
+
+let trace m =
+  if m.rows <> m.cols then invalid_arg "Mat.trace: non-square";
+  let t = ref Cx.zero in
+  for i = 0 to m.rows - 1 do
+    t := !t +: get m i i
+  done;
+  !t
+
+let kron a b =
+  init (a.rows * b.rows) (a.cols * b.cols) (fun i j ->
+      get a (i / b.rows) (j / b.cols) *: get b (i mod b.rows) (j mod b.cols))
+
+let apply m v =
+  if m.cols <> Array.length v then invalid_arg "Mat.apply: size mismatch";
+  Array.init m.rows (fun i ->
+      let s = ref Cx.zero in
+      for j = 0 to m.cols - 1 do
+        s := !s +: (get m i j *: v.(j))
+      done;
+      !s)
+
+(* LU with partial pivoting; returns (lu, perm_sign) or None if singular. *)
+let lu_decompose m =
+  if m.rows <> m.cols then invalid_arg "Mat.det: non-square";
+  let n = m.rows in
+  let lu = copy m in
+  let sign = ref 1.0 in
+  let ok = ref true in
+  (try
+     for k = 0 to n - 1 do
+       (* pivot *)
+       let piv = ref k and best = ref (Cx.norm (get lu k k)) in
+       for i = k + 1 to n - 1 do
+         let v = Cx.norm (get lu i k) in
+         if v > !best then begin
+           best := v;
+           piv := i
+         end
+       done;
+       if !best < 1e-300 then begin
+         ok := false;
+         raise Exit
+       end;
+       if !piv <> k then begin
+         sign := -. !sign;
+         for j = 0 to n - 1 do
+           let t = get lu k j in
+           set lu k j (get lu !piv j);
+           set lu !piv j t
+         done
+       end;
+       let pivot = get lu k k in
+       for i = k + 1 to n - 1 do
+         let f = get lu i k /: pivot in
+         set lu i k f;
+         for j = k + 1 to n - 1 do
+           set lu i j (get lu i j -: (f *: get lu k j))
+         done
+       done
+     done
+   with Exit -> ());
+  if !ok then Some (lu, !sign) else None
+
+let det m =
+  match lu_decompose m with
+  | None -> Cx.zero
+  | Some (lu, sign) ->
+    let n = m.rows in
+    let d = ref (Cx.of_float sign) in
+    for i = 0 to n - 1 do
+      d := !d *: get lu i i
+    done;
+    !d
+
+let inv m =
+  if m.rows <> m.cols then invalid_arg "Mat.inv: non-square";
+  let n = m.rows in
+  let aug = init n (2 * n) (fun i j ->
+      if j < n then get m i j else if j - n = i then Cx.one else Cx.zero)
+  in
+  for k = 0 to n - 1 do
+    let piv = ref k and best = ref (Cx.norm (get aug k k)) in
+    for i = k + 1 to n - 1 do
+      let v = Cx.norm (get aug i k) in
+      if v > !best then begin
+        best := v;
+        piv := i
+      end
+    done;
+    if !best < 1e-300 then failwith "Mat.inv: singular matrix";
+    if !piv <> k then
+      for j = 0 to (2 * n) - 1 do
+        let t = get aug k j in
+        set aug k j (get aug !piv j);
+        set aug !piv j t
+      done;
+    let pivot = get aug k k in
+    for j = 0 to (2 * n) - 1 do
+      set aug k j (get aug k j /: pivot)
+    done;
+    for i = 0 to n - 1 do
+      if i <> k then begin
+        let f = get aug i k in
+        if f <> Cx.zero then
+          for j = 0 to (2 * n) - 1 do
+            set aug i j (get aug i j -: (f *: get aug k j))
+          done
+      end
+    done
+  done;
+  init n n (fun i j -> get aug i (j + n))
+
+let frobenius_norm m =
+  Float.sqrt (Array.fold_left (fun acc z -> acc +. Cx.norm2 z) 0.0 m.a)
+
+let frobenius_dist a b = frobenius_norm (sub a b)
+
+let max_abs m = Array.fold_left (fun acc z -> Float.max acc (Cx.norm z)) 0.0 m.a
+
+let equal ?(tol = 1e-9) a b =
+  a.rows = b.rows && a.cols = b.cols
+  &&
+  let rec go k = k >= Array.length a.a || (Cx.norm (a.a.(k) -: b.a.(k)) <= tol && go (k + 1)) in
+  go 0
+
+let is_unitary ?(tol = 1e-9) m =
+  m.rows = m.cols && equal ~tol (mul (dagger m) m) (identity m.rows)
+
+let is_hermitian ?(tol = 1e-9) m = m.rows = m.cols && equal ~tol (dagger m) m
+
+let phase_dist a b =
+  same_shape "phase_dist" a b;
+  (* the minimizing phase is arg tr(b† a); evaluate the distance entrywise
+     at that phase (the closed form ||a||^2+||b||^2-2|tr| cancels
+     catastrophically near zero) *)
+  let ip = trace (mul (dagger b) a) in
+  let phase = if Cx.norm ip < 1e-300 then Cx.one else Cx.expi (Cx.arg ip) in
+  frobenius_dist a (smul phase b)
+
+let allclose_up_to_phase ?(tol = 1e-9) a b =
+  a.rows = b.rows && a.cols = b.cols && phase_dist a b <= tol *. float_of_int a.rows
+
+let fix_det_su m =
+  if m.rows <> m.cols then invalid_arg "Mat.fix_det_su: non-square";
+  let n = m.rows in
+  let d = det m in
+  if Cx.norm d < 1e-12 then m
+  else
+    (* multiply by exp(-i arg(det)/n) *)
+    smul (Cx.expi (-.Cx.arg d /. float_of_int n)) m
+
+let pp ppf m =
+  Format.fprintf ppf "@[<v>";
+  for i = 0 to m.rows - 1 do
+    Format.fprintf ppf "[";
+    for j = 0 to m.cols - 1 do
+      if j > 0 then Format.fprintf ppf ", ";
+      Cx.pp ppf (get m i j)
+    done;
+    Format.fprintf ppf "]";
+    if i < m.rows - 1 then Format.fprintf ppf "@,"
+  done;
+  Format.fprintf ppf "@]"
+
+let to_string m = Format.asprintf "%a" pp m

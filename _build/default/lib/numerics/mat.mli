@@ -1,0 +1,97 @@
+(** Dense complex matrices (row-major).
+
+    Sized for the small operators this project manipulates (2x2 .. 256x256):
+    simple flat-array storage, no blocking, total dimension checks. All
+    operations are pure unless the name ends in [_inplace]. *)
+
+type t = private { rows : int; cols : int; a : Cx.t array }
+
+(** [create rows cols] is the zero matrix. *)
+val create : int -> int -> t
+
+(** [init rows cols f] fills entry [(i, j)] with [f i j]. *)
+val init : int -> int -> (int -> int -> Cx.t) -> t
+
+(** [of_arrays rows] builds a matrix from a non-ragged array of rows. *)
+val of_arrays : Cx.t array array -> t
+
+(** [of_real_arrays rows] builds a matrix from real entries. *)
+val of_real_arrays : float array array -> t
+
+(** [identity n] is the n x n identity. *)
+val identity : int -> t
+
+val rows : t -> int
+val cols : t -> int
+val get : t -> int -> int -> Cx.t
+val set : t -> int -> int -> Cx.t -> unit
+val copy : t -> t
+
+val add : t -> t -> t
+val sub : t -> t -> t
+val mul : t -> t -> t
+
+(** [mul3 a b c] is [a * b * c]. *)
+val mul3 : t -> t -> t -> t
+
+(** [mul_list ms] is the product of [ms] left to right; [ms] non-empty. *)
+val mul_list : t list -> t
+
+val smul : Cx.t -> t -> t
+val rsmul : float -> t -> t
+val neg : t -> t
+
+(** [transpose m] is the plain (unconjugated) transpose. *)
+val transpose : t -> t
+
+(** [dagger m] is the conjugate transpose. *)
+val dagger : t -> t
+
+val conj : t -> t
+val trace : t -> Cx.t
+
+(** [kron a b] is the Kronecker product [a ⊗ b]. *)
+val kron : t -> t -> t
+
+(** [apply m v] is the matrix-vector product. *)
+val apply : t -> Cx.t array -> Cx.t array
+
+(** [det m] via LU with partial pivoting. *)
+val det : t -> Cx.t
+
+(** [inv m] via Gauss-Jordan with partial pivoting.
+    @raise Failure if singular. *)
+val inv : t -> t
+
+(** [frobenius_dist a b] is the Frobenius norm of [a - b]. *)
+val frobenius_dist : t -> t -> float
+
+val frobenius_norm : t -> float
+
+(** [max_abs m] is the entrywise max modulus. *)
+val max_abs : t -> float
+
+(** [equal ?tol a b] holds when every entry differs by at most [tol]
+    (default [1e-9]). *)
+val equal : ?tol:float -> t -> t -> bool
+
+(** [is_unitary ?tol m] tests [m† m = I]. *)
+val is_unitary : ?tol:float -> t -> bool
+
+(** [is_hermitian ?tol m] tests [m† = m]. *)
+val is_hermitian : ?tol:float -> t -> bool
+
+(** [allclose_up_to_phase ?tol a b] holds when [a = e^{iφ} b] for some global
+    phase φ. *)
+val allclose_up_to_phase : ?tol:float -> t -> t -> bool
+
+(** [phase_dist a b] is [min_φ ‖a - e^{iφ}b‖_F], the Frobenius distance
+    minimized over a global phase. *)
+val phase_dist : t -> t -> float
+
+(** [fix_det_su m] rescales a unitary by a global phase so its determinant
+    becomes 1 (projects U(n) onto SU(n)). *)
+val fix_det_su : t -> t
+
+val pp : Format.formatter -> t -> unit
+val to_string : t -> string

@@ -1,0 +1,71 @@
+let nelder_mead ?(step = 0.1) ?(tol = 1e-12) ?(max_iter = 2000) f x0 =
+  let n = Array.length x0 in
+  if n = 0 then invalid_arg "Optimize.nelder_mead: empty start point";
+  let pts =
+    Array.init (n + 1) (fun k ->
+        let p = Array.copy x0 in
+        if k > 0 then p.(k - 1) <- p.(k - 1) +. step;
+        p)
+  in
+  let vals = Array.map f pts in
+  let order () =
+    let idx = Array.init (n + 1) (fun i -> i) in
+    Array.sort (fun a b -> compare vals.(a) vals.(b)) idx;
+    idx
+  in
+  let centroid excl =
+    let c = Array.make n 0.0 in
+    Array.iteri
+      (fun k p -> if k <> excl then Array.iteri (fun i v -> c.(i) <- c.(i) +. v) p)
+      pts;
+    Array.map (fun v -> v /. float_of_int n) c
+  in
+  let combine a ca b cb = Array.init n (fun i -> (ca *. a.(i)) +. (cb *. b.(i))) in
+  let iter = ref 0 in
+  let spread () =
+    let idx = order () in
+    Float.abs (vals.(idx.(n)) -. vals.(idx.(0)))
+  in
+  while !iter < max_iter && spread () > tol do
+    incr iter;
+    let idx = order () in
+    let worst = idx.(n) and best = idx.(0) and second_worst = idx.(n - 1) in
+    let c = centroid worst in
+    let xr = combine c 2.0 pts.(worst) (-1.0) in
+    let fr = f xr in
+    if fr < vals.(best) then begin
+      let xe = combine c 3.0 pts.(worst) (-2.0) in
+      let fe = f xe in
+      if fe < fr then begin
+        pts.(worst) <- xe;
+        vals.(worst) <- fe
+      end
+      else begin
+        pts.(worst) <- xr;
+        vals.(worst) <- fr
+      end
+    end
+    else if fr < vals.(second_worst) then begin
+      pts.(worst) <- xr;
+      vals.(worst) <- fr
+    end
+    else begin
+      let xc = combine c 0.5 pts.(worst) 0.5 in
+      let fc = f xc in
+      if fc < vals.(worst) then begin
+        pts.(worst) <- xc;
+        vals.(worst) <- fc
+      end
+      else
+        (* shrink toward best *)
+        Array.iteri
+          (fun k p ->
+            if k <> best then begin
+              pts.(k) <- combine pts.(best) 0.5 p 0.5;
+              vals.(k) <- f pts.(k)
+            end)
+          pts
+    end
+  done;
+  let idx = order () in
+  (Array.copy pts.(idx.(0)), vals.(idx.(0)))

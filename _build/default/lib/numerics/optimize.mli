@@ -1,0 +1,14 @@
+(** Derivative-free minimization (Nelder–Mead), used for pulse-parameter
+    refinement and a couple of compiler heuristics. *)
+
+(** [nelder_mead f x0] minimizes [f] starting from [x0].
+    [step] sets the initial simplex scale (default 0.1), [tol] the
+    convergence threshold on simplex spread (default 1e-12), [max_iter]
+    the iteration budget (default 2000). Returns the best point and value. *)
+val nelder_mead :
+  ?step:float ->
+  ?tol:float ->
+  ?max_iter:int ->
+  (float array -> float) ->
+  float array ->
+  float array * float

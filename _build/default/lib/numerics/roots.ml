@@ -1,0 +1,83 @@
+let bisect ?(tol = 1e-14) f lo hi =
+  let flo = f lo in
+  if flo = 0.0 then lo
+  else begin
+    let fhi = f hi in
+    if fhi = 0.0 then hi
+    else if flo *. fhi > 0.0 then invalid_arg "Roots.bisect: no sign change"
+    else begin
+      let lo = ref lo and hi = ref hi and flo = ref flo in
+      while !hi -. !lo > tol *. (1.0 +. Float.abs !lo) do
+        let mid = 0.5 *. (!lo +. !hi) in
+        let fmid = f mid in
+        if fmid = 0.0 then begin
+          lo := mid;
+          hi := mid
+        end
+        else if !flo *. fmid < 0.0 then hi := mid
+        else begin
+          lo := mid;
+          flo := fmid
+        end
+      done;
+      0.5 *. (!lo +. !hi)
+    end
+  end
+
+let smallest_root_above ?(tol = 1e-14) f ~lo ~hi ~steps =
+  if steps <= 0 then invalid_arg "Roots.smallest_root_above: steps <= 0";
+  let h = (hi -. lo) /. float_of_int steps in
+  let rec scan k prev_x prev_f =
+    if k > steps then None
+    else begin
+      let x = lo +. (h *. float_of_int k) in
+      let fx = f x in
+      if Float.abs prev_f <= 1e-15 then Some prev_x
+      else if prev_f *. fx <= 0.0 then Some (bisect ~tol f prev_x x)
+      else scan (k + 1) x fx
+    end
+  in
+  scan 1 lo (f lo)
+
+let newton2d ?(tol = 1e-12) ?(max_iter = 80) f (x0, y0) =
+  let norm (a, b) = sqrt ((a *. a) +. (b *. b)) in
+  (* Damped Newton with a central-difference Jacobian; remembers the best
+     iterate so a late stall does not discard a converged answer. *)
+  let best = ref (x0, y0) in
+  let best_r = ref (norm (f (x0, y0))) in
+  let rec iterate x y it =
+    let fx, fy = f (x, y) in
+    let r = norm (fx, fy) in
+    if r < !best_r then begin
+      best := (x, y);
+      best_r := r
+    end;
+    if r >= 1e-16 && it < max_iter then begin
+      let h = 1e-6 *. (1.0 +. Float.abs x +. Float.abs y) in
+      let f1px, f1py = f (x +. h, y) and f1mx, f1my = f (x -. h, y) in
+      let f2px, f2py = f (x, y +. h) and f2mx, f2my = f (x, y -. h) in
+      let j11 = (f1px -. f1mx) /. (2.0 *. h)
+      and j21 = (f1py -. f1my) /. (2.0 *. h)
+      and j12 = (f2px -. f2mx) /. (2.0 *. h)
+      and j22 = (f2py -. f2my) /. (2.0 *. h) in
+      let det = (j11 *. j22) -. (j12 *. j21) in
+      if Float.abs det > 1e-300 then begin
+        let dx = ((j22 *. fx) -. (j12 *. fy)) /. det in
+        let dy = ((j11 *. fy) -. (j21 *. fx)) /. det in
+        (* halve the step until the residual shrinks *)
+        let rec damp s tries =
+          if tries = 0 then None
+          else begin
+            let x' = x -. (s *. dx) and y' = y -. (s *. dy) in
+            let r' = norm (f (x', y')) in
+            if r' < r then Some (x', y') else damp (s /. 2.0) (tries - 1)
+          end
+        in
+        match damp 1.0 16 with
+        | Some (x', y') -> iterate x' y' (it + 1)
+        | None -> ()
+      end
+    end
+  in
+  iterate x0 y0 0;
+  if !best_r < tol then Some !best else None

@@ -1,0 +1,22 @@
+(** Scalar and two-dimensional root finding used by the pulse solvers. *)
+
+(** [bisect f lo hi] finds a root of [f] in [[lo, hi]] given
+    [f lo * f hi <= 0], to absolute tolerance [tol] (default [1e-14]). *)
+val bisect : ?tol:float -> (float -> float) -> float -> float -> float
+
+(** [smallest_root_above f ~lo ~hi ~steps] scans [[lo, hi]] in [steps]
+    segments and bisects the first sign change; [None] if no sign change. A
+    root exactly at [lo] is returned as [lo]. *)
+val smallest_root_above :
+  ?tol:float -> (float -> float) -> lo:float -> hi:float -> steps:int -> float option
+
+(** [newton2d f (x0, y0)] solves [f (x, y) = (0, 0)] by damped Newton with a
+    finite-difference Jacobian. Returns [Some (x, y)] when the residual norm
+    drops below [tol] (default [1e-12]) within [max_iter] (default 60)
+    iterations. *)
+val newton2d :
+  ?tol:float ->
+  ?max_iter:int ->
+  (float * float -> float * float) ->
+  float * float ->
+  (float * float) option

@@ -1,0 +1,65 @@
+open Cx
+
+(* Gram-Schmidt completion: extend the set of columns of [u] marked valid to a
+   full unitary by orthonormalizing standard basis vectors against them. *)
+let complete_basis u valid =
+  let n = Mat.rows u in
+  let cols = ref [] in
+  for j = 0 to n - 1 do
+    if valid.(j) then cols := Array.init n (fun i -> Mat.get u i j) :: !cols
+  done;
+  let cols = ref (List.rev !cols) in
+  let dot a b =
+    let s = ref Cx.zero in
+    Array.iteri (fun i ai -> s := !s +: (Cx.conj ai *: b.(i))) a;
+    !s
+  in
+  let k = ref 0 in
+  while List.length !cols < n && !k < n do
+    let e = Array.init n (fun i -> if i = !k then Cx.one else Cx.zero) in
+    List.iter
+      (fun c ->
+        let d = dot c e in
+        Array.iteri (fun i ci -> e.(i) <- e.(i) -: (d *: ci)) c)
+      !cols;
+    let nrm = Float.sqrt (Array.fold_left (fun acc z -> acc +. Cx.norm2 z) 0.0 e) in
+    if nrm > 1e-8 then begin
+      Array.iteri (fun i ei -> e.(i) <- Cx.scale (1.0 /. nrm) ei) e;
+      cols := !cols @ [ e ]
+    end;
+    incr k
+  done;
+  let arr = Array.of_list !cols in
+  Mat.init n n (fun i j -> arr.(j).(i))
+
+let svd m =
+  let n = Mat.rows m in
+  if n <> Mat.cols m then invalid_arg "Svd.svd: non-square";
+  (* m† m = v diag(s^2) v† *)
+  let w, v = Eig.hermitian (Mat.mul (Mat.dagger m) m) in
+  (* descending order *)
+  let order = Array.init n (fun i -> n - 1 - i) in
+  let s = Array.map (fun i -> Float.sqrt (Float.max 0.0 w.(i))) order in
+  let v = Mat.init n n (fun i j -> Mat.get v i order.(j)) in
+  let mv = Mat.mul m v in
+  let u = Mat.create n n in
+  let valid = Array.make n false in
+  for j = 0 to n - 1 do
+    if s.(j) > 1e-10 then begin
+      valid.(j) <- true;
+      for i = 0 to n - 1 do
+        Mat.set u i j (Cx.scale (1.0 /. s.(j)) (Mat.get mv i j))
+      done
+    end
+  done;
+  let u = if Array.for_all Fun.id valid then u else complete_basis u valid in
+  (u, s, v)
+
+let unitary_maximizer x =
+  (* maximize Re Tr(x g) over unitary g: with x = u s v†, g = v u†. *)
+  let u, _, v = svd x in
+  Mat.mul v (Mat.dagger u)
+
+let nuclear_norm x =
+  let _, s, _ = svd x in
+  Array.fold_left ( +. ) 0.0 s

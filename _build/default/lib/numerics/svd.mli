@@ -1,0 +1,16 @@
+(** Singular value decomposition of small square complex matrices, built on
+    the Hermitian eigensolver, plus the unitary-procrustes helper used by the
+    approximate-synthesis sweeps. *)
+
+(** [svd m] returns [(u, s, v)] with [m = u * diag(s) * v†], [u], [v] unitary
+    and [s] non-negative, sorted descending. Only square inputs are
+    supported. *)
+val svd : Mat.t -> Mat.t * float array * Mat.t
+
+(** [unitary_maximizer x] returns the unitary [g] maximizing
+    [Re Tr(x * g)]; the maximum value equals the nuclear norm of [x].
+    This is the closed-form single-gate update in alternating synthesis. *)
+val unitary_maximizer : Mat.t -> Mat.t
+
+(** [nuclear_norm x] is the sum of singular values of [x]. *)
+val nuclear_norm : Mat.t -> float

@@ -1,0 +1,1 @@
+lib/quantum/euler.ml: Cx Gates Mat Numerics

@@ -1,0 +1,1 @@
+lib/quantum/euler.mli: Mat Numerics

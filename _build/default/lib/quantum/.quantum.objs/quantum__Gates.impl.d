@@ -1,0 +1,1 @@
+lib/quantum/gates.ml: Array Cx Expm Float List Mat Numerics Pauli

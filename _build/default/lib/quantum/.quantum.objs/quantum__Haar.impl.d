@@ -1,0 +1,1 @@
+lib/quantum/haar.ml: Array Cx Float Mat Numerics Rng

@@ -1,0 +1,1 @@
+lib/quantum/haar.mli: Mat Numerics Rng

@@ -1,0 +1,1 @@
+lib/quantum/local.ml: Cx Float Mat Numerics Option

@@ -1,0 +1,1 @@
+lib/quantum/local.mli: Mat Numerics

@@ -1,0 +1,1 @@
+lib/quantum/pauli.ml: Array Cx List Mat Numerics Printf String

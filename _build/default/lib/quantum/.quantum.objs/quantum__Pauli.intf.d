@@ -1,0 +1,1 @@
+lib/quantum/pauli.mli: Numerics

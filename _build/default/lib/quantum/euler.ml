@@ -1,0 +1,40 @@
+open Numerics
+
+type t = { theta : float; phi : float; lam : float; phase : float }
+
+let zyz u =
+  if Mat.rows u <> 2 || not (Mat.is_unitary ~tol:1e-7 u) then
+    invalid_arg "Euler.zyz: need a 2x2 unitary";
+  (* strip the determinant phase: u = e^{i phase} su, det su = 1 *)
+  let d = Mat.det u in
+  let phase = Cx.arg d /. 2.0 in
+  let su = Mat.smul (Cx.expi (-.phase)) u in
+  (* su = [[ cos(t/2) e^{-i(phi+lam)/2}, -sin(t/2) e^{-i(phi-lam)/2}],
+           [ sin(t/2) e^{ i(phi-lam)/2},  cos(t/2) e^{ i(phi+lam)/2}]] *)
+  let a = Mat.get su 0 0 and b = Mat.get su 0 1 in
+  let ca = Cx.norm a and cb = Cx.norm b in
+  let theta = 2.0 *. atan2 cb ca in
+  if ca < 1e-12 then begin
+    (* theta = pi: only phi - lam is defined; pick lam = 0 *)
+    let phi = 2.0 *. Cx.arg (Mat.get su 1 0) in
+    { theta; phi; lam = 0.0; phase }
+  end
+  else if cb < 1e-12 then begin
+    (* theta = 0: only phi + lam is defined; pick lam = 0 *)
+    let phi = 2.0 *. Cx.arg (Mat.get su 1 1) in
+    { theta; phi; lam = 0.0; phase }
+  end
+  else begin
+    let sum = 2.0 *. Cx.arg (Mat.get su 1 1) in
+    (* arg(-b) = -(phi - lam)/2 *)
+    let diff = -2.0 *. Cx.arg (Cx.neg b) in
+    let phi = (sum +. diff) /. 2.0 and lam = (sum -. diff) /. 2.0 in
+    { theta; phi; lam; phase }
+  end
+
+let reconstruct d =
+  let rz a = Gates.rz a in
+  let m = Mat.mul3 (rz d.phi) (Gates.ry d.theta) (rz d.lam) in
+  Mat.smul (Cx.expi d.phase) m
+
+let to_u3 d = Gates.u3 d.theta d.phi d.lam

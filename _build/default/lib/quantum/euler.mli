@@ -1,0 +1,17 @@
+(** ZYZ Euler-angle decomposition of single-qubit unitaries: every 1Q gate
+    as [e^{i phase} Rz(phi) Ry(theta) Rz(lam)] — i.e. the U3 parameters the
+    {Can, U3} ISA expresses its local gates in. *)
+
+open Numerics
+
+type t = { theta : float; phi : float; lam : float; phase : float }
+
+(** [zyz u] decomposes a 2x2 unitary.
+    @raise Invalid_argument on non-unitary input. *)
+val zyz : Mat.t -> t
+
+(** [reconstruct d] rebuilds the exact matrix including phase. *)
+val reconstruct : t -> Mat.t
+
+(** [to_u3 d] is the U3 gate matrix (phase dropped). *)
+val to_u3 : t -> Mat.t

@@ -1,0 +1,12 @@
+open Numerics
+
+let trace_fidelity u v =
+  let d = float_of_int (Mat.rows u) in
+  Cx.norm (Mat.trace (Mat.mul (Mat.dagger u) v)) /. d
+
+let infidelity u v = Float.max 0.0 (1.0 -. trace_fidelity u v)
+
+let average_gate_fidelity u v =
+  let d = float_of_int (Mat.rows u) in
+  let f_pro = trace_fidelity u v ** 2.0 in
+  ((d *. f_pro) +. 1.0) /. (d +. 1.0)

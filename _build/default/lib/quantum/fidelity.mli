@@ -1,0 +1,15 @@
+(** Closeness measures between gates. *)
+
+open Numerics
+
+(** [trace_fidelity u v] is [|Tr(u† v)| / d]: 1 iff [u = v] up to global
+    phase. *)
+val trace_fidelity : Mat.t -> Mat.t -> float
+
+(** [infidelity u v = 1 - trace_fidelity u v] — the paper's synthesis
+    precision metric (Section 5.1.1). *)
+val infidelity : Mat.t -> Mat.t -> float
+
+(** [average_gate_fidelity u v] is the Haar-averaged state fidelity
+    [(d * Fpro + 1) / (d + 1)] with [Fpro = |Tr(u† v)|^2 / d^2]. *)
+val average_gate_fidelity : Mat.t -> Mat.t -> float

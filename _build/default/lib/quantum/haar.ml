@@ -1,0 +1,31 @@
+open Numerics
+
+(* QR by modified Gram-Schmidt; returns Q with R's diagonal made positive,
+   which is exactly the Haar measure when the input is Ginibre. *)
+let qr_q g =
+  let n = Mat.rows g in
+  let cols = Array.init n (fun j -> Array.init n (fun i -> Mat.get g i j)) in
+  let dot a b =
+    let s = ref Cx.zero in
+    Array.iteri (fun i ai -> s := Cx.( +: ) !s (Cx.( *: ) (Cx.conj ai) b.(i))) a;
+    !s
+  in
+  for j = 0 to n - 1 do
+    for k = 0 to j - 1 do
+      let d = dot cols.(k) cols.(j) in
+      Array.iteri
+        (fun i v -> cols.(j).(i) <- Cx.( -: ) cols.(j).(i) (Cx.( *: ) d v))
+        cols.(k)
+    done;
+    let nrm = Float.sqrt (Array.fold_left (fun acc v -> acc +. Cx.norm2 v) 0.0 cols.(j)) in
+    Array.iteri (fun i v -> cols.(j).(i) <- Cx.scale (1.0 /. nrm) v) cols.(j)
+  done;
+  Mat.init n n (fun i j -> cols.(j).(i))
+
+let unitary rng n =
+  let g = Mat.init n n (fun _ _ -> Cx.mk (Rng.gaussian rng) (Rng.gaussian rng)) in
+  qr_q g
+
+let su rng n = Mat.fix_det_su (unitary rng n)
+let su2 rng = su rng 2
+let su4 rng = su rng 4

@@ -1,0 +1,14 @@
+(** Haar-random unitaries (Ginibre + QR with positive-diagonal R). *)
+
+open Numerics
+
+(** [unitary rng n] draws a Haar-distributed n x n unitary. *)
+val unitary : Rng.t -> int -> Mat.t
+
+(** [su rng n] draws Haar then projects the determinant phase away. *)
+val su : Rng.t -> int -> Mat.t
+
+(** [su2 rng], [su4 rng] are the common cases. *)
+val su2 : Rng.t -> Mat.t
+
+val su4 : Rng.t -> Mat.t

@@ -1,0 +1,51 @@
+open Numerics
+
+type op = I | X | Y | Z
+type t = op array
+
+let op_of_char = function
+  | 'I' | 'i' -> I
+  | 'X' | 'x' -> X
+  | 'Y' | 'y' -> Y
+  | 'Z' | 'z' -> Z
+  | c -> invalid_arg (Printf.sprintf "Pauli.op_of_char: %c" c)
+
+let char_of_op = function I -> 'I' | X -> 'X' | Y -> 'Y' | Z -> 'Z'
+let of_string s = Array.init (String.length s) (fun i -> op_of_char s.[i])
+let to_string p = String.init (Array.length p) (fun i -> char_of_op p.(i))
+
+let matrix_1q op =
+  let z = Cx.zero and o = Cx.one in
+  match op with
+  | I -> Mat.identity 2
+  | X -> Mat.of_arrays [| [| z; o |]; [| o; z |] |]
+  | Y -> Mat.of_arrays [| [| z; Cx.neg Cx.i |]; [| Cx.i; z |] |]
+  | Z -> Mat.of_arrays [| [| o; z |]; [| z; Cx.neg o |] |]
+
+let to_matrix p =
+  match Array.to_list p with
+  | [] -> invalid_arg "Pauli.to_matrix: empty string"
+  | hd :: tl ->
+    List.fold_left (fun acc op -> Mat.kron acc (matrix_1q op)) (matrix_1q hd) tl
+
+let weight p = Array.fold_left (fun acc op -> if op = I then acc else acc + 1) 0 p
+
+let support p =
+  let out = ref [] in
+  Array.iteri (fun i op -> if op <> I then out := i :: !out) p;
+  List.rev !out
+
+let commutes a b =
+  if Array.length a <> Array.length b then invalid_arg "Pauli.commutes: length mismatch";
+  (* strings commute iff they anticommute on an even number of positions *)
+  let anti = ref 0 in
+  Array.iteri
+    (fun i pa ->
+      let pb = b.(i) in
+      if pa <> I && pb <> I && pa <> pb then incr anti)
+    a;
+  !anti mod 2 = 0
+
+let xx = to_matrix [| X; X |]
+let yy = to_matrix [| Y; Y |]
+let zz = to_matrix [| Z; Z |]

@@ -1,0 +1,39 @@
+(** Pauli operators and n-qubit Pauli strings.
+
+    Qubit 0 is the leftmost (most significant) tensor factor throughout the
+    repository. *)
+
+type op = I | X | Y | Z
+
+(** A Pauli string; index [i] is the operator on qubit [i]. *)
+type t = op array
+
+val op_of_char : char -> op
+val char_of_op : op -> char
+
+(** [of_string "XIZ"] is the 3-qubit string X ⊗ I ⊗ Z. *)
+val of_string : string -> t
+
+val to_string : t -> string
+
+(** [matrix_1q p] is the 2x2 matrix of [p]. *)
+val matrix_1q : op -> Numerics.Mat.t
+
+(** [to_matrix s] is the full 2^n x 2^n matrix (n = length of [s]). *)
+val to_matrix : t -> Numerics.Mat.t
+
+(** [weight s] counts non-identity positions. *)
+val weight : t -> int
+
+(** [support s] lists the non-identity qubit indices, ascending. *)
+val support : t -> int list
+
+(** [commutes a b] decides whether the strings commute (they either commute
+    or anticommute). *)
+val commutes : t -> t -> bool
+
+(** [xx], [yy], [zz] are the 4x4 two-qubit operators X⊗X, Y⊗Y, Z⊗Z. *)
+val xx : Numerics.Mat.t
+
+val yy : Numerics.Mat.t
+val zz : Numerics.Mat.t

@@ -1,0 +1,1 @@
+lib/weyl/coords.ml: Float Format

@@ -1,0 +1,1 @@
+lib/weyl/kak.ml: Array Coords Cx Eig Float Magic Mat Numerics Quantum

@@ -1,0 +1,1 @@
+lib/weyl/kak.mli: Coords Mat Numerics

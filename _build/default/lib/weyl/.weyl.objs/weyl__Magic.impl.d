@@ -1,0 +1,1 @@
+lib/weyl/magic.ml: Cx Mat Numerics

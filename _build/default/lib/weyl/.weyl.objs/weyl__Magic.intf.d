@@ -1,0 +1,1 @@
+lib/weyl/magic.mli: Mat Numerics

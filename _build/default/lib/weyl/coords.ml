@@ -1,0 +1,31 @@
+type t = { x : float; y : float; z : float }
+
+let make x y z = { x; y; z }
+let pi4 = Float.pi /. 4.0
+let identity = make 0.0 0.0 0.0
+let cnot = make pi4 0.0 0.0
+let iswap = make pi4 pi4 0.0
+let swap = make pi4 pi4 pi4
+let sqisw = make (pi4 /. 2.0) (pi4 /. 2.0) 0.0
+let b_gate = make pi4 (pi4 /. 2.0) 0.0
+
+let in_chamber ?(tol = 1e-9) { x; y; z } =
+  x <= pi4 +. tol
+  && x >= y -. tol
+  && y >= Float.abs z -. tol
+  && (x < pi4 -. tol || z >= -.tol)
+
+let dist a b =
+  let dx = a.x -. b.x and dy = a.y -. b.y and dz = a.z -. b.z in
+  Float.sqrt ((dx *. dx) +. (dy *. dy) +. (dz *. dz))
+
+let equal ?(tol = 1e-9) a b = dist a b <= tol
+let norm1 { x; y; z } = Float.abs x +. Float.abs y +. Float.abs z
+
+let mirror { x; y; z } =
+  if z >= 0.0 then make (pi4 -. z) (pi4 -. y) (x -. pi4)
+  else make (pi4 +. z) (pi4 -. y) (pi4 -. x)
+
+let is_near_identity ~r c = norm1 c <= r
+let pp ppf { x; y; z } = Format.fprintf ppf "(%.6f, %.6f, %.6f)" x y z
+let to_string c = Format.asprintf "%a" pp c

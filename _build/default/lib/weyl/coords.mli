@@ -1,0 +1,45 @@
+(** Weyl-chamber coordinates of two-qubit gates.
+
+    A coordinate [(x, y, z)] labels the local-equivalence class of
+    [Can (x, y, z) = exp(-i (x XX + y YY + z ZZ))]. The canonical chamber is
+
+    {v W = \{ (x,y,z) | pi/4 >= x >= y >= |z|, and z >= 0 if x = pi/4 \} v}
+
+    (the paper's convention). *)
+
+type t = { x : float; y : float; z : float }
+
+val make : float -> float -> float -> t
+
+(** Named gate classes. *)
+
+val identity : t
+val cnot : t
+val iswap : t
+val swap : t
+val sqisw : t
+val b_gate : t
+
+(** [in_chamber ?tol c] tests membership of the canonical chamber. *)
+val in_chamber : ?tol:float -> t -> bool
+
+(** [dist a b] is the Euclidean distance between coordinate vectors. *)
+val dist : t -> t -> float
+
+(** [equal ?tol a b] is coordinate-wise closeness. *)
+val equal : ?tol:float -> t -> t -> bool
+
+(** [norm1 c] is |x| + |y| + |z| — the L1 size used by the near-identity
+    threshold of Section 4.3. *)
+val norm1 : t -> float
+
+(** [mirror c] is the class of [SWAP * Can c] (eq. in Section 4.3):
+    mirroring a near-identity gate lands far from the origin. The result is
+    canonical whenever [c] is. *)
+val mirror : t -> t
+
+(** [is_near_identity ~r c] tests [norm1 c <= r]. *)
+val is_near_identity : r:float -> t -> bool
+
+val pp : Format.formatter -> t -> unit
+val to_string : t -> string

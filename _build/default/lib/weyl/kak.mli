@@ -1,0 +1,37 @@
+(** KAK (canonical) decomposition of two-qubit unitaries.
+
+    Any [u] in U(4) factors as
+
+    {v u = (a1 ⊗ a2) · Can(x, y, z) · (b1 ⊗ b2) v}
+
+    with [(x, y, z)] in the canonical Weyl chamber ({!Coords.in_chamber}) and
+    [a2, b1, b2] unitary; the global phase of [u] is folded into [a1] so the
+    factorization reproduces [u] exactly. *)
+
+open Numerics
+
+type t = {
+  a1 : Mat.t;  (** left local on qubit 0 (carries the global phase) *)
+  a2 : Mat.t;  (** left local on qubit 1 *)
+  coords : Coords.t;  (** canonical Weyl coordinates *)
+  b1 : Mat.t;  (** right local on qubit 0 *)
+  b2 : Mat.t;  (** right local on qubit 1 *)
+}
+
+(** [decompose u] computes the full decomposition of a 4x4 unitary.
+    @raise Failure on non-unitary input or numerical breakdown. *)
+val decompose : Mat.t -> t
+
+(** [reconstruct d] rebuilds the 4x4 unitary; equals the input of
+    {!decompose} to ~1e-9 or better. *)
+val reconstruct : t -> Mat.t
+
+(** [coords_of u] is [(decompose u).coords]. *)
+val coords_of : Mat.t -> Coords.t
+
+(** [canonical c] is the matrix [Can c]. *)
+val canonical : Coords.t -> Mat.t
+
+(** [locally_equivalent ?tol u v] tests whether two gates share a Weyl
+    chamber point (differ only by single-qubit gates). *)
+val locally_equivalent : ?tol:float -> Mat.t -> Mat.t -> bool

@@ -1,0 +1,20 @@
+open Numerics
+
+let m =
+  let r = 1.0 /. sqrt 2.0 in
+  let z = Cx.zero in
+  let c x = Cx.of_float (x *. r) in
+  let ci x = Cx.mk 0.0 (x *. r) in
+  (* columns: Φ+ = (|00>+|11>)/√2, iΨ+ = i(|01>+|10>)/√2,
+              Ψ- = (|01>-|10>)/√2, iΦ- = i(|00>-|11>)/√2 *)
+  Mat.of_arrays
+    [|
+      [| c 1.0; z; z; ci 1.0 |];
+      [| z; ci 1.0; c 1.0; z |];
+      [| z; ci 1.0; c (-1.0); z |];
+      [| c 1.0; z; z; ci (-1.0) |];
+    |]
+
+let mdag = Mat.dagger m
+let to_magic u = Mat.mul3 mdag u m
+let from_magic u = Mat.mul3 m u mdag

@@ -1,0 +1,14 @@
+(** The magic (Bell) basis change used by the KAK decomposition. *)
+
+open Numerics
+
+(** The magic basis matrix M; columns are Bell states
+    (Φ+, iΨ+, Ψ−, iΦ−)/√2. Conjugating by M maps SU(2)⊗SU(2) onto SO(4)
+    and diagonalizes every canonical gate. *)
+val m : Mat.t
+
+(** [to_magic u] is [M† u M]. *)
+val to_magic : Mat.t -> Mat.t
+
+(** [from_magic u] is [M u M†]. *)
+val from_magic : Mat.t -> Mat.t

@@ -1,0 +1,1 @@
+test/test_benchmarks.ml: Alcotest Array Benchmarks Circuit Compiler Cx Float Gate List Mat Numerics Printf Quantum State

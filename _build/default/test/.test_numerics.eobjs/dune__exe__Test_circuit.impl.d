@@ -1,0 +1,1 @@
+test/test_circuit.ml: Alcotest Array Circuit Cx Dag Decomp Float Gate Int64 List Mat Noise Numerics Printf QCheck QCheck_alcotest Quantum Rng State Weyl

@@ -1,0 +1,1 @@
+test/test_extensions.ml: Alcotest Array Circuit Compiler Eig Float Gate List Mat Microarch Numerics Printf Quantum Rng Weyl

@@ -1,0 +1,1 @@
+test/test_facade.ml: Alcotest Array Benchmarks Circuit Compiler Float Gate List Mat Microarch Numerics Printf Qasm Quantum Reqisc Rng Weyl

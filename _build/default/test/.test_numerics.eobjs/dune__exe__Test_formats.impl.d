@@ -1,0 +1,1 @@
+test/test_formats.ml: Alcotest Benchmarks Circuit Compiler Decomp Float Gate List Mat Microarch Noise Numerics Printf Qasm Quantum Rng

@@ -1,0 +1,1 @@
+test/test_hardware.ml: Alcotest Benchmarks Circuit Compiler Decomp Float Gate List Mat Microarch Numerics Printf Quantum Rng String Weyl

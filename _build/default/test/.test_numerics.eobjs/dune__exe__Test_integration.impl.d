@@ -1,0 +1,1 @@
+test/test_integration.ml: Alcotest Array Circuit Compiler Cx Decomp Expm Float Gate Int64 List Mat Microarch Noise Numerics Printf QCheck QCheck_alcotest Quantum Reqisc Rng Weyl

@@ -1,0 +1,1 @@
+test/test_microarch.ml: Alcotest Array Coupling Cx Duration Float Genashn Int64 List Mat Microarch Numerics Printf QCheck QCheck_alcotest Quantum Rng Tau Weyl

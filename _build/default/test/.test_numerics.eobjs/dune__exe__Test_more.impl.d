@@ -1,0 +1,1 @@
+test/test_more.ml: Alcotest Array Circuit Compiler Decomp Gate Int64 List Mat Microarch Numerics Printf Quantum Rng Roots Weyl

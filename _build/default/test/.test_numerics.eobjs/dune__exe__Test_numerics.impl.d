@@ -1,0 +1,1 @@
+test/test_numerics.ml: Alcotest Array Cx Eig Expm Float List Mat Numerics Optimize Printf QCheck QCheck_alcotest Rng Roots Svd

@@ -1,0 +1,1 @@
+test/test_props.ml: Alcotest Benchmarks Circuit Compiler Decomp Float Gate Int64 List Mat Microarch Numerics QCheck QCheck_alcotest Qasm Quantum Rng Weyl

@@ -1,0 +1,1 @@
+test/test_quantum.ml: Alcotest Array Cx Fidelity Float Gates Gen Haar Int64 List Local Mat Numerics Pauli QCheck QCheck_alcotest Quantum Rng

@@ -1,0 +1,1 @@
+test/test_weyl.ml: Alcotest Cx Float Gates Haar Int64 List Mat Numerics Printf QCheck QCheck_alcotest Quantum Rng Weyl

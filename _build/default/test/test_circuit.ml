@@ -1,0 +1,289 @@
+(* Tests for the circuit IR: metrics, simulation, DAG, decompositions. *)
+
+open Numerics
+
+let rng = Rng.create 31L
+
+let check_mat ?(tol = 1e-8) msg expected actual =
+  Alcotest.(check bool)
+    (msg ^ " (dist " ^ string_of_float (Mat.frobenius_dist expected actual) ^ ")")
+    true
+    (Mat.equal ~tol expected actual)
+
+let check_phase ?(tol = 1e-8) msg expected actual =
+  Alcotest.(check bool)
+    (msg ^ " (phase dist " ^ string_of_float (Mat.phase_dist expected actual) ^ ")")
+    true
+    (Mat.allclose_up_to_phase ~tol expected actual)
+
+(* ---------------------------------------------------------------- basics *)
+
+let bell = Circuit.create 2 [ Gate.h 0; Gate.cx 0 1 ]
+
+let test_metrics () =
+  let c =
+    Circuit.create 3
+      [ Gate.h 0; Gate.cx 0 1; Gate.cx 1 2; Gate.rz 2 0.3; Gate.cx 0 1 ]
+  in
+  Alcotest.(check int) "gate count" 5 (Circuit.gate_count c);
+  Alcotest.(check int) "#2q" 3 (Circuit.count_2q c);
+  Alcotest.(check int) "depth2q" 3 (Circuit.depth_2q c);
+  (* parallel 2q gates give depth 1 *)
+  let par = Circuit.create 4 [ Gate.cx 0 1; Gate.cx 2 3 ] in
+  Alcotest.(check int) "parallel depth" 1 (Circuit.depth_2q par)
+
+let test_duration () =
+  let c = Circuit.create 3 [ Gate.cx 0 1; Gate.cx 2 1; Gate.cx 0 2 ] in
+  let tau (g : Gate.t) = if Gate.is_2q g then 2.0 else 0.0 in
+  (* chain through shared wires: all three sequential *)
+  Alcotest.(check (float 1e-9)) "duration" 6.0 (Circuit.duration ~tau c)
+
+let test_unitary_bell () =
+  let u = Circuit.unitary bell in
+  let expected = Mat.mul Quantum.Gates.cnot (Mat.kron Quantum.Gates.h (Mat.identity 2)) in
+  check_mat "bell unitary" expected u
+
+let test_state_run () =
+  let st = State.run ~n:2 bell.Circuit.gates in
+  let r = 1.0 /. sqrt 2.0 in
+  Alcotest.(check (float 1e-9)) "amp 00" r (Cx.norm st.(0));
+  Alcotest.(check (float 1e-9)) "amp 11" r (Cx.norm st.(3));
+  Alcotest.(check (float 1e-9)) "amp 01" 0.0 (Cx.norm st.(1))
+
+let test_state_matches_unitary () =
+  (* random circuit: statevector run equals unitary application *)
+  let gates =
+    List.init 12 (fun i ->
+        if i mod 3 = 0 then Gate.cx (Rng.int rng 4) ((Rng.int rng 3 + 1 + Rng.int rng 4) mod 4)
+        else Gate.u3 (Rng.int rng 4) (Rng.float rng 3.0) (Rng.float rng 3.0) (Rng.float rng 3.0))
+  in
+  let gates =
+    List.map
+      (fun (g : Gate.t) ->
+        if Gate.is_2q g && g.qubits.(0) = g.qubits.(1) then
+          Gate.cx g.qubits.(0) ((g.qubits.(0) + 1) mod 4)
+        else g)
+      gates
+  in
+  let c = Circuit.create 4 gates in
+  let via_state = State.run ~n:4 c.gates in
+  let via_unitary = Mat.apply (Circuit.unitary c) (State.zero 4) in
+  let dist = ref 0.0 in
+  Array.iteri (fun i a -> dist := !dist +. Cx.norm2 (Cx.( -: ) a via_unitary.(i))) via_state;
+  Alcotest.(check bool) "state = unitary . e0" true (sqrt !dist < 1e-8)
+
+let test_dagger () =
+  let c = Circuit.create 2 [ Gate.h 0; Gate.cx 0 1; Gate.s 1 ] in
+  let u = Mat.mul (Circuit.unitary (Circuit.dagger c)) (Circuit.unitary c) in
+  check_mat "c† c = I" (Mat.identity 4) u
+
+let test_distinct_2q () =
+  let c =
+    Circuit.create 3
+      [
+        Gate.cx 0 1;
+        Gate.cx 1 2;
+        Gate.cz 0 1;
+        (* cz ~ cx: same class *)
+        Gate.swap 0 2;
+        Gate.can 0 1 0.3 0.2 0.1;
+      ]
+  in
+  Alcotest.(check int) "distinct classes" 3 (Circuit.distinct_2q c)
+
+(* ------------------------------------------------------------------- dag *)
+
+let test_dag_structure () =
+  let c = Circuit.create 3 [ Gate.cx 0 1; Gate.cx 1 2; Gate.cx 0 1; Gate.h 2 ] in
+  let d = Dag.of_circuit c in
+  Alcotest.(check (list int)) "front" [ 0 ] (Dag.initial_front d);
+  Alcotest.(check (list int)) "preds of 1" [ 0 ] d.Dag.preds.(1);
+  Alcotest.(check (list int)) "preds of 2" [ 0; 1 ] (List.sort compare d.Dag.preds.(2));
+  Alcotest.(check (list int)) "topo" [ 0; 1; 2; 3 ] (Dag.topo_order d);
+  Alcotest.(check (list int)) "last layer" [ 2; 3 ] (List.sort compare (Dag.last_layer d))
+
+(* ----------------------------------------------------------------- decomp *)
+
+let test_ccx_to_cx () =
+  let c = Circuit.create 3 (Decomp.ccx_to_cx 0 1 2) in
+  check_phase "toffoli from 6 cnots" Quantum.Gates.ccx (Circuit.unitary c);
+  Alcotest.(check int) "6 cnots" 6 (Circuit.count_2q c)
+
+let test_three_q_gates () =
+  List.iter
+    (fun g ->
+      let lowered = Circuit.create 3 (Decomp.three_q_to_ccx g) in
+      check_phase (g.Gate.label ^ " lowers") g.Gate.mat (Circuit.unitary lowered))
+    [ Gate.ccz 0 1 2; Gate.cswap 0 1 2; Gate.peres 0 1 2; Gate.ccx 0 1 2 ]
+
+let test_mcx () =
+  (* k controls + target + 1 ancilla; compare against the permutation *)
+  List.iter
+    (fun k ->
+      let n = k + 2 in
+      let controls = List.init k (fun i -> i) in
+      let target = k in
+      let gates = Decomp.mcx ~controls ~target ~avail:[ k + 1 ] in
+      let c = Circuit.create n gates in
+      let u = Circuit.unitary c in
+      (* expected: flip target iff all controls set, identity on ancilla *)
+      let dim = 1 lsl n in
+      let expected =
+        Mat.init dim dim (fun i j ->
+            let all_set =
+              List.for_all (fun q -> (j lsr (n - 1 - q)) land 1 = 1) controls
+            in
+            let jt = if all_set then j lxor (1 lsl (n - 1 - target)) else j in
+            if i = jt then Cx.one else Cx.zero)
+      in
+      check_phase (Printf.sprintf "mcx k=%d" k) expected u)
+    [ 1; 2; 3; 4; 5 ]
+
+let test_cnot_count_for () =
+  Alcotest.(check int) "identity" 0 (Decomp.cnot_count_for Weyl.Coords.identity);
+  Alcotest.(check int) "cnot" 1 (Decomp.cnot_count_for Weyl.Coords.cnot);
+  Alcotest.(check int) "iswap" 2 (Decomp.cnot_count_for Weyl.Coords.iswap);
+  Alcotest.(check int) "b" 2 (Decomp.cnot_count_for Weyl.Coords.b_gate);
+  Alcotest.(check int) "swap" 3 (Decomp.cnot_count_for Weyl.Coords.swap);
+  Alcotest.(check int) "generic" 3 (Decomp.cnot_count_for (Weyl.Coords.make 0.5 0.3 0.1))
+
+let test_can_circuit_classes () =
+  let pi4 = Float.pi /. 4.0 in
+  for _ = 1 to 15 do
+    let x = Rng.uniform rng ~lo:0.0 ~hi:pi4 in
+    let y = Rng.uniform rng ~lo:0.0 ~hi:x in
+    let z = Rng.uniform rng ~lo:(-.y) ~hi:y in
+    let z = if x >= pi4 -. 1e-9 then Float.abs z else z in
+    let c = Weyl.Coords.make x y z in
+    let circ = Circuit.create 2 (Decomp.can_circuit 0 1 c) in
+    let got = Weyl.Kak.coords_of (Circuit.unitary circ) in
+    Alcotest.(check bool)
+      (Printf.sprintf "class of can_circuit %s -> %s" (Weyl.Coords.to_string c)
+         (Weyl.Coords.to_string got))
+      true
+      (Weyl.Coords.dist c got < 1e-7)
+  done;
+  (* z = 0 plane uses only 2 CNOTs *)
+  let c2 = Circuit.create 2 (Decomp.can_circuit 0 1 (Weyl.Coords.make 0.5 0.2 0.0)) in
+  Alcotest.(check int) "2 cnots on z=0" 2 (Circuit.count_2q c2)
+
+let test_su4_to_cx_exact () =
+  for _ = 1 to 10 do
+    let u = Quantum.Haar.su4 rng in
+    let g = Gate.su4 0 1 u in
+    let circ = Circuit.create 2 (Decomp.su4_to_cx g) in
+    check_mat ~tol:1e-7 "su4 lowering exact (incl. phase)" u (Circuit.unitary circ);
+    Alcotest.(check int) "3 cnots" 3 (Circuit.count_2q circ)
+  done;
+  (* reversed wire order *)
+  let u = Quantum.Haar.su4 rng in
+  let g = Gate.su4 1 0 u in
+  let circ = Circuit.create 2 (Decomp.su4_to_cx g) in
+  let expected = Quantum.Gates.embed ~n:2 ~qubits:[ 1; 0 ] u in
+  check_mat ~tol:1e-7 "reversed wires" expected (Circuit.unitary circ)
+
+let test_lower_to_cx_whole () =
+  let c =
+    Circuit.create 3
+      [
+        Gate.h 0;
+        Gate.ccx 0 1 2;
+        Gate.swap 0 2;
+        Gate.can 1 2 0.4 0.3 0.1;
+        Gate.iswap 0 1;
+      ]
+  in
+  let low = Decomp.lower_to_cx c in
+  Alcotest.(check bool) "only cx and 1q" true
+    (List.for_all
+       (fun (g : Gate.t) -> Gate.arity g = 1 || g.label = "cx")
+       low.Circuit.gates);
+  check_phase ~tol:1e-7 "unitary preserved" (Circuit.unitary c) (Circuit.unitary low)
+
+(* ----------------------------------------------------------------- noise *)
+
+let test_noise_free_is_ideal () =
+  let model = Noise.Depolarizing.uniform_p 0.0 in
+  let noisy = Noise.Depolarizing.noisy_distribution rng model ~trajectories:3 bell in
+  let ideal = Noise.Depolarizing.ideal_distribution bell in
+  Array.iteri
+    (fun i p -> Alcotest.(check (float 1e-9)) (Printf.sprintf "p%d" i) ideal.(i) p)
+    noisy
+
+let test_noise_reduces_fidelity () =
+  let c =
+    Circuit.create 3
+      (List.concat (List.init 6 (fun _ -> [ Gate.h 0; Gate.cx 0 1; Gate.cx 1 2 ])))
+  in
+  let f_low =
+    Noise.Depolarizing.program_fidelity (Rng.create 9L)
+      (Noise.Depolarizing.uniform_p 0.02) ~trajectories:120 c
+  in
+  let f_high =
+    Noise.Depolarizing.program_fidelity (Rng.create 9L)
+      (Noise.Depolarizing.uniform_p 0.3) ~trajectories:120 c
+  in
+  Alcotest.(check bool)
+    (Printf.sprintf "more noise, less fidelity (%.3f vs %.3f)" f_low f_high)
+    true (f_high < f_low);
+  Alcotest.(check bool) "fidelities in range" true
+    (f_high >= 0.0 && f_low <= 1.0 +. 1e-9)
+
+let test_hellinger () =
+  let p = [| 0.5; 0.5; 0.0 |] and q = [| 0.5; 0.5; 0.0 |] in
+  Alcotest.(check (float 1e-12)) "identical" 1.0 (State.hellinger_fidelity p q);
+  let r = [| 1.0; 0.0; 0.0 |] and s = [| 0.0; 1.0; 0.0 |] in
+  Alcotest.(check (float 1e-12)) "disjoint" 0.0 (State.hellinger_fidelity r s)
+
+let qcheck_tests =
+  let arb_seed = QCheck.make QCheck.Gen.(map Int64.of_int (int_bound 1000000)) in
+  [
+    QCheck.Test.make ~count:25 ~name:"su4_to_cx exact for haar gates" arb_seed
+      (fun seed ->
+        let u = Quantum.Haar.su4 (Rng.create seed) in
+        let circ = Circuit.create 2 (Decomp.su4_to_cx (Gate.su4 0 1 u)) in
+        Mat.equal ~tol:1e-6 (Circuit.unitary circ) u);
+    QCheck.Test.make ~count:25 ~name:"circuit unitary is unitary" arb_seed
+      (fun seed ->
+        let r = Rng.create seed in
+        let gates =
+          List.init 8 (fun _ ->
+              let a = Rng.int r 3 in
+              let b = (a + 1 + Rng.int r 2) mod 3 in
+              if Rng.bool r then Gate.cx a b else Gate.u3 a (Rng.float r 3.0) 0.1 0.2)
+        in
+        Mat.is_unitary ~tol:1e-8 (Circuit.unitary (Circuit.create 3 gates)));
+  ]
+
+let () =
+  Alcotest.run "circuit"
+    [
+      ( "basics",
+        [
+          Alcotest.test_case "metrics" `Quick test_metrics;
+          Alcotest.test_case "duration" `Quick test_duration;
+          Alcotest.test_case "unitary bell" `Quick test_unitary_bell;
+          Alcotest.test_case "state run" `Quick test_state_run;
+          Alcotest.test_case "state vs unitary" `Quick test_state_matches_unitary;
+          Alcotest.test_case "dagger" `Quick test_dagger;
+          Alcotest.test_case "distinct 2q" `Quick test_distinct_2q;
+        ] );
+      ("dag", [ Alcotest.test_case "structure" `Quick test_dag_structure ]);
+      ( "decomp",
+        [
+          Alcotest.test_case "ccx to cx" `Quick test_ccx_to_cx;
+          Alcotest.test_case "3q gates" `Quick test_three_q_gates;
+          Alcotest.test_case "mcx" `Quick test_mcx;
+          Alcotest.test_case "cnot counts" `Quick test_cnot_count_for;
+          Alcotest.test_case "can circuit classes" `Quick test_can_circuit_classes;
+          Alcotest.test_case "su4 exact" `Quick test_su4_to_cx_exact;
+          Alcotest.test_case "lower whole circuit" `Quick test_lower_to_cx_whole;
+        ] );
+      ( "noise",
+        [
+          Alcotest.test_case "noise-free" `Quick test_noise_free_is_ideal;
+          Alcotest.test_case "fidelity decreases" `Quick test_noise_reduces_fidelity;
+          Alcotest.test_case "hellinger" `Quick test_hellinger;
+        ] );
+      ("properties", List.map QCheck_alcotest.to_alcotest qcheck_tests);
+    ]

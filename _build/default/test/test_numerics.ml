@@ -1,0 +1,318 @@
+(* Tests for the numerics substrate: matrices, eigensolvers, expm, svd,
+   root finding, optimization, rng. *)
+
+open Numerics
+
+let check_float ?(tol = 1e-9) msg expected actual =
+  Alcotest.(check bool)
+    (Printf.sprintf "%s (expected %.12g, got %.12g)" msg expected actual)
+    true
+    (Float.abs (expected -. actual) <= tol)
+
+let rng = Rng.create 42L
+
+let random_mat ?(rng = rng) n =
+  Mat.init n n (fun _ _ -> Cx.mk (Rng.gaussian rng) (Rng.gaussian rng))
+
+let random_hermitian n =
+  let a = random_mat n in
+  Mat.rsmul 0.5 (Mat.add a (Mat.dagger a))
+
+let random_unitary n =
+  (* Gram-Schmidt on a random matrix gives a Haar-ish unitary; exactness of
+     distribution is irrelevant here, unitarity is what we need. *)
+  let a = random_mat n in
+  let u, _, v = Svd.svd a in
+  Mat.mul u (Mat.dagger v)
+
+(* ------------------------------------------------------------------ Mat *)
+
+let test_mat_mul_identity () =
+  let m = random_mat 4 in
+  Alcotest.(check bool) "m * I = m" true (Mat.equal (Mat.mul m (Mat.identity 4)) m);
+  Alcotest.(check bool) "I * m = m" true (Mat.equal (Mat.mul (Mat.identity 4) m) m)
+
+let test_mat_dagger_product () =
+  let a = random_mat 3 and b = random_mat 3 in
+  let lhs = Mat.dagger (Mat.mul a b) in
+  let rhs = Mat.mul (Mat.dagger b) (Mat.dagger a) in
+  Alcotest.(check bool) "(ab)† = b†a†" true (Mat.equal lhs rhs)
+
+let test_mat_kron_shape () =
+  let a = random_mat 2 and b = random_mat 3 in
+  let k = Mat.kron a b in
+  Alcotest.(check int) "rows" 6 (Mat.rows k);
+  Alcotest.(check int) "cols" 6 (Mat.cols k);
+  (* (a⊗b)(c⊗d) = (ac)⊗(bd) *)
+  let c = random_mat 2 and d = random_mat 3 in
+  let lhs = Mat.mul (Mat.kron a b) (Mat.kron c d) in
+  let rhs = Mat.kron (Mat.mul a c) (Mat.mul b d) in
+  Alcotest.(check bool) "kron mixed product" true (Mat.equal ~tol:1e-8 lhs rhs)
+
+let test_mat_det_known () =
+  let m = Mat.of_real_arrays [| [| 1.0; 2.0 |]; [| 3.0; 4.0 |] |] in
+  Alcotest.(check bool) "det [[1;2];[3;4]] = -2" true
+    (Cx.close (Mat.det m) (Cx.of_float (-2.0)))
+
+let test_mat_det_multiplicative () =
+  let a = random_mat 4 and b = random_mat 4 in
+  let lhs = Mat.det (Mat.mul a b) in
+  let rhs = Cx.( *: ) (Mat.det a) (Mat.det b) in
+  Alcotest.(check bool) "det(ab) = det a det b" true (Cx.close ~tol:1e-6 lhs rhs)
+
+let test_mat_inv () =
+  let m = random_mat 5 in
+  let mi = Mat.inv m in
+  Alcotest.(check bool) "m * m^-1 = I" true
+    (Mat.equal ~tol:1e-8 (Mat.mul m mi) (Mat.identity 5))
+
+let test_mat_trace_cyclic () =
+  let a = random_mat 4 and b = random_mat 4 in
+  let lhs = Mat.trace (Mat.mul a b) and rhs = Mat.trace (Mat.mul b a) in
+  Alcotest.(check bool) "tr(ab) = tr(ba)" true (Cx.close ~tol:1e-8 lhs rhs)
+
+let test_mat_phase_dist () =
+  let u = random_unitary 4 in
+  let v = Mat.smul (Cx.expi 1.234) u in
+  check_float ~tol:1e-8 "phase_dist(u, e^{i a} u) = 0" 0.0 (Mat.phase_dist u v);
+  Alcotest.(check bool) "allclose_up_to_phase" true (Mat.allclose_up_to_phase u v)
+
+let test_mat_fix_det_su () =
+  let u = random_unitary 4 in
+  let su = Mat.fix_det_su u in
+  Alcotest.(check bool) "det = 1" true (Cx.close ~tol:1e-8 (Mat.det su) Cx.one);
+  Alcotest.(check bool) "same up to phase" true
+    (Mat.allclose_up_to_phase ~tol:1e-8 su u)
+
+(* ------------------------------------------------------------------ Eig *)
+
+let test_eig_hermitian_reconstruct () =
+  let h = random_hermitian 5 in
+  let w, v = Eig.hermitian h in
+  Alcotest.(check bool) "v unitary" true (Mat.is_unitary ~tol:1e-8 v);
+  let d = Mat.init 5 5 (fun i j -> if i = j then Cx.of_float w.(i) else Cx.zero) in
+  let rec_ = Mat.mul3 v d (Mat.dagger v) in
+  Alcotest.(check bool) "v d v† = h" true (Mat.equal ~tol:1e-8 rec_ h);
+  let sorted = Array.copy w in
+  Array.sort compare sorted;
+  Alcotest.(check bool) "eigenvalues ascending" true (sorted = w)
+
+let test_eig_simultaneous () =
+  (* Build a commuting pair from a shared eigenbasis. *)
+  let q =
+    let a = Mat.init 4 4 (fun _ _ -> Cx.of_float (Rng.gaussian rng)) in
+    let u, _, v = Svd.svd a in
+    let o = Mat.mul u (Mat.dagger v) in
+    (* u, v real here since a real; product is real orthogonal *)
+    o
+  in
+  let diag l = Mat.init 4 4 (fun i j -> if i = j then Cx.of_float (List.nth l i) else Cx.zero) in
+  let a = Mat.mul3 q (diag [ 1.0; 2.0; 2.0; 3.0 ]) (Mat.transpose q) in
+  let b = Mat.mul3 q (diag [ 5.0; 1.0; 4.0; 1.0 ]) (Mat.transpose q) in
+  let v = Eig.simultaneous_real a b in
+  let da = Mat.mul3 (Mat.transpose v) a v and db = Mat.mul3 (Mat.transpose v) b v in
+  check_float ~tol:1e-7 "a diagonalized" 0.0 (Eig.offdiag_norm da);
+  check_float ~tol:1e-7 "b diagonalized" 0.0 (Eig.offdiag_norm db)
+
+(* ----------------------------------------------------------------- Expm *)
+
+let test_expm_pauli_z () =
+  let z = Mat.of_real_arrays [| [| 1.0; 0.0 |]; [| 0.0; -1.0 |] |] in
+  let t = 0.7 in
+  let u = Expm.herm_expi z ~t in
+  let expected =
+    Mat.of_arrays [| [| Cx.expi (-.t); Cx.zero |]; [| Cx.zero; Cx.expi t |] |]
+  in
+  Alcotest.(check bool) "exp(-itZ)" true (Mat.equal ~tol:1e-10 u expected)
+
+let test_expm_unitary () =
+  let h = random_hermitian 4 in
+  let u = Expm.herm_expi h ~t:1.3 in
+  Alcotest.(check bool) "exp(-ith) unitary" true (Mat.is_unitary ~tol:1e-8 u)
+
+let test_expm_group_law () =
+  let h = random_hermitian 4 in
+  let u1 = Expm.herm_expi h ~t:0.4 and u2 = Expm.herm_expi h ~t:0.9 in
+  let u12 = Expm.herm_expi h ~t:1.3 in
+  Alcotest.(check bool) "U(0.4) U(0.9) = U(1.3)" true
+    (Mat.equal ~tol:1e-8 (Mat.mul u1 u2) u12)
+
+(* ------------------------------------------------------------------ Svd *)
+
+let test_svd_reconstruct () =
+  let m = random_mat 4 in
+  let u, s, v = Svd.svd m in
+  Alcotest.(check bool) "u unitary" true (Mat.is_unitary ~tol:1e-8 u);
+  Alcotest.(check bool) "v unitary" true (Mat.is_unitary ~tol:1e-8 v);
+  let d = Mat.init 4 4 (fun i j -> if i = j then Cx.of_float s.(i) else Cx.zero) in
+  Alcotest.(check bool) "u s v† = m" true (Mat.equal ~tol:1e-7 (Mat.mul3 u d (Mat.dagger v)) m)
+
+let test_svd_rank_deficient () =
+  (* Rank-1 matrix still yields full unitaries. *)
+  let m = Mat.init 4 4 (fun i j -> if i = 0 && j = 0 then Cx.of_float 2.0 else Cx.zero) in
+  let u, s, v = Svd.svd m in
+  Alcotest.(check bool) "u unitary" true (Mat.is_unitary ~tol:1e-8 u);
+  Alcotest.(check bool) "v unitary" true (Mat.is_unitary ~tol:1e-8 v);
+  check_float ~tol:1e-10 "top singular value" 2.0 s.(0);
+  check_float ~tol:1e-10 "rest zero" 0.0 s.(1)
+
+let test_svd_maximizer () =
+  let x = random_mat 4 in
+  let g = Svd.unitary_maximizer x in
+  Alcotest.(check bool) "g unitary" true (Mat.is_unitary ~tol:1e-8 g);
+  let attained = Cx.re (Mat.trace (Mat.mul x g)) in
+  check_float ~tol:1e-7 "attains nuclear norm" (Svd.nuclear_norm x) attained;
+  (* any other unitary does no better *)
+  let other = random_unitary 4 in
+  Alcotest.(check bool) "maximal" true
+    (Cx.re (Mat.trace (Mat.mul x other)) <= attained +. 1e-9)
+
+(* ---------------------------------------------------------------- Roots *)
+
+let test_bisect_sin () =
+  let r = Roots.bisect sin 3.0 3.3 in
+  check_float ~tol:1e-10 "root of sin near pi" Float.pi r
+
+let test_smallest_root () =
+  match Roots.smallest_root_above cos ~lo:0.0 ~hi:10.0 ~steps:100 with
+  | Some r -> check_float ~tol:1e-10 "first root of cos" (Float.pi /. 2.0) r
+  | None -> Alcotest.fail "no root found"
+
+let test_smallest_root_none () =
+  match Roots.smallest_root_above (fun x -> (x *. x) +. 1.0) ~lo:0.0 ~hi:5.0 ~steps:50 with
+  | None -> ()
+  | Some _ -> Alcotest.fail "found spurious root"
+
+let test_newton2d () =
+  (* x^2 + y^2 = 4, x = y  =>  (sqrt 2, sqrt 2) from a nearby start *)
+  let f (x, y) = ((x *. x) +. (y *. y) -. 4.0, x -. y) in
+  match Roots.newton2d f (1.0, 1.2) with
+  | Some (x, y) ->
+    check_float ~tol:1e-9 "x" (sqrt 2.0) x;
+    check_float ~tol:1e-9 "y" (sqrt 2.0) y
+  | None -> Alcotest.fail "newton2d did not converge"
+
+(* ------------------------------------------------------------- Optimize *)
+
+let test_nelder_mead_quadratic () =
+  let f x = ((x.(0) -. 1.0) ** 2.0) +. ((x.(1) +. 2.0) ** 2.0) in
+  let x, v = Optimize.nelder_mead f [| 0.0; 0.0 |] in
+  check_float ~tol:1e-5 "x0" 1.0 x.(0);
+  check_float ~tol:1e-5 "x1" (-2.0) x.(1);
+  check_float ~tol:1e-8 "min value" 0.0 v
+
+let test_nelder_mead_rosenbrock () =
+  let f x =
+    ((1.0 -. x.(0)) ** 2.0) +. (100.0 *. ((x.(1) -. (x.(0) *. x.(0))) ** 2.0))
+  in
+  let x, _ = Optimize.nelder_mead ~max_iter:5000 f [| -1.0; 1.0 |] in
+  check_float ~tol:1e-3 "rosenbrock x" 1.0 x.(0);
+  check_float ~tol:1e-3 "rosenbrock y" 1.0 x.(1)
+
+(* ------------------------------------------------------------------ Rng *)
+
+let test_rng_deterministic () =
+  let a = Rng.create 7L and b = Rng.create 7L in
+  for _ = 1 to 100 do
+    Alcotest.(check int) "same stream" (Rng.int a 1000) (Rng.int b 1000)
+  done
+
+let test_rng_split_independent () =
+  let a = Rng.create 7L in
+  let c = Rng.split a in
+  let xs = List.init 10 (fun _ -> Rng.int a 1000000) in
+  let ys = List.init 10 (fun _ -> Rng.int c 1000000) in
+  Alcotest.(check bool) "streams differ" true (xs <> ys)
+
+let test_rng_gaussian_moments () =
+  let r = Rng.create 2024L in
+  let n = 20000 in
+  let sum = ref 0.0 and sum2 = ref 0.0 in
+  for _ = 1 to n do
+    let g = Rng.gaussian r in
+    sum := !sum +. g;
+    sum2 := !sum2 +. (g *. g)
+  done;
+  let mean = !sum /. float_of_int n in
+  let var = (!sum2 /. float_of_int n) -. (mean *. mean) in
+  check_float ~tol:0.05 "mean ~ 0" 0.0 mean;
+  check_float ~tol:0.05 "var ~ 1" 1.0 var
+
+(* qcheck properties *)
+
+let qcheck_tests =
+  let mat_gen n =
+    QCheck.Gen.(
+      array_size (return (n * n)) (pair (float_bound_inclusive 2.0) (float_bound_inclusive 2.0))
+      |> map (fun pairs -> Mat.init n n (fun i j -> let re, im = pairs.((i * n) + j) in Cx.mk re im)))
+  in
+  let arb_mat4 = QCheck.make (mat_gen 4) in
+  [
+    QCheck.Test.make ~count:50 ~name:"dagger involutive" arb_mat4 (fun m ->
+        Mat.equal (Mat.dagger (Mat.dagger m)) m);
+    QCheck.Test.make ~count:50 ~name:"trace linear" (QCheck.pair arb_mat4 arb_mat4)
+      (fun (a, b) ->
+        Cx.close ~tol:1e-8
+          (Mat.trace (Mat.add a b))
+          (Cx.( +: ) (Mat.trace a) (Mat.trace b)));
+    QCheck.Test.make ~count:30 ~name:"hermitian eig real spectrum" arb_mat4 (fun m ->
+        let h = Mat.rsmul 0.5 (Mat.add m (Mat.dagger m)) in
+        let w, v = Eig.hermitian h in
+        Array.for_all Float.is_finite w && Mat.is_unitary ~tol:1e-7 v);
+    QCheck.Test.make ~count:30 ~name:"svd singular values nonneg" arb_mat4 (fun m ->
+        let _, s, _ = Svd.svd m in
+        Array.for_all (fun x -> x >= 0.0) s);
+  ]
+
+let () =
+  Alcotest.run "numerics"
+    [
+      ( "mat",
+        [
+          Alcotest.test_case "mul identity" `Quick test_mat_mul_identity;
+          Alcotest.test_case "dagger product" `Quick test_mat_dagger_product;
+          Alcotest.test_case "kron" `Quick test_mat_kron_shape;
+          Alcotest.test_case "det known" `Quick test_mat_det_known;
+          Alcotest.test_case "det multiplicative" `Quick test_mat_det_multiplicative;
+          Alcotest.test_case "inverse" `Quick test_mat_inv;
+          Alcotest.test_case "trace cyclic" `Quick test_mat_trace_cyclic;
+          Alcotest.test_case "phase distance" `Quick test_mat_phase_dist;
+          Alcotest.test_case "fix det su" `Quick test_mat_fix_det_su;
+        ] );
+      ( "eig",
+        [
+          Alcotest.test_case "hermitian reconstruct" `Quick test_eig_hermitian_reconstruct;
+          Alcotest.test_case "simultaneous real pair" `Quick test_eig_simultaneous;
+        ] );
+      ( "expm",
+        [
+          Alcotest.test_case "pauli z" `Quick test_expm_pauli_z;
+          Alcotest.test_case "unitary" `Quick test_expm_unitary;
+          Alcotest.test_case "group law" `Quick test_expm_group_law;
+        ] );
+      ( "svd",
+        [
+          Alcotest.test_case "reconstruct" `Quick test_svd_reconstruct;
+          Alcotest.test_case "rank deficient" `Quick test_svd_rank_deficient;
+          Alcotest.test_case "unitary maximizer" `Quick test_svd_maximizer;
+        ] );
+      ( "roots",
+        [
+          Alcotest.test_case "bisect sin" `Quick test_bisect_sin;
+          Alcotest.test_case "smallest root" `Quick test_smallest_root;
+          Alcotest.test_case "no root" `Quick test_smallest_root_none;
+          Alcotest.test_case "newton2d" `Quick test_newton2d;
+        ] );
+      ( "optimize",
+        [
+          Alcotest.test_case "quadratic" `Quick test_nelder_mead_quadratic;
+          Alcotest.test_case "rosenbrock" `Quick test_nelder_mead_rosenbrock;
+        ] );
+      ( "rng",
+        [
+          Alcotest.test_case "deterministic" `Quick test_rng_deterministic;
+          Alcotest.test_case "split" `Quick test_rng_split_independent;
+          Alcotest.test_case "gaussian moments" `Quick test_rng_gaussian_moments;
+        ] );
+      ("properties", List.map QCheck_alcotest.to_alcotest qcheck_tests);
+    ]

@@ -1,0 +1,194 @@
+(* Tests for the Weyl/KAK substrate: canonical coordinates of named gates,
+   exact reconstruction, chamber membership, mirror transform. *)
+
+open Numerics
+open Quantum
+
+let rng = Rng.create 11L
+let pi4 = Float.pi /. 4.0
+
+let check_coords ?(tol = 1e-8) msg expected actual =
+  Alcotest.(check bool)
+    (Printf.sprintf "%s: expected %s, got %s" msg (Weyl.Coords.to_string expected)
+       (Weyl.Coords.to_string actual))
+    true
+    (Weyl.Coords.equal ~tol expected actual)
+
+let check_reconstruct ?(tol = 1e-7) msg u =
+  let d = Weyl.Kak.decompose u in
+  let r = Weyl.Kak.reconstruct d in
+  Alcotest.(check bool)
+    (Printf.sprintf "%s: reconstruction error %.3g" msg (Mat.frobenius_dist u r))
+    true
+    (Mat.equal ~tol u r);
+  Alcotest.(check bool)
+    (Printf.sprintf "%s: coords in chamber %s" msg (Weyl.Coords.to_string d.coords))
+    true
+    (Weyl.Coords.in_chamber d.coords)
+
+(* --------------------------------------------------------- named gates *)
+
+let test_coords_cnot () =
+  check_coords "cnot" Weyl.Coords.cnot (Weyl.Kak.coords_of Gates.cnot);
+  check_coords "cz" Weyl.Coords.cnot (Weyl.Kak.coords_of Gates.cz)
+
+let test_coords_iswap () =
+  check_coords "iswap" Weyl.Coords.iswap (Weyl.Kak.coords_of Gates.iswap)
+
+let test_coords_swap () =
+  check_coords "swap" Weyl.Coords.swap (Weyl.Kak.coords_of Gates.swap)
+
+let test_coords_sqisw () =
+  check_coords "sqisw" Weyl.Coords.sqisw (Weyl.Kak.coords_of Gates.sqisw)
+
+let test_coords_b () =
+  check_coords "b gate" Weyl.Coords.b_gate (Weyl.Kak.coords_of Gates.b_gate)
+
+let test_coords_identity () =
+  check_coords "identity" Weyl.Coords.identity (Weyl.Kak.coords_of (Mat.identity 4));
+  let local = Mat.kron (Haar.su2 rng) (Haar.su2 rng) in
+  check_coords "local gate" Weyl.Coords.identity (Weyl.Kak.coords_of local)
+
+let test_coords_can_roundtrip () =
+  (* interior chamber point survives decomposition unchanged *)
+  let c = Weyl.Coords.make 0.7 0.5 0.2 in
+  check_coords "can interior" c (Weyl.Kak.coords_of (Weyl.Kak.canonical c));
+  let c2 = Weyl.Coords.make 0.7 0.5 (-0.2) in
+  check_coords "can interior negative z" c2 (Weyl.Kak.coords_of (Weyl.Kak.canonical c2))
+
+(* ------------------------------------------------------- reconstruction *)
+
+let test_reconstruct_named () =
+  List.iter
+    (fun (name, g) -> check_reconstruct name g)
+    [
+      ("cnot", Gates.cnot);
+      ("cz", Gates.cz);
+      ("swap", Gates.swap);
+      ("iswap", Gates.iswap);
+      ("sqisw", Gates.sqisw);
+      ("b", Gates.b_gate);
+      ("identity", Mat.identity 4);
+      ("cphase", Gates.cphase 0.9);
+    ]
+
+let test_reconstruct_random () =
+  for k = 1 to 20 do
+    check_reconstruct (Printf.sprintf "haar %d" k) (Haar.su4 rng)
+  done
+
+let test_reconstruct_with_phase () =
+  let u = Mat.smul (Cx.expi 1.234) (Haar.su4 rng) in
+  check_reconstruct "phased unitary" u
+
+let test_local_invariance () =
+  (* coords are invariant under 1q dressing *)
+  let u = Haar.su4 rng in
+  let c = Weyl.Kak.coords_of u in
+  let dressed =
+    Mat.mul3
+      (Mat.kron (Haar.su2 rng) (Haar.su2 rng))
+      u
+      (Mat.kron (Haar.su2 rng) (Haar.su2 rng))
+  in
+  check_coords "dressing invariant" c (Weyl.Kak.coords_of dressed);
+  Alcotest.(check bool) "locally_equivalent" true (Weyl.Kak.locally_equivalent u dressed)
+
+let test_locals_are_unitary () =
+  let d = Weyl.Kak.decompose (Haar.su4 rng) in
+  List.iter
+    (fun (n, m) -> Alcotest.(check bool) n true (Mat.is_unitary ~tol:1e-7 m))
+    [ ("a1", d.a1); ("a2", d.a2); ("b1", d.b1); ("b2", d.b2) ]
+
+(* --------------------------------------------------------------- mirror *)
+
+let test_mirror_formula () =
+  (* Weyl(SWAP * Can v) = mirror v for random chamber points *)
+  for _ = 1 to 20 do
+    let x = Rng.uniform rng ~lo:0.0 ~hi:pi4 in
+    let y = Rng.uniform rng ~lo:0.0 ~hi:x in
+    let z = Rng.uniform rng ~lo:(-.y) ~hi:y in
+    let z = if x >= pi4 -. 1e-9 then Float.abs z else z in
+    let c = Weyl.Coords.make x y z in
+    let mirrored = Weyl.Kak.coords_of (Mat.mul Gates.swap (Weyl.Kak.canonical c)) in
+    check_coords ~tol:1e-7
+      (Printf.sprintf "mirror of %s" (Weyl.Coords.to_string c))
+      (Weyl.Coords.mirror c) mirrored
+  done
+
+let test_mirror_moves_identityward_gates () =
+  (* near-identity classes land near the SWAP corner *)
+  let c = Weyl.Coords.make 0.01 0.005 0.001 in
+  let m = Weyl.Coords.mirror c in
+  Alcotest.(check bool) "mirror far from origin" true (Weyl.Coords.norm1 m > 2.0);
+  Alcotest.(check bool) "mirror in chamber" true (Weyl.Coords.in_chamber m)
+
+let test_mirror_involution () =
+  (* applying the mirror twice returns the original class *)
+  for _ = 1 to 10 do
+    let x = Rng.uniform rng ~lo:0.0 ~hi:pi4 in
+    let y = Rng.uniform rng ~lo:0.0 ~hi:x in
+    let z = Rng.uniform rng ~lo:(-.y) ~hi:y in
+    let z = if x >= pi4 -. 1e-9 then Float.abs z else z in
+    let c = Weyl.Coords.make x y z in
+    check_coords ~tol:1e-9 "double mirror" c (Weyl.Coords.mirror (Weyl.Coords.mirror c))
+  done
+
+(* -------------------------------------------------------------- chamber *)
+
+let test_chamber_membership () =
+  let ok x y z = Weyl.Coords.in_chamber (Weyl.Coords.make x y z) in
+  Alcotest.(check bool) "origin" true (ok 0.0 0.0 0.0);
+  Alcotest.(check bool) "swap corner" true (ok pi4 pi4 pi4);
+  Alcotest.(check bool) "negative z interior" true (ok 0.5 0.3 (-0.2));
+  Alcotest.(check bool) "x beyond pi/4" false (ok 1.0 0.1 0.0);
+  Alcotest.(check bool) "unsorted" false (ok 0.2 0.5 0.0);
+  Alcotest.(check bool) "negative z at x=pi/4" false (ok pi4 0.3 (-0.2))
+
+let qcheck_tests =
+  let arb_seed = QCheck.make QCheck.Gen.(map Int64.of_int (int_bound 1000000)) in
+  [
+    QCheck.Test.make ~count:60 ~name:"kak reconstructs haar unitaries" arb_seed
+      (fun seed ->
+        let u = Haar.su4 (Rng.create seed) in
+        let d = Weyl.Kak.decompose u in
+        Mat.equal ~tol:1e-6 (Weyl.Kak.reconstruct d) u
+        && Weyl.Coords.in_chamber ~tol:1e-7 d.coords);
+    QCheck.Test.make ~count:30 ~name:"coords stable under left/right locals" arb_seed
+      (fun seed ->
+        let r = Rng.create seed in
+        let u = Haar.su4 r in
+        let l = Mat.kron (Haar.su2 r) (Haar.su2 r) in
+        Weyl.Coords.dist (Weyl.Kak.coords_of u) (Weyl.Kak.coords_of (Mat.mul l u)) < 1e-6);
+  ]
+
+let () =
+  Alcotest.run "weyl"
+    [
+      ( "coords",
+        [
+          Alcotest.test_case "cnot/cz" `Quick test_coords_cnot;
+          Alcotest.test_case "iswap" `Quick test_coords_iswap;
+          Alcotest.test_case "swap" `Quick test_coords_swap;
+          Alcotest.test_case "sqisw" `Quick test_coords_sqisw;
+          Alcotest.test_case "b gate" `Quick test_coords_b;
+          Alcotest.test_case "identity/local" `Quick test_coords_identity;
+          Alcotest.test_case "can roundtrip" `Quick test_coords_can_roundtrip;
+        ] );
+      ( "reconstruct",
+        [
+          Alcotest.test_case "named gates" `Quick test_reconstruct_named;
+          Alcotest.test_case "random unitaries" `Quick test_reconstruct_random;
+          Alcotest.test_case "global phase" `Quick test_reconstruct_with_phase;
+          Alcotest.test_case "local invariance" `Quick test_local_invariance;
+          Alcotest.test_case "locals unitary" `Quick test_locals_are_unitary;
+        ] );
+      ( "mirror",
+        [
+          Alcotest.test_case "formula vs matrix" `Quick test_mirror_formula;
+          Alcotest.test_case "near-identity" `Quick test_mirror_moves_identityward_gates;
+          Alcotest.test_case "involution" `Quick test_mirror_involution;
+        ] );
+      ("chamber", [ Alcotest.test_case "membership" `Quick test_chamber_membership ]);
+      ("properties", List.map QCheck_alcotest.to_alcotest qcheck_tests);
+    ]
