@@ -3,7 +3,7 @@
 
 RESULTS ?= results
 
-.PHONY: all build test demo bench tables figures csv clean
+.PHONY: all build test check bench-smoke demo bench microbench tables figures csv clean
 
 all: build
 
@@ -12,6 +12,18 @@ build:
 
 test:
 	dune runtest
+
+# fast health check: full test suite plus a tiny benchmark pass that
+# exercises the SoA-vs-boxed cross-checks and the table2 fan-out
+check: build test bench-smoke
+
+bench-smoke: build
+	dune exec bench/microbench.exe -- --smoke --out _build/bench_smoke.json
+	dune exec bench/main.exe -- table2 --limit 4
+
+# full microbenchmark run; writes BENCH_numerics.json at the repo root
+microbench: build
+	dune exec bench/microbench.exe
 
 # minutes: one category end to end (the artifact's `make demo`)
 demo: build

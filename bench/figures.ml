@@ -89,23 +89,29 @@ let fig6 ~haar_n () =
       ("B", Weyl.Coords.b_gate);
       ("SWAP", Weyl.Coords.swap);
     ];
-  let rng = Numerics.Rng.create 6L in
   let avg =
-    Microarch.Duration.haar_average ~n:haar_n rng (fun c -> Microarch.Tau.tau_opt xy c)
+    Microarch.Duration.haar_average_par ~n:haar_n ~seed:6_000_000L (fun c ->
+        Microarch.Tau.tau_opt xy c)
   in
   Printf.printf "  Haar-average tau = %.4f /g, conventional CNOT = %.4f /g\n" avg
     (Microarch.Duration.conventional_cnot_tau ~g:1.0);
   sub "(b,c) subscheme regions (fraction of Haar-random classes)";
   let fractions coupling seed =
-    let r = Numerics.Rng.create seed in
-    let counts = Hashtbl.create 3 in
     let n = 2000 in
-    for _ = 1 to n do
-      let c = Weyl.Kak.coords_of (Quantum.Haar.su4 r) in
-      let s = (Microarch.Tau.plan coupling c).Microarch.Tau.subscheme in
-      let k = Microarch.Tau.subscheme_to_string s in
-      Hashtbl.replace counts k (1 + Option.value ~default:0 (Hashtbl.find_opt counts k))
-    done;
+    (* domain-parallel sweep with per-index rngs: classify each Haar sample
+       independently, count sequentially afterwards *)
+    let subs =
+      Numerics.Par.parallel_init n (fun i ->
+          let r = Numerics.Rng.create (Int64.add seed (Int64.of_int i)) in
+          let c = Weyl.Kak.coords_of (Quantum.Haar.su4 r) in
+          Microarch.Tau.subscheme_to_string
+            (Microarch.Tau.plan coupling c).Microarch.Tau.subscheme)
+    in
+    let counts = Hashtbl.create 3 in
+    Array.iter
+      (fun k ->
+        Hashtbl.replace counts k (1 + Option.value ~default:0 (Hashtbl.find_opt counts k)))
+      subs;
     List.map
       (fun k -> (k, float_of_int (Option.value ~default:0 (Hashtbl.find_opt counts k)) /. float_of_int n))
       [ "ND"; "EA+"; "EA-" ]
@@ -115,8 +121,8 @@ let fig6 ~haar_n () =
     List.iter (fun (k, f) -> Printf.printf "%s %.1f%%  " k (100.0 *. f)) (fractions coupling seed);
     print_newline ()
   in
-  show "XY" xy 7L;
-  show "XX" xxc 8L;
+  show "XY" xy 7_000_000L;
+  show "XX" xxc 8_000_000L;
   sub "(d) drive amplitudes along gate families under XY (normalized by g)";
   Printf.printf "%-6s | %-21s | %-21s | %-21s\n" "s" "CNOT^s (A1, A2, d)" "B^s (A1, A2, d)"
     "SWAP^s (A1, A2, d)";

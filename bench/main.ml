@@ -2,21 +2,74 @@
    paper's evaluation section. Usage:
 
      dune exec bench/main.exe [-- TARGET ...] [--big] [--haar-n N]
-                                              [--trajectories N]
+                              [--trajectories N] [--limit N] [--csv-dir D]
 
    Targets: table1 table2 table3 fig4 fig5 fig6 fig12 fig13 fig14 fig15
-   fig16 all (default: all). *)
+   fig16 templates variational calibration decoherence calibrate leakage
+   all (default: all).
+
+   Unknown targets and malformed flag values are hard errors (exit 2), so a
+   typo can't silently run the wrong benchmark set. *)
+
+let known_targets =
+  [ "table1"; "table2"; "table3"; "fig4"; "fig5"; "fig6"; "fig12"; "fig13";
+    "fig14"; "fig15"; "fig16"; "templates"; "variational"; "calibration";
+    "decoherence"; "calibrate"; "leakage"; "all" ]
+
+let value_flags = [ "--haar-n"; "--trajectories"; "--limit"; "--csv-dir" ]
+
+let usage () =
+  Printf.eprintf "targets: %s\nflags:   --big, %s N\n"
+    (String.concat " " known_targets)
+    (String.concat " N, " value_flags)
+
+let fail fmt =
+  Printf.ksprintf
+    (fun s ->
+      Printf.eprintf "bench: %s\n" s;
+      usage ();
+      exit 2)
+    fmt
 
 let () =
-  let args = Array.to_list Sys.argv in
+  let args = List.tl (Array.to_list Sys.argv) in
   let has f = List.mem f args in
   let get_int flag default =
     let rec go = function
-      | a :: b :: _ when a = flag -> ( try int_of_string b with _ -> default)
+      | a :: b :: _ when a = flag -> (
+        match int_of_string_opt b with
+        | Some v -> v
+        | None -> fail "%s expects an integer, got %S" flag b)
+      | [ a ] when a = flag -> fail "%s expects an integer argument" flag
       | _ :: rest -> go rest
       | [] -> default
     in
     go args
+  in
+  let get_int_opt flag =
+    let rec go = function
+      | a :: b :: _ when a = flag -> (
+        match int_of_string_opt b with
+        | Some v -> Some v
+        | None -> fail "%s expects an integer, got %S" flag b)
+      | [ a ] when a = flag -> fail "%s expects an integer argument" flag
+      | _ :: rest -> go rest
+      | [] -> None
+    in
+    go args
+  in
+  (* validate the whole command line: anything that is not a known flag (or
+     a flag's value) must be a known target *)
+  let targets =
+    let rec go acc = function
+      | [] -> List.rev acc
+      | f :: _ :: rest when List.mem f value_flags -> go acc rest
+      | [ f ] when List.mem f value_flags -> fail "%s expects an argument" f
+      | "--big" :: rest | "--" :: rest -> go acc rest
+      | t :: rest when List.mem t known_targets -> go (t :: acc) rest
+      | unknown :: _ -> fail "unknown target or flag %S" unknown
+    in
+    go [] args
   in
   let big = has "--big" in
   (let rec find_csv = function
@@ -27,15 +80,10 @@ let () =
    find_csv args);
   let haar_n = get_int "--haar-n" 2000 in
   let trajectories = get_int "--trajectories" 120 in
-  let targets =
-    List.filter
-      (fun a ->
-        List.mem a
-          [ "table1"; "table2"; "table3"; "fig4"; "fig5"; "fig6"; "fig12"; "fig13";
-            "fig14"; "fig15"; "fig16"; "templates"; "variational"; "calibration";
-            "decoherence"; "calibrate"; "leakage"; "all" ])
-      args
-  in
+  let limit = get_int_opt "--limit" in
+  (match limit with
+  | Some v when v <= 0 -> fail "--limit expects a positive integer, got %d" v
+  | _ -> ());
   let targets = if targets = [] then [ "all" ] else targets in
   let want t = List.mem t targets || List.mem "all" targets in
   let total_t0 = Unix.gettimeofday () in
@@ -44,7 +92,7 @@ let () =
   if want "fig4" then Figures.fig4 ();
   if want "fig5" then Figures.fig5 ();
   if want "fig6" then Figures.fig6 ~haar_n ();
-  if want "table2" then Tables.table2 ~big ();
+  if want "table2" then Tables.table2 ?limit ~big ();
   if want "fig12" then Figures.fig12 ();
   if want "fig13" then Figures.fig13 ();
   if want "fig14" then Figures.fig14 ();

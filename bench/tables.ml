@@ -45,9 +45,75 @@ let add_row row ~base ~(opt : Compiler.Metrics.report) =
 
 let compilers = [ "Qiskit"; "TKet"; "BQSKit"; "Eff"; "Full" ]
 
-let table2 ~big () =
+(* The per-bench compilation fan-out is independent across benches: each job
+   gets its own pre-split rng (split sequentially, so the results do not
+   depend on the domain count) and touches no shared state. Printing, CSV
+   and the reduction statistics happen sequentially afterwards, in suite
+   order. *)
+type t2result = {
+  bench : Benchmarks.Suite.bench;
+  base : Compiler.Metrics.report;
+  reports : (string * Compiler.Metrics.report) list;  (* per compiler *)
+  csv_row : string list;
+  eff_2q : int;
+  full_2q : int;
+}
+
+let table2_compute ((b : Benchmarks.Suite.bench), rng) =
+  let input = Compiler.Pipeline.program_to_cnot_input b.program in
+  let base = Compiler.Metrics.report cnot_isa input in
+  let qiskit = Compiler.Baselines.qiskit_like input in
+  let tket =
+    match b.program with
+    | Compiler.Pipeline.Pauli p -> Compiler.Baselines.tket_like_pauli p
+    | Compiler.Pipeline.Gates _ -> Compiler.Baselines.tket_like input
+  in
+  let bq =
+    Compiler.Baselines.bqskit_like (Numerics.Rng.split rng)
+      ~target:Compiler.Baselines.To_cnot input
+  in
+  let eff = Compiler.Pipeline.compile ~mode:Compiler.Pipeline.Eff rng b.program in
+  let full = Compiler.Pipeline.compile ~mode:Compiler.Pipeline.Full rng b.program in
+  let eff_report = Compiler.Metrics.report su4_isa eff.Compiler.Pipeline.circuit in
+  let full_report = Compiler.Metrics.report su4_isa full.Compiler.Pipeline.circuit in
+  let csv_row =
+    [
+      b.name; b.category;
+      string_of_int base.Compiler.Metrics.count_2q;
+      string_of_int (Circuit.count_2q qiskit);
+      string_of_int (Circuit.count_2q tket);
+      string_of_int (Circuit.count_2q bq);
+      string_of_int (Circuit.count_2q eff.Compiler.Pipeline.circuit);
+      string_of_int (Circuit.count_2q full.Compiler.Pipeline.circuit);
+      Printf.sprintf "%.4f" base.Compiler.Metrics.duration;
+      Printf.sprintf "%.4f" eff_report.Compiler.Metrics.duration;
+      Printf.sprintf "%.4f" full_report.Compiler.Metrics.duration;
+    ]
+  in
+  {
+    bench = b;
+    base;
+    reports =
+      [
+        ("Qiskit", Compiler.Metrics.report cnot_isa qiskit);
+        ("TKet", Compiler.Metrics.report cnot_isa tket);
+        ("BQSKit", Compiler.Metrics.report cnot_isa bq);
+        ("Eff", eff_report);
+        ("Full", full_report);
+      ];
+    csv_row;
+    eff_2q = Circuit.count_2q eff.Compiler.Pipeline.circuit;
+    full_2q = Circuit.count_2q full.Compiler.Pipeline.circuit;
+  }
+
+let table2 ?limit ~big () =
   hr "Table 2: logical-level compilation (reduction % vs CNOT-based input)";
   let suite = Benchmarks.Suite.suite ~big () in
+  let suite =
+    match limit with
+    | Some k -> List.filteri (fun i _ -> i < k) suite
+    | None -> suite
+  in
   let rng = Numerics.Rng.create 20260704L in
   let per_cat = Hashtbl.create 17 in
   let overall = List.map (fun c -> (c, t2row ())) compilers in
@@ -60,53 +126,20 @@ let table2 ~big () =
       Hashtbl.add per_cat cat r;
       r
   in
+  let jobs = List.map (fun b -> (b, Numerics.Rng.split rng)) suite in
+  let results = Numerics.Par.parallel_map table2_compute jobs in
   List.iter
-    (fun (b : Benchmarks.Suite.bench) ->
-      let input = Compiler.Pipeline.program_to_cnot_input b.program in
-      let base = Compiler.Metrics.report cnot_isa input in
+    (fun r ->
       let record name report =
-        add_row (List.assoc name (all_rows b.category)) ~base ~opt:report;
-        add_row (List.assoc name overall) ~base ~opt:report
+        add_row (List.assoc name (all_rows r.bench.Benchmarks.Suite.category)) ~base:r.base
+          ~opt:report;
+        add_row (List.assoc name overall) ~base:r.base ~opt:report
       in
-      let qiskit = Compiler.Baselines.qiskit_like input in
-      record "Qiskit" (Compiler.Metrics.report cnot_isa qiskit);
-      let tket =
-        match b.program with
-        | Compiler.Pipeline.Pauli p -> Compiler.Baselines.tket_like_pauli p
-        | Compiler.Pipeline.Gates _ -> Compiler.Baselines.tket_like input
-      in
-      record "TKet" (Compiler.Metrics.report cnot_isa tket);
-      let bq =
-        Compiler.Baselines.bqskit_like (Numerics.Rng.split rng)
-          ~target:Compiler.Baselines.To_cnot input
-      in
-      record "BQSKit" (Compiler.Metrics.report cnot_isa bq);
-      let eff = Compiler.Pipeline.compile ~mode:Compiler.Pipeline.Eff rng b.program in
-      record "Eff" (Compiler.Metrics.report su4_isa eff.Compiler.Pipeline.circuit);
-      let full = Compiler.Pipeline.compile ~mode:Compiler.Pipeline.Full rng b.program in
-      record "Full" (Compiler.Metrics.report su4_isa full.Compiler.Pipeline.circuit);
-      let row =
-        [
-          b.name; b.category;
-          string_of_int base.Compiler.Metrics.count_2q;
-          string_of_int (Circuit.count_2q qiskit);
-          string_of_int (Circuit.count_2q tket);
-          string_of_int (Circuit.count_2q bq);
-          string_of_int (Circuit.count_2q eff.Compiler.Pipeline.circuit);
-          string_of_int (Circuit.count_2q full.Compiler.Pipeline.circuit);
-          Printf.sprintf "%.4f" base.Compiler.Metrics.duration;
-          Printf.sprintf "%.4f"
-            (Compiler.Metrics.report su4_isa eff.Compiler.Pipeline.circuit).Compiler.Metrics.duration;
-          Printf.sprintf "%.4f"
-            (Compiler.Metrics.report su4_isa full.Compiler.Pipeline.circuit).Compiler.Metrics.duration;
-        ]
-      in
-      csv_rows := row :: !csv_rows;
-      Printf.printf "  %-14s done (#2Q %d -> eff %d, full %d)\n%!" b.name
-        base.Compiler.Metrics.count_2q
-        (Circuit.count_2q eff.Compiler.Pipeline.circuit)
-        (Circuit.count_2q full.Compiler.Pipeline.circuit))
-    suite;
+      List.iter (fun (name, report) -> record name report) r.reports;
+      csv_rows := r.csv_row :: !csv_rows;
+      Printf.printf "  %-14s done (#2Q %d -> eff %d, full %d)\n%!"
+        r.bench.Benchmarks.Suite.name r.base.Compiler.Metrics.count_2q r.eff_2q r.full_2q)
+    results;
   csv "table2"
     [ "bench"; "category"; "input_2q"; "qiskit_2q"; "tket_2q"; "bqskit_2q";
       "eff_2q"; "full_2q"; "input_T"; "eff_T"; "full_T" ]
@@ -149,9 +182,10 @@ let table3 ~haar_n () =
     (3.0 *. Duration.conventional_cnot_tau ~g:1.0);
   paper "CNOT conventional: 2.221 / 6.664";
   Printf.printf "\n%-10s %12s %12s %12s\n" "basis" "XY" "XX" "Random";
-  (* native SU(4) *)
+  (* native SU(4); Haar sweeps are domain-parallel with per-index rngs, so
+     seed bases are spaced by 1e6 to keep the sample streams disjoint *)
   let native_avg coupling seed =
-    Duration.haar_average ~n:haar_n (Numerics.Rng.create seed) (fun c ->
+    Duration.haar_average_par ~n:haar_n ~seed:(Int64.mul 1_000_000L seed) (fun c ->
         Duration.tau_su4 coupling c)
   in
   let n_couplings = 32 in
@@ -169,7 +203,7 @@ let table3 ~haar_n () =
   paper "SU(4): XY 1.341, XX 1.178, Random 1.321";
   (* fixed bases: single-gate and Haar-average synthesis durations *)
   let avg_count b seed =
-    Duration.haar_average ~n:haar_n (Numerics.Rng.create seed) (fun c ->
+    Duration.haar_average_par ~n:haar_n ~seed:(Int64.mul 1_000_000L seed) (fun c ->
         float_of_int (Duration.gates_needed b c))
   in
   List.iteri

@@ -13,8 +13,11 @@ let apply_gate_arr ~n st (g : Gate.t) =
   let mask = Array.fold_left (fun acc p -> acc lor (1 lsl p)) 0 bitpos in
   let sub = 1 lsl k in
   let idx = Array.make sub 0 in
-  let amps = Array.make sub Cx.zero in
-  let m = g.mat in
+  (* gathered amplitudes as float scratch; the multiply-accumulate below is
+     pure float arithmetic on the gate's SoA planes *)
+  let amps_re = Array.make sub 0.0 in
+  let amps_im = Array.make sub 0.0 in
+  let mre = Mat.re_plane g.mat and mim = Mat.im_plane g.mat in
   for base = 0 to dim - 1 do
     if base land mask = 0 then begin
       (* gather the 2^k amplitudes touched by this gate instance *)
@@ -24,14 +27,20 @@ let apply_gate_arr ~n st (g : Gate.t) =
           if (p lsr (k - 1 - pos)) land 1 = 1 then i := !i lor (1 lsl bitpos.(pos))
         done;
         idx.(p) <- !i;
-        amps.(p) <- st.(!i)
+        let z = st.(!i) in
+        amps_re.(p) <- Cx.re z;
+        amps_im.(p) <- Cx.im z
       done;
       for r = 0 to sub - 1 do
-        let acc = ref Cx.zero in
+        let ar = ref 0.0 and ai = ref 0.0 in
+        let off = r * sub in
         for c = 0 to sub - 1 do
-          acc := Cx.( +: ) !acc (Cx.( *: ) (Mat.get m r c) amps.(c))
+          let gr = Array.unsafe_get mre (off + c) and gi = Array.unsafe_get mim (off + c) in
+          let vr = Array.unsafe_get amps_re c and vi = Array.unsafe_get amps_im c in
+          ar := !ar +. ((gr *. vr) -. (gi *. vi));
+          ai := !ai +. ((gr *. vi) +. (gi *. vr))
         done;
-        st.(idx.(r)) <- !acc
+        st.(idx.(r)) <- Cx.mk !ar !ai
       done
     end
   done

@@ -41,3 +41,13 @@ let haar_average ~n rng f =
     acc := !acc +. f c
   done;
   !acc /. float_of_int n
+
+let haar_average_par ?domains ~n ~seed f =
+  (* Per-index rngs keep the result identical for any domain count (the
+     samples differ from [haar_average], which threads one rng serially). *)
+  let total =
+    Numerics.Par.parallel_sum ?domains n (fun i ->
+        let rng = Numerics.Rng.create (Int64.add seed (Int64.of_int i)) in
+        f (Weyl.Kak.coords_of (Quantum.Haar.su4 rng)))
+  in
+  total /. float_of_int n

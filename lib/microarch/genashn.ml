@@ -29,14 +29,28 @@ let zi = Mat.kron (Quantum.Pauli.matrix_1q Quantum.Pauli.Z) (Mat.identity 2)
 let iz = Mat.kron (Mat.identity 2) (Quantum.Pauli.matrix_1q Quantum.Pauli.Z)
 let zz_drive = Mat.add zi iz
 
+(* dst <- hm + x1*XI + x2*IX + delta*(ZI+IZ), where [hm] is the bare
+   coupling matrix; allocation-free (axpy on the SoA planes). *)
+let hamiltonian_into ~dst ~hm p =
+  Mat.copy_into ~dst hm;
+  Mat.axpy ~alpha:p.drive_x1 xi dst;
+  Mat.axpy ~alpha:p.drive_x2 ix dst;
+  Mat.axpy ~alpha:p.delta zz_drive dst
+
 let hamiltonian (h : Coupling.t) p =
-  Mat.add
-    (Coupling.matrix h)
-    (Mat.add
-       (Mat.add (Mat.rsmul p.drive_x1 xi) (Mat.rsmul p.drive_x2 ix))
-       (Mat.rsmul p.delta zz_drive))
+  let dst = Mat.create 4 4 in
+  hamiltonian_into ~dst ~hm:(Coupling.matrix h) p;
+  dst
 
 let evolve h p = Expm.herm_expi (hamiltonian h p) ~t:p.tau
+
+(* Reusable buffers for the EA residual loops: one Hamiltonian matrix, one
+   evolution matrix and one expm workspace, so each residual evaluation in
+   the grid + Newton search allocates nothing. *)
+type ea_buf = { hm : Mat.t; ham : Mat.t; u : Mat.t; ws : Expm.ws }
+
+let make_ea_buf (h : Coupling.t) =
+  { hm = Coupling.matrix h; ham = Mat.create 4 4; u = Mat.create 4 4; ws = Expm.make_ws 4 }
 
 (* ------------------------------------------------------------------ ND *)
 
@@ -89,15 +103,18 @@ let target_trace (x, y, z) =
 (* Residual of the same-sign EA scheme under coupling [h]: the trace of
    exp(-i tau H_EA) . YY minus the target spectrum sum. Even in both Ω and
    delta, so the search can stay in the first quadrant. *)
-let ea_residual (h : Coupling.t) target tau (omega, delta) =
+let ea_residual ?buf (h : Coupling.t) target tau (omega, delta) =
   let p = { tau; subscheme = Tau.EA_same; drive_x1 = omega; drive_x2 = omega; delta } in
-  let v = Mat.mul (evolve h p) yy in
-  Cx.( -: ) (Mat.trace v) (target_trace target)
+  let b = match buf with Some b -> b | None -> make_ea_buf h in
+  hamiltonian_into ~dst:b.ham ~hm:b.hm p;
+  Expm.herm_expi_into b.ws ~dst:b.u b.ham ~t:tau;
+  Cx.( -: ) (Mat.trace_mul b.u yy) (target_trace target)
 
 (* All distinct EA roots found by the grid + Newton search (used by the
    Fig. 4 reproduction); (omega, delta) pairs in the first quadrant. *)
 let ea_all_roots (h : Coupling.t) target tau =
-  let res om de = ea_residual h target tau (om, de) in
+  let buf = make_ea_buf h in
+  let res om de = ea_residual ~buf h target tau (om, de) in
   let res2 (om, de) =
     let r = res om de in
     (Cx.re r, Cx.im r)
@@ -132,7 +149,8 @@ let ea_all_roots (h : Coupling.t) target tau =
   List.sort compare !roots
 
 let solve_ea_same (h : Coupling.t) target tau =
-  let res om de = ea_residual h target tau (om, de) in
+  let buf = make_ea_buf h in
+  let res om de = ea_residual ~buf h target tau (om, de) in
   let res2 (om, de) =
     let r = res om de in
     (Cx.re r, Cx.im r)
@@ -262,12 +280,13 @@ let ea_grid h coords ~n =
     | _ -> (h, target_plus)
   in
   let scale = Coupling.strength h in
+  let buf = make_ea_buf h' in
   let out = ref [] in
   for i = 0 to n - 1 do
     for j = 0 to n - 1 do
       let map k = 3.0 *. scale *. float_of_int k /. float_of_int (n - 1) in
       let om = map i and de = map j in
-      let r = Cx.norm (ea_residual h' target tau (om, de)) in
+      let r = Cx.norm (ea_residual ~buf h' target tau (om, de)) in
       out := (om, de, r) :: !out
     done
   done;

@@ -1,0 +1,146 @@
+(* Boxed reference kernels: the seed implementation of the numerics
+   substrate, kept verbatim on stdlib [Complex.t] arrays. Two consumers:
+
+   - differential tests ([test/test_numerics.ml]) assert the SoA kernels in
+     [Mat]/[Eig]/[Expm] agree with these to 1e-12;
+   - [bench/microbench.ml] times them as the boxed baseline recorded in
+     BENCH_numerics.json.
+
+   Nothing in the production pipeline calls this module. *)
+
+open Cx
+
+type t = { rows : int; cols : int; a : Cx.t array }
+
+let create rows cols =
+  if rows <= 0 || cols <= 0 then invalid_arg "Boxed.create: non-positive size";
+  { rows; cols; a = Array.make (rows * cols) Cx.zero }
+
+let init rows cols f =
+  { rows; cols; a = Array.init (rows * cols) (fun k -> f (k / cols) (k mod cols)) }
+
+let identity n = init n n (fun i j -> if i = j then Cx.one else Cx.zero)
+let get m i j = m.a.((i * m.cols) + j)
+let set m i j v = m.a.((i * m.cols) + j) <- v
+let copy m = { m with a = Array.copy m.a }
+
+(* conversions to/from the SoA representation *)
+let of_mat m = init (Mat.rows m) (Mat.cols m) (fun i j -> Mat.get m i j)
+let to_mat m = Mat.init m.rows m.cols (fun i j -> get m i j)
+
+let add a b =
+  if a.rows <> b.rows || a.cols <> b.cols then invalid_arg "Boxed.add: shape mismatch";
+  { a with a = Array.init (Array.length a.a) (fun k -> a.a.(k) +: b.a.(k)) }
+
+let mul a b =
+  if a.cols <> b.rows then invalid_arg "Boxed.mul: inner dimension mismatch";
+  let n = a.rows and m = b.cols and k = a.cols in
+  let out = create n m in
+  for i = 0 to n - 1 do
+    for p = 0 to k - 1 do
+      let aip = a.a.((i * k) + p) in
+      if aip <> Cx.zero then
+        for j = 0 to m - 1 do
+          out.a.((i * m) + j) <- out.a.((i * m) + j) +: (aip *: b.a.((p * m) + j))
+        done
+    done
+  done;
+  out
+
+let mul3 a b c = mul a (mul b c)
+let dagger m = init m.cols m.rows (fun i j -> Cx.conj (get m j i))
+let rsmul s m = { m with a = Array.map (Cx.scale s) m.a }
+
+let max_abs m = Array.fold_left (fun acc z -> Float.max acc (Cx.norm z)) 0.0 m.a
+
+let offdiag_norm m =
+  let n = m.rows in
+  let s = ref 0.0 in
+  for i = 0 to n - 1 do
+    for j = 0 to n - 1 do
+      if i <> j then s := !s +. Cx.norm2 (get m i j)
+    done
+  done;
+  Float.sqrt !s
+
+(* Seed Jacobi rotation on boxed complex entries: a <- g† a g, v <- v g. *)
+let rotate a v p q =
+  let apq = get a p q in
+  let napq = Cx.norm apq in
+  if napq > 1e-300 then begin
+    let app = Cx.re (get a p p) and aqq = Cx.re (get a q q) in
+    let theta = 0.5 *. atan2 (2.0 *. napq) (aqq -. app) in
+    let c = cos theta and s = sin theta in
+    let eip = Cx.scale (1.0 /. napq) apq in
+    let n = a.rows in
+    for i = 0 to n - 1 do
+      let aip = get a i p and aiq = get a i q in
+      set a i p (Cx.scale c aip -: (Cx.scale s (Cx.conj eip) *: aiq));
+      set a i q ((Cx.scale s eip *: aip) +: Cx.scale c aiq)
+    done;
+    for j = 0 to n - 1 do
+      let apj = get a p j and aqj = get a q j in
+      set a p j (Cx.scale c apj -: (Cx.scale s eip *: aqj));
+      set a q j ((Cx.scale s (Cx.conj eip) *: apj) +: Cx.scale c aqj)
+    done;
+    for i = 0 to n - 1 do
+      let vip = get v i p and viq = get v i q in
+      set v i p (Cx.scale c vip -: (Cx.scale s (Cx.conj eip) *: viq));
+      set v i q ((Cx.scale s eip *: vip) +: Cx.scale c viq)
+    done
+  end
+
+let jacobi a0 =
+  let n = a0.rows in
+  let a = copy a0 in
+  let v = identity n in
+  let max_sweeps = 100 in
+  let tol = 1e-14 *. (1.0 +. max_abs a0) in
+  let sweep = ref 0 in
+  while offdiag_norm a > tol && !sweep < max_sweeps do
+    incr sweep;
+    for p = 0 to n - 2 do
+      for q = p + 1 to n - 1 do
+        rotate a v p q
+      done
+    done
+  done;
+  let w = Array.init n (fun i -> Cx.re (get a i i)) in
+  (w, v)
+
+let herm_expi h ~t =
+  let w, v = jacobi h in
+  let n = h.rows in
+  let d = init n n (fun i j -> if i = j then Cx.expi (-.t *. w.(i)) else Cx.zero) in
+  mul3 v d (dagger v)
+
+(* Seed statevector kernel on a boxed amplitude array. [bitpos] are the
+   significance positions of the gate's qubits (n - 1 - q). *)
+let apply_gate ~n st m ~qubits =
+  let k = Array.length qubits in
+  let dim = 1 lsl n in
+  if Array.length st <> dim then invalid_arg "Boxed.apply_gate: size mismatch";
+  let bitpos = Array.map (fun q -> n - 1 - q) qubits in
+  let mask = Array.fold_left (fun acc p -> acc lor (1 lsl p)) 0 bitpos in
+  let sub = 1 lsl k in
+  let idx = Array.make sub 0 in
+  let amps = Array.make sub Cx.zero in
+  for base = 0 to dim - 1 do
+    if base land mask = 0 then begin
+      for p = 0 to sub - 1 do
+        let i = ref base in
+        for pos = 0 to k - 1 do
+          if (p lsr (k - 1 - pos)) land 1 = 1 then i := !i lor (1 lsl bitpos.(pos))
+        done;
+        idx.(p) <- !i;
+        amps.(p) <- st.(!i)
+      done;
+      for r = 0 to sub - 1 do
+        let acc = ref Cx.zero in
+        for c = 0 to sub - 1 do
+          acc := Cx.( +: ) !acc (Cx.( *: ) (get m r c) amps.(c))
+        done;
+        st.(idx.(r)) <- !acc
+      done
+    end
+  done

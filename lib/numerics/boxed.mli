@@ -1,0 +1,37 @@
+(** Boxed reference kernels — the seed implementation on stdlib [Complex.t]
+    arrays, kept for differential tests against the SoA kernels and as the
+    boxed baseline timed by [bench/microbench.ml]. Not used by the
+    production pipeline. *)
+
+type t = { rows : int; cols : int; a : Cx.t array }
+
+val create : int -> int -> t
+val init : int -> int -> (int -> int -> Cx.t) -> t
+val identity : int -> t
+val get : t -> int -> int -> Cx.t
+val set : t -> int -> int -> Cx.t -> unit
+val copy : t -> t
+
+(** [of_mat m] / [to_mat m] convert between the SoA and boxed layouts. *)
+val of_mat : Mat.t -> t
+
+val to_mat : t -> Mat.t
+val add : t -> t -> t
+val mul : t -> t -> t
+val mul3 : t -> t -> t -> t
+val dagger : t -> t
+val rsmul : float -> t -> t
+val max_abs : t -> float
+val offdiag_norm : t -> float
+
+(** [jacobi h] is the seed cyclic-Jacobi Hermitian eigensolver: returns
+    unsorted eigenvalues and the accumulated eigenvector matrix. *)
+val jacobi : t -> float array * t
+
+(** [herm_expi h ~t] is the seed [exp(-i t h)] via [jacobi]. *)
+val herm_expi : t -> t:float -> t
+
+(** [apply_gate ~n st m ~qubits] is the seed statevector kernel: applies the
+    [2^k x 2^k] gate [m] on [qubits] to the boxed amplitude array [st] in
+    place. *)
+val apply_gate : n:int -> Cx.t array -> t -> qubits:int array -> unit

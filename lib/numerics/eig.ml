@@ -1,52 +1,87 @@
-open Cx
+(* Cyclic complex Jacobi on the SoA float planes. The rotation inner loops
+   are pure float arithmetic — no Complex.t is allocated per element. *)
 
 let offdiag_norm m =
   let n = Mat.rows m in
+  let re = Mat.re_plane m and im = Mat.im_plane m in
   let s = ref 0.0 in
   for i = 0 to n - 1 do
     for j = 0 to n - 1 do
-      if i <> j then s := !s +. Cx.norm2 (Mat.get m i j)
+      if i <> j then begin
+        let k = (i * n) + j in
+        s := !s +. (re.(k) *. re.(k)) +. (im.(k) *. im.(k))
+      end
     done
   done;
   Float.sqrt !s
 
 (* One complex Jacobi rotation zeroing the (p,q) element of Hermitian [a],
-   accumulating the rotation into [v] (a <- g† a g, v <- v g). *)
+   accumulating the rotation into [v] (a <- g† a g, v <- v g), where
+   g[p][p]=c; g[p][q]=s*e; g[q][p]=-s*conj(e); g[q][q]=c with e = a_pq/|a_pq|. *)
 let rotate a v p q =
-  let apq = Mat.get a p q in
-  let napq = Cx.norm apq in
+  let n = Mat.rows a in
+  let are = Mat.re_plane a and aim = Mat.im_plane a in
+  let vre = Mat.re_plane v and vim = Mat.im_plane v in
+  let kpq = (p * n) + q in
+  let apqr = are.(kpq) and apqi = aim.(kpq) in
+  let napq = Float.hypot apqr apqi in
   if napq > 1e-300 then begin
-    let app = Cx.re (Mat.get a p p) and aqq = Cx.re (Mat.get a q q) in
+    let app = are.((p * n) + p) and aqq = are.((q * n) + q) in
     let theta = 0.5 *. atan2 (2.0 *. napq) (aqq -. app) in
     let c = cos theta and s = sin theta in
-    let eip = Cx.scale (1.0 /. napq) apq in
-    (* g[p][p]=c; g[p][q]=s*eip; g[q][p]=-s*conj(eip); g[q][q]=c *)
-    let n = Mat.rows a in
+    let er = apqr /. napq and ei = apqi /. napq in
     (* a <- g† a g : update columns p,q then rows p,q *)
     for i = 0 to n - 1 do
-      let aip = Mat.get a i p and aiq = Mat.get a i q in
-      Mat.set a i p (Cx.scale c aip -: (Cx.scale s (Cx.conj eip) *: aiq));
-      Mat.set a i q ((Cx.scale s eip *: aip) +: Cx.scale c aiq)
+      let kp = (i * n) + p and kq = (i * n) + q in
+      let pr = Array.unsafe_get are kp and pi = Array.unsafe_get aim kp in
+      let qr = Array.unsafe_get are kq and qi = Array.unsafe_get aim kq in
+      (* a[i,p] <- c*aip - s*conj(e)*aiq *)
+      Array.unsafe_set are kp ((c *. pr) -. (s *. ((er *. qr) +. (ei *. qi))));
+      Array.unsafe_set aim kp ((c *. pi) -. (s *. ((er *. qi) -. (ei *. qr))));
+      (* a[i,q] <- s*e*aip + c*aiq *)
+      Array.unsafe_set are kq ((s *. ((er *. pr) -. (ei *. pi))) +. (c *. qr));
+      Array.unsafe_set aim kq ((s *. ((er *. pi) +. (ei *. pr))) +. (c *. qi))
     done;
     for j = 0 to n - 1 do
-      let apj = Mat.get a p j and aqj = Mat.get a q j in
-      Mat.set a p j (Cx.scale c apj -: (Cx.scale s eip *: aqj));
-      Mat.set a q j ((Cx.scale s (Cx.conj eip) *: apj) +: Cx.scale c aqj)
+      let kp = (p * n) + j and kq = (q * n) + j in
+      let pr = Array.unsafe_get are kp and pi = Array.unsafe_get aim kp in
+      let qr = Array.unsafe_get are kq and qi = Array.unsafe_get aim kq in
+      (* a[p,j] <- c*apj - s*e*aqj *)
+      Array.unsafe_set are kp ((c *. pr) -. (s *. ((er *. qr) -. (ei *. qi))));
+      Array.unsafe_set aim kp ((c *. pi) -. (s *. ((er *. qi) +. (ei *. qr))));
+      (* a[q,j] <- s*conj(e)*apj + c*aqj *)
+      Array.unsafe_set are kq ((s *. ((er *. pr) +. (ei *. pi))) +. (c *. qr));
+      Array.unsafe_set aim kq ((s *. ((er *. pi) -. (ei *. pr))) +. (c *. qi))
     done;
     for i = 0 to n - 1 do
-      let vip = Mat.get v i p and viq = Mat.get v i q in
-      Mat.set v i p (Cx.scale c vip -: (Cx.scale s (Cx.conj eip) *: viq));
-      Mat.set v i q ((Cx.scale s eip *: vip) +: Cx.scale c viq)
+      let kp = (i * n) + p and kq = (i * n) + q in
+      let pr = Array.unsafe_get vre kp and pi = Array.unsafe_get vim kp in
+      let qr = Array.unsafe_get vre kq and qi = Array.unsafe_get vim kq in
+      (* v[i,p] <- c*vip - s*conj(e)*viq *)
+      Array.unsafe_set vre kp ((c *. pr) -. (s *. ((er *. qr) +. (ei *. qi))));
+      Array.unsafe_set vim kp ((c *. pi) -. (s *. ((er *. qi) -. (ei *. qr))));
+      (* v[i,q] <- s*e*vip + c*viq *)
+      Array.unsafe_set vre kq ((s *. ((er *. pr) -. (ei *. pi))) +. (c *. qr));
+      Array.unsafe_set vim kq ((s *. ((er *. pi) +. (ei *. pr))) +. (c *. qi))
     done
   end
 
-let jacobi a0 =
-  let n = Mat.rows a0 in
-  if n <> Mat.cols a0 then invalid_arg "Eig: non-square matrix";
-  let a = Mat.copy a0 in
-  let v = Mat.identity n in
+(* In-place cyclic Jacobi: [a] holds the Hermitian matrix on entry and is
+   destroyed; [v] receives the eigenvectors (columns), [w] the unsorted
+   eigenvalues. Only the caller-provided buffers are written — no
+   allocation beyond loop indices. *)
+let jacobi_into ~a ~v ~w =
+  let n = Mat.rows a in
+  if n <> Mat.cols a then invalid_arg "Eig: non-square matrix";
+  if Mat.rows v <> n || Mat.cols v <> n || Array.length w <> n then
+    invalid_arg "Eig.jacobi_into: buffer shape mismatch";
+  Mat.zero_fill v;
+  let vre = Mat.re_plane v in
+  for i = 0 to n - 1 do
+    vre.((i * n) + i) <- 1.0
+  done;
   let max_sweeps = 100 in
-  let tol = 1e-14 *. (1.0 +. Mat.max_abs a0) in
+  let tol = 1e-14 *. (1.0 +. Mat.max_abs a) in
   let sweep = ref 0 in
   while offdiag_norm a > tol && !sweep < max_sweeps do
     incr sweep;
@@ -56,7 +91,18 @@ let jacobi a0 =
       done
     done
   done;
-  let w = Array.init n (fun i -> Cx.re (Mat.get a i i)) in
+  let are = Mat.re_plane a in
+  for i = 0 to n - 1 do
+    w.(i) <- are.((i * n) + i)
+  done
+
+let jacobi a0 =
+  let n = Mat.rows a0 in
+  if n <> Mat.cols a0 then invalid_arg "Eig: non-square matrix";
+  let a = Mat.copy a0 in
+  let v = Mat.create n n in
+  let w = Array.make n 0.0 in
+  jacobi_into ~a ~v ~w;
   (w, v)
 
 let sort_eig (w, v) =

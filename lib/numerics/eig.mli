@@ -23,3 +23,11 @@ val simultaneous_real : Mat.t -> Mat.t -> Mat.t
 (** [offdiag_norm m] is the Frobenius norm of the strictly off-diagonal part;
     useful for asserting diagonalization quality in tests. *)
 val offdiag_norm : Mat.t -> float
+
+(** [jacobi_into ~a ~v ~w] runs the cyclic Jacobi iteration in place on the
+    caller's buffers: [a] holds the Hermitian input on entry and is destroyed,
+    [v] receives the eigenvectors (as columns), [w] the {e unsorted}
+    eigenvalues. Nothing is allocated — this is the zero-allocation core
+    behind {!hermitian} and the [Expm] workspace API.
+    @raise Invalid_argument on non-square input or mis-sized buffers. *)
+val jacobi_into : a:Mat.t -> v:Mat.t -> w:float array -> unit

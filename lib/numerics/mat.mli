@@ -1,10 +1,20 @@
-(** Dense complex matrices (row-major).
+(** Dense complex matrices (row-major, structure-of-arrays storage).
 
     Sized for the small operators this project manipulates (2x2 .. 256x256):
-    simple flat-array storage, no blocking, total dimension checks. All
-    operations are pure unless the name ends in [_inplace]. *)
+    the matrix is two unboxed [float array] planes (real and imaginary), so
+    kernels run on flat float arithmetic with no per-element [Complex.t]
+    boxing. Two API layers coexist:
 
-type t = private { rows : int; cols : int; a : Cx.t array }
+    - the historical boxed-[Cx] API ([get]/[set]/[mul]/[add]/...), pure
+      unless documented otherwise — thin shims over the planes;
+    - allocation-free [_into] kernels plus raw accessors
+      ([get_re]/[get_im]/[set_parts]/[re_plane]/[im_plane]) for the hot
+      paths (eigensolver sweeps, matrix exponentials, statevector updates).
+
+    Unless stated otherwise, [_into] kernels require [dst] to be a distinct
+    matrix from their inputs (checked, [Invalid_argument] on aliasing). *)
+
+type t
 
 (** [create rows cols] is the zero matrix. *)
 val create : int -> int -> t
@@ -26,6 +36,65 @@ val cols : t -> int
 val get : t -> int -> int -> Cx.t
 val set : t -> int -> int -> Cx.t -> unit
 val copy : t -> t
+
+(** {1 Unboxed element access} *)
+
+val get_re : t -> int -> int -> float
+val get_im : t -> int -> int -> float
+
+(** [set_parts m i j re im] writes entry [(i, j)] without boxing. *)
+val set_parts : t -> int -> int -> float -> float -> unit
+
+(** [re_plane m] / [im_plane m] expose the backing row-major planes
+    (length [rows * cols]); mutating them mutates the matrix. Intended for
+    kernel modules only. *)
+val re_plane : t -> float array
+
+val im_plane : t -> float array
+
+(** {1 In-place kernels}
+
+    All dimension-checked; [dst] must not alias an input except where
+    noted. None of these allocate per element. *)
+
+(** [zero_fill m] sets every entry to 0. *)
+val zero_fill : t -> unit
+
+(** [copy_into ~dst m] copies [m] into [dst] (same shape). *)
+val copy_into : dst:t -> t -> unit
+
+(** [mul_into ~dst a b] computes [dst <- a * b]. *)
+val mul_into : dst:t -> t -> t -> unit
+
+(** [gemm ~alpha ~beta ~dst a b] computes
+    [dst <- alpha * a * b + beta * dst]. *)
+val gemm : alpha:Cx.t -> beta:Cx.t -> dst:t -> t -> t -> unit
+
+(** [add_into ~dst a b] computes [dst <- a + b]; [dst] may alias [a] or
+    [b] (pure elementwise). *)
+val add_into : dst:t -> t -> t -> unit
+
+(** [sub_into ~dst a b] computes [dst <- a - b]; aliasing allowed. *)
+val sub_into : dst:t -> t -> t -> unit
+
+(** [dagger_into ~dst m] computes [dst <- m†]. *)
+val dagger_into : dst:t -> t -> unit
+
+(** [scale_into ~dst s m] computes [dst <- s * m] for real [s]; [dst] may
+    alias [m]. *)
+val scale_into : dst:t -> float -> t -> unit
+
+(** [smul_into ~dst z m] computes [dst <- z * m] for complex [z]; [dst]
+    may alias [m]. *)
+val smul_into : dst:t -> Cx.t -> t -> unit
+
+(** [axpy ~alpha x y] computes [y <- y + alpha * x] for real [alpha]. *)
+val axpy : alpha:float -> t -> t -> unit
+
+(** [trace_mul a b] is [trace (mul a b)] without forming the product. *)
+val trace_mul : t -> t -> Cx.t
+
+(** {1 Pure operations} *)
 
 val add : t -> t -> t
 val sub : t -> t -> t

@@ -1,0 +1,47 @@
+(* Dependency-free domain parallelism for embarrassingly parallel sweeps
+   (Haar-target validation, per-benchmark compilation fan-out).
+
+   Work is split into one contiguous chunk per domain; chunk i is computed
+   by domain i and the results are concatenated in order, so the output
+   ordering is deterministic and identical to the sequential map. The
+   worker count defaults to [Domain.recommended_domain_count ()] and can be
+   overridden with the [REQISC_DOMAINS] environment variable. *)
+
+let default_domains () =
+  match Sys.getenv_opt "REQISC_DOMAINS" with
+  | Some s -> (
+    match int_of_string_opt (String.trim s) with
+    | Some n when n >= 1 -> n
+    | _ -> Domain.recommended_domain_count ())
+  | None -> Domain.recommended_domain_count ()
+
+(* parallel_init over [0, n): the building block. Each domain fills its own
+   slice array; slices are concatenated in index order. *)
+let parallel_init ?domains n f =
+  if n < 0 then invalid_arg "Par.parallel_init: negative length";
+  let d = min (match domains with Some d -> max 1 d | None -> default_domains ()) (max 1 n) in
+  if d <= 1 || n <= 1 then Array.init n f
+  else begin
+    let lo i = i * n / d in
+    let compute i =
+      let a = lo i and b = lo (i + 1) in
+      Array.init (b - a) (fun k -> f (a + k))
+    in
+    (* domain 0's chunk runs on the current domain while the others spawn *)
+    let handles = Array.init (d - 1) (fun i -> Domain.spawn (fun () -> compute (i + 1))) in
+    let first = compute 0 in
+    let rest = Array.map Domain.join handles in
+    Array.concat (first :: Array.to_list rest)
+  end
+
+let parallel_map ?domains f xs =
+  match xs with
+  | [] | [ _ ] -> List.map f xs
+  | _ ->
+    let arr = Array.of_list xs in
+    let out = parallel_init ?domains (Array.length arr) (fun i -> f arr.(i)) in
+    Array.to_list out
+
+let parallel_sum ?domains n f =
+  let parts = parallel_init ?domains n f in
+  Array.fold_left ( +. ) 0.0 parts

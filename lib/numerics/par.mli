@@ -1,0 +1,32 @@
+(** Dependency-free domain parallelism for embarrassingly parallel sweeps.
+
+    Inputs are split into one contiguous chunk per domain and the results
+    are concatenated in index order, so every function here returns exactly
+    what its sequential counterpart would ([parallel_map f xs = List.map f
+    xs] for pure [f]) — only wall-clock changes.
+
+    The worker count defaults to [Domain.recommended_domain_count ()],
+    overridable with the [REQISC_DOMAINS] environment variable (a positive
+    integer; malformed values fall back to the default). With one worker, or
+    fewer than two items, no domain is spawned at all.
+
+    [f] must not share mutable state across items unless that state is
+    domain-safe; give each item (or chunk) its own [Rng.t]. *)
+
+(** [default_domains ()] is the worker count used when [?domains] is not
+    given: [REQISC_DOMAINS] if set and valid, else
+    [Domain.recommended_domain_count ()]. *)
+val default_domains : unit -> int
+
+(** [parallel_map ?domains f xs] is [List.map f xs], computed on [domains]
+    domains. *)
+val parallel_map : ?domains:int -> ('a -> 'b) -> 'a list -> 'b list
+
+(** [parallel_init ?domains n f] is [Array.init n f], computed on [domains]
+    domains. *)
+val parallel_init : ?domains:int -> int -> (int -> 'a) -> 'a array
+
+(** [parallel_sum ?domains n f] is the float sum of [f i] for [i] in
+    [0, n). The per-index values are materialized and folded left in index
+    order, so the result is bit-identical for every domain count. *)
+val parallel_sum : ?domains:int -> int -> (int -> float) -> float

@@ -1,64 +1,120 @@
-open Cx
+(* SVD of small square complex matrices via the Hermitian eigensolver,
+   operating on the SoA float planes throughout. *)
 
 (* Gram-Schmidt completion: extend the set of columns of [u] marked valid to a
-   full unitary by orthonormalizing standard basis vectors against them. *)
+   full unitary by orthonormalizing standard basis vectors against them.
+   Columns are kept as (re, im) float-array pairs — no boxed complex. *)
 let complete_basis u valid =
   let n = Mat.rows u in
+  let ure = Mat.re_plane u and uim = Mat.im_plane u in
   let cols = ref [] in
-  for j = 0 to n - 1 do
-    if valid.(j) then cols := Array.init n (fun i -> Mat.get u i j) :: !cols
+  for j = n - 1 downto 0 do
+    if valid.(j) then begin
+      let cre = Array.make n 0.0 and cim = Array.make n 0.0 in
+      for i = 0 to n - 1 do
+        cre.(i) <- ure.((i * n) + j);
+        cim.(i) <- uim.((i * n) + j)
+      done;
+      cols := (cre, cim) :: !cols
+    end
   done;
-  let cols = ref (List.rev !cols) in
-  let dot a b =
-    let s = ref Cx.zero in
-    Array.iteri (fun i ai -> s := !s +: (Cx.conj ai *: b.(i))) a;
-    !s
+  let cols = ref !cols in
+  (* dot a b = <a|b> = sum conj(a_i) b_i *)
+  let dot (are, aim) (bre, bim) =
+    let dr = ref 0.0 and di = ref 0.0 in
+    for i = 0 to n - 1 do
+      dr := !dr +. (are.(i) *. bre.(i)) +. (aim.(i) *. bim.(i));
+      di := !di +. (are.(i) *. bim.(i)) -. (aim.(i) *. bre.(i))
+    done;
+    (!dr, !di)
   in
   let k = ref 0 in
   while List.length !cols < n && !k < n do
-    let e = Array.init n (fun i -> if i = !k then Cx.one else Cx.zero) in
+    let ere = Array.make n 0.0 and eim = Array.make n 0.0 in
+    ere.(!k) <- 1.0;
     List.iter
-      (fun c ->
-        let d = dot c e in
-        Array.iteri (fun i ci -> e.(i) <- e.(i) -: (d *: ci)) c)
+      (fun (cre, cim) ->
+        let dr, di = dot (cre, cim) (ere, eim) in
+        for i = 0 to n - 1 do
+          ere.(i) <- ere.(i) -. ((dr *. cre.(i)) -. (di *. cim.(i)));
+          eim.(i) <- eim.(i) -. ((dr *. cim.(i)) +. (di *. cre.(i)))
+        done)
       !cols;
-    let nrm = Float.sqrt (Array.fold_left (fun acc z -> acc +. Cx.norm2 z) 0.0 e) in
+    let nrm2 = ref 0.0 in
+    for i = 0 to n - 1 do
+      nrm2 := !nrm2 +. (ere.(i) *. ere.(i)) +. (eim.(i) *. eim.(i))
+    done;
+    let nrm = Float.sqrt !nrm2 in
     if nrm > 1e-8 then begin
-      Array.iteri (fun i ei -> e.(i) <- Cx.scale (1.0 /. nrm) ei) e;
-      cols := !cols @ [ e ]
+      for i = 0 to n - 1 do
+        ere.(i) <- ere.(i) /. nrm;
+        eim.(i) <- eim.(i) /. nrm
+      done;
+      cols := !cols @ [ (ere, eim) ]
     end;
     incr k
   done;
   let arr = Array.of_list !cols in
-  Mat.init n n (fun i j -> arr.(j).(i))
+  let out = Mat.create n n in
+  let ore = Mat.re_plane out and oim = Mat.im_plane out in
+  Array.iteri
+    (fun j (cre, cim) ->
+      for i = 0 to n - 1 do
+        ore.((i * n) + j) <- cre.(i);
+        oim.((i * n) + j) <- cim.(i)
+      done)
+    arr;
+  out
 
 let svd m =
   let n = Mat.rows m in
   if n <> Mat.cols m then invalid_arg "Svd.svd: non-square";
   (* m† m = v diag(s^2) v† *)
-  let w, v = Eig.hermitian (Mat.mul (Mat.dagger m) m) in
+  let md = Mat.create n n in
+  Mat.dagger_into ~dst:md m;
+  let mtm = Mat.create n n in
+  Mat.mul_into ~dst:mtm md m;
+  let w, v = Eig.hermitian mtm in
   (* descending order *)
   let order = Array.init n (fun i -> n - 1 - i) in
   let s = Array.map (fun i -> Float.sqrt (Float.max 0.0 w.(i))) order in
-  let v = Mat.init n n (fun i j -> Mat.get v i order.(j)) in
-  let mv = Mat.mul m v in
+  let vd = Mat.create n n in
+  (let vre = Mat.re_plane v and vim = Mat.im_plane v in
+   let dre = Mat.re_plane vd and dim = Mat.im_plane vd in
+   for i = 0 to n - 1 do
+     for j = 0 to n - 1 do
+       dre.((i * n) + j) <- vre.((i * n) + order.(j));
+       dim.((i * n) + j) <- vim.((i * n) + order.(j))
+     done
+   done);
+  let v = vd in
+  let mv = Mat.create n n in
+  Mat.mul_into ~dst:mv m v;
   let u = Mat.create n n in
   let valid = Array.make n false in
-  for j = 0 to n - 1 do
-    if s.(j) > 1e-10 then begin
-      valid.(j) <- true;
-      for i = 0 to n - 1 do
-        Mat.set u i j (Cx.scale (1.0 /. s.(j)) (Mat.get mv i j))
-      done
-    end
-  done;
+  (let mre = Mat.re_plane mv and mim = Mat.im_plane mv in
+   let ure = Mat.re_plane u and uim = Mat.im_plane u in
+   for j = 0 to n - 1 do
+     if s.(j) > 1e-10 then begin
+       valid.(j) <- true;
+       let inv = 1.0 /. s.(j) in
+       for i = 0 to n - 1 do
+         ure.((i * n) + j) <- inv *. mre.((i * n) + j);
+         uim.((i * n) + j) <- inv *. mim.((i * n) + j)
+       done
+     end
+   done);
   let u = if Array.for_all Fun.id valid then u else complete_basis u valid in
   (u, s, v)
 
 let unitary_maximizer x =
   (* maximize Re Tr(x g) over unitary g: with x = u s v†, g = v u†. *)
   let u, _, v = svd x in
-  Mat.mul v (Mat.dagger u)
+  let ud = Mat.create (Mat.rows u) (Mat.cols u) in
+  Mat.dagger_into ~dst:ud u;
+  let g = Mat.create (Mat.rows v) (Mat.cols ud) in
+  Mat.mul_into ~dst:g v ud;
+  g
 
 let nuclear_norm x =
   let _, s, _ = svd x in

@@ -1,26 +1,43 @@
 open Numerics
 
 (* QR by modified Gram-Schmidt; returns Q with R's diagonal made positive,
-   which is exactly the Haar measure when the input is Ginibre. *)
+   which is exactly the Haar measure when the input is Ginibre. Runs in
+   place on the input's SoA planes (column-strided float arithmetic, no
+   boxed complex in the loops) and returns the mutated input. *)
 let qr_q g =
   let n = Mat.rows g in
-  let cols = Array.init n (fun j -> Array.init n (fun i -> Mat.get g i j)) in
-  let dot a b =
-    let s = ref Cx.zero in
-    Array.iteri (fun i ai -> s := Cx.( +: ) !s (Cx.( *: ) (Cx.conj ai) b.(i))) a;
-    !s
-  in
+  let re = Mat.re_plane g and im = Mat.im_plane g in
+  (* column j lives at indices i*n + j *)
   for j = 0 to n - 1 do
     for k = 0 to j - 1 do
-      let d = dot cols.(k) cols.(j) in
-      Array.iteri
-        (fun i v -> cols.(j).(i) <- Cx.( -: ) cols.(j).(i) (Cx.( *: ) d v))
-        cols.(k)
+      (* d = <col_k | col_j> *)
+      let dr = ref 0.0 and di = ref 0.0 in
+      for i = 0 to n - 1 do
+        let kr = re.((i * n) + k) and ki = im.((i * n) + k) in
+        let jr = re.((i * n) + j) and ji = im.((i * n) + j) in
+        dr := !dr +. (kr *. jr) +. (ki *. ji);
+        di := !di +. (kr *. ji) -. (ki *. jr)
+      done;
+      let dr = !dr and di = !di in
+      (* col_j <- col_j - d * col_k *)
+      for i = 0 to n - 1 do
+        let kr = re.((i * n) + k) and ki = im.((i * n) + k) in
+        re.((i * n) + j) <- re.((i * n) + j) -. ((dr *. kr) -. (di *. ki));
+        im.((i * n) + j) <- im.((i * n) + j) -. ((dr *. ki) +. (di *. kr))
+      done
     done;
-    let nrm = Float.sqrt (Array.fold_left (fun acc v -> acc +. Cx.norm2 v) 0.0 cols.(j)) in
-    Array.iteri (fun i v -> cols.(j).(i) <- Cx.scale (1.0 /. nrm) v) cols.(j)
+    let nrm2 = ref 0.0 in
+    for i = 0 to n - 1 do
+      let jr = re.((i * n) + j) and ji = im.((i * n) + j) in
+      nrm2 := !nrm2 +. (jr *. jr) +. (ji *. ji)
+    done;
+    let inv = 1.0 /. Float.sqrt !nrm2 in
+    for i = 0 to n - 1 do
+      re.((i * n) + j) <- inv *. re.((i * n) + j);
+      im.((i * n) + j) <- inv *. im.((i * n) + j)
+    done
   done;
-  Mat.init n n (fun i j -> cols.(j).(i))
+  g
 
 let unitary rng n =
   let g = Mat.init n n (fun _ _ -> Cx.mk (Rng.gaussian rng) (Rng.gaussian rng)) in

@@ -238,6 +238,127 @@ let test_rng_gaussian_moments () =
   check_float ~tol:0.05 "mean ~ 0" 0.0 mean;
   check_float ~tol:0.05 "var ~ 1" 1.0 var
 
+(* ------------------------------------------------- SoA vs boxed reference *)
+
+(* The SoA kernels must agree with the seed boxed implementation
+   ([Numerics.Boxed]) to near machine precision. *)
+
+let soa_tol = 1e-12
+
+let test_soa_mul_agrees () =
+  let a = random_mat 4 and b = random_mat 4 in
+  let expected = Boxed.to_mat (Boxed.mul (Boxed.of_mat a) (Boxed.of_mat b)) in
+  Alcotest.(check bool) "mul agrees with boxed" true
+    (Mat.frobenius_dist (Mat.mul a b) expected < soa_tol);
+  let dst = Mat.create 4 4 in
+  Mat.mul_into ~dst a b;
+  Alcotest.(check bool) "mul_into agrees with boxed" true
+    (Mat.frobenius_dist dst expected < soa_tol)
+
+let test_soa_dagger_agrees () =
+  let a = random_mat 5 in
+  let expected = Boxed.to_mat (Boxed.dagger (Boxed.of_mat a)) in
+  Alcotest.(check bool) "dagger agrees with boxed" true
+    (Mat.frobenius_dist (Mat.dagger a) expected < soa_tol);
+  let dst = Mat.create 5 5 in
+  Mat.dagger_into ~dst a;
+  Alcotest.(check bool) "dagger_into agrees with boxed" true
+    (Mat.frobenius_dist dst expected < soa_tol)
+
+let test_soa_add_agrees () =
+  let a = random_mat 4 and b = random_mat 4 in
+  let expected = Boxed.to_mat (Boxed.add (Boxed.of_mat a) (Boxed.of_mat b)) in
+  Alcotest.(check bool) "add agrees with boxed" true
+    (Mat.frobenius_dist (Mat.add a b) expected < soa_tol);
+  let dst = Mat.create 4 4 in
+  Mat.add_into ~dst a b;
+  Alcotest.(check bool) "add_into agrees with boxed" true
+    (Mat.frobenius_dist dst expected < soa_tol)
+
+let test_soa_expm_agrees () =
+  let h = random_hermitian 4 in
+  let expected = Boxed.to_mat (Boxed.herm_expi (Boxed.of_mat h) ~t:0.83) in
+  (* both sides diagonalize with the same Jacobi rotation order, so they
+     agree far below the usual eigensolver tolerance *)
+  Alcotest.(check bool) "herm_expi agrees with boxed" true
+    (Mat.frobenius_dist (Expm.herm_expi h ~t:0.83) expected < 1e-10)
+
+let test_soa_eig_reconstruction () =
+  let h = random_hermitian 6 in
+  let w, v = Eig.hermitian h in
+  let d = Mat.init 6 6 (fun i j -> if i = j then Cx.of_float w.(i) else Cx.zero) in
+  Alcotest.(check bool) "V D V† = H" true
+    (Mat.frobenius_dist (Mat.mul3 v d (Mat.dagger v)) h < 1e-10);
+  let bw, _ = Boxed.jacobi (Boxed.of_mat h) in
+  Array.sort compare bw;
+  Array.iteri
+    (fun i x -> check_float ~tol:1e-10 "eigenvalue agrees with boxed" x w.(i))
+    bw
+
+let test_soa_gemm () =
+  let a = random_mat 4 and b = random_mat 4 and c = random_mat 4 in
+  (* gemm ~alpha ~beta: dst <- alpha a b + beta dst *)
+  let dst = Mat.copy c in
+  Mat.gemm ~alpha:(Cx.of_float 2.0) ~beta:(Cx.of_float 0.5) ~dst a b;
+  let expected = Mat.add (Mat.rsmul 2.0 (Mat.mul a b)) (Mat.rsmul 0.5 c) in
+  Alcotest.(check bool) "gemm" true (Mat.frobenius_dist dst expected < soa_tol)
+
+let test_soa_trace_mul () =
+  let a = random_mat 4 and b = random_mat 4 in
+  Alcotest.(check bool) "trace_mul = trace (mul a b)" true
+    (Cx.close ~tol:1e-12 (Mat.trace_mul a b) (Mat.trace (Mat.mul a b)))
+
+let test_soa_mul_into_alias_rejected () =
+  let a = random_mat 4 in
+  Alcotest.check_raises "mul_into rejects dst == a"
+    (Invalid_argument "Mat.mul_into: dst aliases an input") (fun () ->
+      Mat.mul_into ~dst:a a (random_mat 4))
+
+(* ------------------------------------------------------------------ Par *)
+
+let test_par_map_matches_list_map () =
+  (* non-commutative per-item function: result depends on the item's own
+     prefix string, so any ordering/chunking mistake shows up *)
+  let f s = String.concat "|" [ s; String.uppercase_ascii s; string_of_int (String.length s) ] in
+  let xs = List.init 97 (fun i -> Printf.sprintf "item-%d" i) in
+  let expected = List.map f xs in
+  List.iter
+    (fun domains ->
+      Alcotest.(check (list string))
+        (Printf.sprintf "parallel_map (domains=%d) preserves order" domains)
+        expected
+        (Par.parallel_map ~domains f xs))
+    [ 1; 2; 5; 200 ]
+
+let test_par_init_matches_array_init () =
+  let f i = (i * i) - (3 * i) in
+  let expected = Array.init 64 f in
+  List.iter
+    (fun domains ->
+      Alcotest.(check (array int))
+        (Printf.sprintf "parallel_init (domains=%d)" domains)
+        expected
+        (Par.parallel_init ~domains 64 f))
+    [ 1; 3; 64; 100 ]
+
+let test_par_sum_deterministic () =
+  (* summation order must not depend on the domain count: fold is over the
+     materialized per-index array, so results are bit-identical *)
+  let f i = sin (float_of_int i *. 0.1) /. (1.0 +. float_of_int i) in
+  let base = Par.parallel_sum ~domains:1 1000 f in
+  List.iter
+    (fun domains ->
+      Alcotest.(check bool)
+        (Printf.sprintf "parallel_sum (domains=%d) bit-identical" domains)
+        true
+        (Par.parallel_sum ~domains 1000 f = base))
+    [ 2; 3; 7 ]
+
+let test_par_empty_and_single () =
+  Alcotest.(check (list int)) "empty list" [] (Par.parallel_map ~domains:4 (fun x -> x) []);
+  Alcotest.(check (list int)) "single item" [ 42 ]
+    (Par.parallel_map ~domains:4 (fun x -> x + 41) [ 1 ])
+
 (* qcheck properties *)
 
 let qcheck_tests =
@@ -295,6 +416,24 @@ let () =
           Alcotest.test_case "reconstruct" `Quick test_svd_reconstruct;
           Alcotest.test_case "rank deficient" `Quick test_svd_rank_deficient;
           Alcotest.test_case "unitary maximizer" `Quick test_svd_maximizer;
+        ] );
+      ( "soa",
+        [
+          Alcotest.test_case "mul vs boxed" `Quick test_soa_mul_agrees;
+          Alcotest.test_case "dagger vs boxed" `Quick test_soa_dagger_agrees;
+          Alcotest.test_case "add vs boxed" `Quick test_soa_add_agrees;
+          Alcotest.test_case "expm vs boxed" `Quick test_soa_expm_agrees;
+          Alcotest.test_case "eig reconstruction" `Quick test_soa_eig_reconstruction;
+          Alcotest.test_case "gemm" `Quick test_soa_gemm;
+          Alcotest.test_case "trace_mul" `Quick test_soa_trace_mul;
+          Alcotest.test_case "alias rejected" `Quick test_soa_mul_into_alias_rejected;
+        ] );
+      ( "par",
+        [
+          Alcotest.test_case "map preserves order" `Quick test_par_map_matches_list_map;
+          Alcotest.test_case "init matches" `Quick test_par_init_matches_array_init;
+          Alcotest.test_case "sum deterministic" `Quick test_par_sum_deterministic;
+          Alcotest.test_case "empty and single" `Quick test_par_empty_and_single;
         ] );
       ( "roots",
         [
