@@ -104,4 +104,5 @@ let () =
   if want "decoherence" then Extras.decoherence ~trajectories ();
   if want "calibrate" then Extras.calibrate ();
   if want "leakage" then Extras.leakage_study ();
+  Util.write_robust_json "BENCH_robust.json";
   Printf.printf "\ntotal bench time: %.1fs\n" (Unix.gettimeofday () -. total_t0)

@@ -57,7 +57,23 @@ type t2result = {
   csv_row : string list;
   eff_2q : int;
   full_2q : int;
+  solver_outcomes : (string * string) list;  (* sampled 2Q gates: (gate, verdict) *)
 }
+
+(* Run the pulse solver on a handful of the compiled 2Q gates and record
+   each verdict (ok/degraded/retried/failed) for the robustness report. *)
+let sample_solver_outcomes (c : Circuit.t) =
+  let gates = List.filter Gate.is_2q c.Circuit.gates in
+  List.filteri (fun i _ -> i < 6) gates
+  |> List.map (fun (g : Gate.t) ->
+         let desc =
+           Printf.sprintf "%s(%d,%d)" g.Gate.label g.Gate.qubits.(0) g.Gate.qubits.(1)
+         in
+         match Microarch.Genashn.solve_r xy g.Gate.mat with
+         | Robust.Outcome.Solved _ -> (desc, "ok")
+         | Robust.Outcome.Degraded (_, i) ->
+           (desc, if i.Robust.Outcome.retries > 0 then "retried" else "degraded")
+         | Robust.Outcome.Failed _ -> (desc, "failed"))
 
 let table2_compute ((b : Benchmarks.Suite.bench), rng) =
   let input = Compiler.Pipeline.program_to_cnot_input b.program in
@@ -104,7 +120,15 @@ let table2_compute ((b : Benchmarks.Suite.bench), rng) =
     csv_row;
     eff_2q = Circuit.count_2q eff.Compiler.Pipeline.circuit;
     full_2q = Circuit.count_2q full.Compiler.Pipeline.circuit;
+    solver_outcomes = sample_solver_outcomes eff.Compiler.Pipeline.circuit;
   }
+
+(* One broken bench must not abort the whole sweep: failures come back as
+   [Error] rows, reported and counted after the parallel fan-out. *)
+let table2_compute_safe job =
+  match table2_compute job with
+  | r -> Ok r
+  | exception e -> Error (Printexc.to_string e)
 
 let table2 ?limit ~big () =
   hr "Table 2: logical-level compilation (reduction % vs CNOT-based input)";
@@ -127,19 +151,27 @@ let table2 ?limit ~big () =
       r
   in
   let jobs = List.map (fun b -> (b, Numerics.Rng.split rng)) suite in
-  let results = Numerics.Par.parallel_map table2_compute jobs in
-  List.iter
-    (fun r ->
-      let record name report =
-        add_row (List.assoc name (all_rows r.bench.Benchmarks.Suite.category)) ~base:r.base
-          ~opt:report;
-        add_row (List.assoc name overall) ~base:r.base ~opt:report
-      in
-      List.iter (fun (name, report) -> record name report) r.reports;
-      csv_rows := r.csv_row :: !csv_rows;
-      Printf.printf "  %-14s done (#2Q %d -> eff %d, full %d)\n%!"
-        r.bench.Benchmarks.Suite.name r.base.Compiler.Metrics.count_2q r.eff_2q r.full_2q)
-    results;
+  let results = Numerics.Par.parallel_map table2_compute_safe jobs in
+  List.iter2
+    (fun ((b : Benchmarks.Suite.bench), _) result ->
+      match result with
+      | Ok r ->
+        let record name report =
+          add_row (List.assoc name (all_rows r.bench.Benchmarks.Suite.category)) ~base:r.base
+            ~opt:report;
+          add_row (List.assoc name overall) ~base:r.base ~opt:report
+        in
+        List.iter (fun (name, report) -> record name report) r.reports;
+        csv_rows := r.csv_row :: !csv_rows;
+        Util.note_gate_outcomes r.bench.Benchmarks.Suite.name r.solver_outcomes;
+        Robust.Counters.incr ~stage:"bench.table2" "bench_ok";
+        Printf.printf "  %-14s done (#2Q %d -> eff %d, full %d)\n%!"
+          r.bench.Benchmarks.Suite.name r.base.Compiler.Metrics.count_2q r.eff_2q r.full_2q
+      | Error msg ->
+        Robust.Counters.incr ~stage:"bench.table2" "bench_failed";
+        Printf.printf "  %-14s FAILED (%s) — excluded from statistics\n%!"
+          b.Benchmarks.Suite.name msg)
+    jobs results;
   csv "table2"
     [ "bench"; "category"; "input_2q"; "qiskit_2q"; "tket_2q"; "bqskit_2q";
       "eff_2q"; "full_2q"; "input_T"; "eff_T"; "full_T" ]

@@ -35,6 +35,51 @@ let xy = Microarch.Coupling.xy ~g:1.0
 let su4_isa = Compiler.Metrics.Su4_isa xy
 let cnot_isa = Compiler.Metrics.Cnot_isa
 
+(* -------------------------------------------------- robustness report *)
+
+(* per-gate solver verdicts collected by table2: (bench, [(gate, kind)]) *)
+let robust_gate_outcomes : (string * (string * string) list) list ref = ref []
+
+let note_gate_outcomes bench kinds =
+  robust_gate_outcomes := (bench, kinds) :: !robust_gate_outcomes
+
+(* BENCH_robust.json: per-stage retry/fallback/degradation counters, the
+   active fault spec, and table2's per-gate solver outcomes. Written after
+   every bench run; stdout stays untouched unless fault injection is armed,
+   so fault-free runs remain bit-identical to the plain harness. *)
+let write_robust_json path =
+  let buf = Buffer.create 2048 in
+  let bpf fmt = Printf.ksprintf (Buffer.add_string buf) fmt in
+  bpf "{\n";
+  bpf "  \"faults\": %s,\n"
+    (if Robust.Fault.enabled () then Printf.sprintf "%S" (Robust.Fault.spec_string ())
+     else "null");
+  bpf "  \"fault_hits\": {";
+  List.iteri
+    (fun i (site, n) -> bpf "%s%S: %d" (if i = 0 then "" else ", ") site n)
+    (Robust.Fault.hits ());
+  bpf "},\n";
+  bpf "  \"counters\": %s,\n" (Robust.Counters.to_json ());
+  bpf "  \"table2_gate_outcomes\": [\n";
+  let entries = List.rev !robust_gate_outcomes in
+  List.iteri
+    (fun i (bench, kinds) ->
+      bpf "    {\"bench\": %S, \"gates\": [" bench;
+      List.iteri
+        (fun j (gate, kind) ->
+          bpf "%s{\"gate\": %S, \"outcome\": %S}" (if j = 0 then "" else ", ") gate kind)
+        kinds;
+      bpf "]}%s\n" (if i = List.length entries - 1 then "" else ","))
+    entries;
+  bpf "  ]\n";
+  bpf "}\n";
+  let oc = open_out path in
+  output_string oc (Buffer.contents buf);
+  close_out oc;
+  if Robust.Fault.enabled () then
+    Printf.printf "  [robust] wrote %s (faults: %s)\n%!" path
+      (Robust.Fault.spec_string ())
+
 (* optional CSV mirroring of the printed results (artifact-style outputs) *)
 let csv_dir : string option ref = ref None
 

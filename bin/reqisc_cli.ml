@@ -4,16 +4,36 @@
      reqisc_cli list
      reqisc_cli compile BENCH [--mode eff|full|nc] [--route chain|grid] [--pulses]
      reqisc_cli pulse GATE [--coupling xy|xx] (GATE in cnot|cz|iswap|sqisw|b|swap)
-*)
+     reqisc_cli qasm FILE [--pulses]
+
+   Exit codes: 0 success, 2 usage error, 3 parse error, 4 solver error.
+   Structured errors go to stderr as "error[kind] stage: detail". *)
+
+let exit_usage = 2
+let exit_parse = 3
+
+let usage_error fmt =
+  Printf.ksprintf
+    (fun msg ->
+      Printf.eprintf "error[usage]: %s\n" msg;
+      exit exit_usage)
+    fmt
+
+let parse_error (e : Qasm.parse_error) =
+  Printf.eprintf "error[parse]: %s\n" (Qasm.parse_error_to_string e);
+  exit exit_parse
+
+let solver_error (e : Robust.Err.t) =
+  Printf.eprintf "error[%s] %s: %s\n" (Robust.Err.kind e) (Robust.Err.stage e)
+    (Robust.Err.to_string e);
+  exit (Robust.Err.exit_code e)
 
 let suite = lazy (Benchmarks.Suite.suite ~big:true ())
 
 let find_bench name =
   match List.find_opt (fun (b : Benchmarks.Suite.bench) -> b.name = name) (Lazy.force suite) with
   | Some b -> b
-  | None ->
-    Printf.eprintf "unknown benchmark %s (try `reqisc_cli list`)\n" name;
-    exit 1
+  | None -> usage_error "unknown benchmark %s (try `reqisc_cli list`)" name
 
 let cmd_list () =
   List.iter
@@ -30,13 +50,69 @@ let flag_value args flag =
   in
   go args
 
+let print_pulse_table (instrs : Reqisc.pulse_instruction list) =
+  Printf.printf "%-8s %-5s %10s %10s %10s %10s\n" "qubits" "mode" "tau" "A1" "A2" "delta";
+  List.iter
+    (fun (i : Reqisc.pulse_instruction) ->
+      let p = i.pulse in
+      Printf.printf "(%d,%d)    %-5s %10.4f %10.4f %10.4f %10.4f\n" (fst i.qubits)
+        (snd i.qubits)
+        (Microarch.Tau.subscheme_to_string p.Microarch.Genashn.subscheme)
+        p.Microarch.Genashn.tau
+        (-2.0 *. p.Microarch.Genashn.drive_x1)
+        (-2.0 *. p.Microarch.Genashn.drive_x2)
+        p.Microarch.Genashn.delta)
+    instrs
+
+(* per-gate robust synthesis: report every verdict, exit 4 only if some
+   gate ended in a hard failure *)
+let run_pulses coupling circuit =
+  let outcomes = Reqisc.pulses_r coupling circuit in
+  let ok =
+    List.filter_map
+      (fun (o : Reqisc.gate_outcome) ->
+        match o.outcome with
+        | Robust.Outcome.Solved i | Robust.Outcome.Degraded (i, _) -> Some i
+        | Robust.Outcome.Failed _ -> None)
+      outcomes
+  in
+  print_pulse_table ok;
+  List.iter
+    (fun (o : Reqisc.gate_outcome) ->
+      match o.outcome with
+      | Robust.Outcome.Degraded (_, i) ->
+        Printf.printf "degraded %s: residual %.2e after %d retries (%s)\n"
+          (Gate.to_string o.gate) i.Robust.Outcome.residual i.Robust.Outcome.retries
+          i.Robust.Outcome.note
+      | _ -> ())
+    outcomes;
+  let failures =
+    List.filter_map
+      (fun (o : Reqisc.gate_outcome) ->
+        match o.outcome with
+        | Robust.Outcome.Failed e -> Some (o.gate, e)
+        | _ -> None)
+      outcomes
+  in
+  match failures with
+  | [] -> ()
+  | (g, e) :: _ ->
+    List.iter
+      (fun (g, e) ->
+        Printf.eprintf "error[%s] %s: %s: %s\n" (Robust.Err.kind e) (Robust.Err.stage e)
+          (Gate.to_string g) (Robust.Err.to_string e))
+      failures;
+    ignore g;
+    exit (Robust.Err.exit_code e)
+
 let cmd_compile name args =
   let b = find_bench name in
   let mode =
     match flag_value args "--mode" with
     | Some "full" -> Compiler.Pipeline.Full
     | Some "nc" -> Compiler.Pipeline.Nc
-    | _ -> Compiler.Pipeline.Eff
+    | Some "eff" | None -> Compiler.Pipeline.Eff
+    | Some other -> usage_error "unknown mode %s (expected eff|full|nc)" other
   in
   let rng = Numerics.Rng.create 1L in
   let input = Compiler.Pipeline.program_to_cnot_input b.program in
@@ -44,7 +120,11 @@ let cmd_compile name args =
   Printf.printf "%s (%s), %d qubits\n" b.name b.category input.Circuit.n;
   Printf.printf "input (CNOT ISA):   %s\n"
     (Format.asprintf "%a" Compiler.Metrics.pp_report base);
-  let out = Compiler.Pipeline.compile ~mode rng b.program in
+  let out =
+    match Compiler.Pipeline.compile_r ~mode rng b.program with
+    | Ok out -> out
+    | Error e -> solver_error e
+  in
   let isa = Compiler.Metrics.Su4_isa (Microarch.Coupling.xy ~g:1.0) in
   let r = Compiler.Metrics.report isa out.Compiler.Pipeline.circuit in
   Printf.printf "%s:  %s  (mirrored %d)\n"
@@ -59,30 +139,16 @@ let cmd_compile name args =
         let cols = int_of_float (Float.ceil (sqrt (float_of_int n))) in
         Compiler.Routing.grid ~rows:((n + cols - 1) / cols) ~cols
       end
-      else Compiler.Routing.chain n
+      else if kind = "chain" then Compiler.Routing.chain n
+      else usage_error "unknown topology %s (expected chain|grid)" kind
     in
     let routed = Compiler.Routing.route ~mirror:true rng topo out.Compiler.Pipeline.circuit in
     Printf.printf "routed (%s):        #2Q=%d (+%d swaps, %d absorbed)\n" kind
       (Circuit.count_2q routed.Compiler.Routing.circuit)
       routed.Compiler.Routing.swaps_inserted routed.Compiler.Routing.swaps_absorbed
   | None -> ());
-  if List.mem "--pulses" args then begin
-    match Reqisc.pulses (Microarch.Coupling.xy ~g:1.0) out.Compiler.Pipeline.circuit with
-    | Error e -> Printf.printf "pulse synthesis failed: %s\n" e
-    | Ok instrs ->
-      Printf.printf "%-8s %-5s %10s %10s %10s %10s\n" "qubits" "mode" "tau" "A1" "A2" "delta";
-      List.iter
-        (fun (i : Reqisc.pulse_instruction) ->
-          let p = i.pulse in
-          Printf.printf "(%d,%d)    %-5s %10.4f %10.4f %10.4f %10.4f\n" (fst i.qubits)
-            (snd i.qubits)
-            (Microarch.Tau.subscheme_to_string p.Microarch.Genashn.subscheme)
-            p.Microarch.Genashn.tau
-            (-2.0 *. p.Microarch.Genashn.drive_x1)
-            (-2.0 *. p.Microarch.Genashn.drive_x2)
-            p.Microarch.Genashn.delta)
-        instrs
-  end
+  if List.mem "--pulses" args then
+    run_pulses (Microarch.Coupling.xy ~g:1.0) out.Compiler.Pipeline.circuit
 
 let cmd_pulse name args =
   let gate =
@@ -93,20 +159,15 @@ let cmd_pulse name args =
     | "sqisw" -> Quantum.Gates.sqisw
     | "b" -> Quantum.Gates.b_gate
     | "swap" -> Quantum.Gates.swap
-    | g ->
-      Printf.eprintf "unknown gate %s\n" g;
-      exit 1
+    | g -> usage_error "unknown gate %s (expected cnot|cz|iswap|sqisw|b|swap)" g
   in
   let coupling =
     match flag_value args "--coupling" with
     | Some "xx" -> Microarch.Coupling.xx ~g:1.0
-    | _ -> Microarch.Coupling.xy ~g:1.0
+    | Some "xy" | None -> Microarch.Coupling.xy ~g:1.0
+    | Some other -> usage_error "unknown coupling %s (expected xy|xx)" other
   in
-  match Microarch.Genashn.solve coupling gate with
-  | Error e ->
-    Printf.eprintf "solve failed: %s\n" e;
-    exit 1
-  | Ok r ->
+  let finish (r : Microarch.Genashn.result) =
     let p = r.Microarch.Genashn.pulse in
     Printf.printf "gate %s under %s\n" name
       (Format.asprintf "%a" Microarch.Coupling.pp coupling);
@@ -118,17 +179,35 @@ let cmd_pulse name args =
     Printf.printf "delta   %.6f\n" p.Microarch.Genashn.delta;
     Printf.printf "error   %.2e\n"
       (Numerics.Mat.frobenius_dist (Microarch.Genashn.reconstruct r) gate)
+  in
+  match Microarch.Genashn.solve_r coupling gate with
+  | Robust.Outcome.Solved r -> finish r
+  | Robust.Outcome.Degraded (r, i) ->
+    finish r;
+    Printf.printf "warning: degraded solve — residual %.2e after %d retries (%s)\n"
+      i.Robust.Outcome.residual i.Robust.Outcome.retries i.Robust.Outcome.note
+  | Robust.Outcome.Failed e -> solver_error e
+
+let cmd_qasm path args =
+  if not (Sys.file_exists path) then usage_error "no such file %s" path;
+  match Qasm.parse_file path with
+  | Error e -> parse_error e
+  | Ok c ->
+    Printf.printf "%s: %d qubits, %d gates (#2Q=%d)\n" path c.Circuit.n
+      (List.length c.Circuit.gates) (Circuit.count_2q c);
+    if List.mem "--pulses" args then run_pulses (Microarch.Coupling.xy ~g:1.0) c
 
 let usage () =
   print_endline
     "usage: reqisc_cli list | compile BENCH [--mode eff|full|nc] [--route \
-     chain|grid] [--pulses] | pulse GATE [--coupling xy|xx]"
+     chain|grid] [--pulses] | pulse GATE [--coupling xy|xx] | qasm FILE [--pulses]"
 
 let () =
   match Array.to_list Sys.argv with
   | _ :: "list" :: _ -> cmd_list ()
   | _ :: "compile" :: name :: rest -> cmd_compile name rest
   | _ :: "pulse" :: name :: rest -> cmd_pulse name rest
+  | _ :: "qasm" :: path :: rest -> cmd_qasm path rest
   | _ ->
     usage ();
-    exit 1
+    exit exit_usage

@@ -36,38 +36,68 @@ let to_string (c : Circuit.t) =
 
 (* ------------------------------------------------------------- parsing *)
 
-let fail_at line msg = failwith (Printf.sprintf "Qasm.of_string: line %d: %s" line msg)
+type parse_error = { line : int; column : int; token : string; message : string }
 
-let parse_floats s =
+let parse_error_to_string e =
+  if e.token = "" then
+    Printf.sprintf "line %d, column %d: %s" e.line e.column e.message
+  else
+    Printf.sprintf "line %d, column %d: %s (at %S)" e.line e.column e.message e.token
+
+(* internal: every parse failure carries line/column/token; [parse] catches
+   this, so it never escapes the module *)
+exception Parse_failure of parse_error
+
+(* parsing context: the 1-based line number plus the raw line text, used to
+   recover the column of an offending token *)
+type ctx = { lineno : int; raw : string }
+
+let column_of ctx token =
+  if token = "" then 1
+  else begin
+    let tl = String.length token and rl = String.length ctx.raw in
+    let rec find i =
+      if i + tl > rl then 1
+      else if String.sub ctx.raw i tl = token then i + 1
+      else find (i + 1)
+    in
+    find 0
+  end
+
+let err ctx ?(token = "") message =
+  raise
+    (Parse_failure { line = ctx.lineno; column = column_of ctx token; token; message })
+
+let parse_floats ctx s =
   List.map
     (fun tok ->
       match float_of_string_opt (String.trim tok) with
       | Some f -> f
-      | None -> failwith ("bad float " ^ tok))
+      | None -> err ctx ~token:(String.trim tok) "bad float literal")
     (String.split_on_char ',' s)
 
-let parse_qubits s =
+let parse_qubits ctx s =
   List.map
     (fun tok ->
       let tok = String.trim tok in
       try Scanf.sscanf tok "q[%d]" (fun i -> i)
-      with _ -> failwith ("bad qubit " ^ tok))
+      with _ -> err ctx ~token:tok "bad qubit reference (expected q[<int>])")
     (String.split_on_char ',' s)
 
 (* split "name(args) q[..],q[..]" into (name, Some args, qubit string) *)
-let split_gate str =
+let split_gate ctx str =
   let str = String.trim str in
   let first_space =
     match String.index_opt str ' ' with
     | Some i -> i
-    | None -> failwith "missing qubits"
+    | None -> err ctx ~token:str "missing qubit operands"
   in
   match String.index_opt str '(' with
   | Some i when i < first_space ->
     let close =
       match String.rindex_opt str ')' with
       | Some c -> c
-      | None -> failwith "unbalanced parentheses"
+      | None -> err ctx ~token:str "unbalanced parentheses"
     in
     let name = String.sub str 0 i in
     let args = String.sub str (i + 1) (close - i - 1) in
@@ -79,9 +109,12 @@ let split_gate str =
       ( String.sub str 0 i,
         None,
         String.trim (String.sub str (i + 1) (String.length str - i - 1)) )
-    | None -> failwith "missing qubits")
+    | None -> err ctx ~token:str "missing qubit operands")
 
-let build_gate line name args qubits =
+let build_gate ctx name args qubits =
+  let fail_at _line msg = err ctx ~token:name msg in
+  let line = ctx.lineno in
+  let parse_floats s = parse_floats ctx s in
   let q i = List.nth qubits i in
   let arity k =
     if List.length qubits <> k then fail_at line (name ^ ": wrong qubit count")
@@ -140,52 +173,61 @@ let build_gate line name args qubits =
     | None -> fail_at line "unitary: missing entries")
   | other -> fail_at line ("unknown gate " ^ other)
 
-let of_string s =
-  let lines = String.split_on_char '\n' s in
-  let n = ref 0 in
-  let gates = ref [] in
-  List.iteri
-    (fun idx raw ->
-      let lineno = idx + 1 in
-      let line = String.trim raw in
-      let line =
-        match String.index_opt line '/' with
-        | Some i when i + 1 < String.length line && line.[i + 1] = '/' ->
-          String.trim (String.sub line 0 i)
-        | _ -> line
-      in
-      if line <> "" then begin
-        let stmt =
-          if String.length line > 0 && line.[String.length line - 1] = ';' then
-            String.sub line 0 (String.length line - 1)
-          else line
+let parse s =
+  try
+    let lines = String.split_on_char '\n' s in
+    let n = ref 0 in
+    let gates = ref [] in
+    List.iteri
+      (fun idx raw ->
+        let ctx = { lineno = idx + 1; raw } in
+        let line = String.trim raw in
+        let line =
+          match String.index_opt line '/' with
+          | Some i when i + 1 < String.length line && line.[i + 1] = '/' ->
+            String.trim (String.sub line 0 i)
+          | _ -> line
         in
-        let stmt = String.trim stmt in
-        if String.length stmt >= 6 && String.sub stmt 0 6 = "REQASM" then ()
-        else if String.length stmt >= 4 && String.sub stmt 0 4 = "qreg" then begin
-          try Scanf.sscanf stmt "qreg q[%d]" (fun k -> n := k)
-          with _ -> fail_at lineno "bad qreg"
-        end
-        else begin
-          match split_gate stmt with
-          | name, args, qstr ->
-            let qubits = try parse_qubits qstr with Failure m -> fail_at lineno m in
-            gates := build_gate lineno name args qubits :: !gates
-          | exception Failure m -> fail_at lineno m
-        end
-      end)
-    lines;
-  if !n = 0 then failwith "Qasm.of_string: missing qreg declaration";
-  Circuit.create !n (List.rev !gates)
+        if line <> "" then begin
+          let stmt =
+            if String.length line > 0 && line.[String.length line - 1] = ';' then
+              String.sub line 0 (String.length line - 1)
+            else line
+          in
+          let stmt = String.trim stmt in
+          if String.length stmt >= 6 && String.sub stmt 0 6 = "REQASM" then ()
+          else if String.length stmt >= 4 && String.sub stmt 0 4 = "qreg" then begin
+            try Scanf.sscanf stmt "qreg q[%d]" (fun k -> n := k)
+            with _ -> err ctx ~token:stmt "malformed qreg declaration"
+          end
+          else begin
+            let name, args, qstr = split_gate ctx stmt in
+            let qubits = parse_qubits ctx qstr in
+            gates := build_gate ctx name args qubits :: !gates
+          end
+        end)
+      lines;
+    if !n = 0 then
+      Error { line = 1; column = 1; token = ""; message = "missing qreg declaration" }
+    else Ok (Circuit.create !n (List.rev !gates))
+  with Parse_failure e -> Error e
+
+let of_string s =
+  match parse s with
+  | Ok c -> c
+  | Error e -> failwith (Printf.sprintf "Qasm.of_string: %s" (parse_error_to_string e))
 
 let save path c =
   let oc = open_out path in
   output_string oc (to_string c);
   close_out oc
 
-let load path =
+let read_file path =
   let ic = open_in path in
   let len = in_channel_length ic in
   let s = really_input_string ic len in
   close_in ic;
-  of_string s
+  s
+
+let load path = of_string (read_file path)
+let parse_file path = parse (read_file path)

@@ -8,11 +8,24 @@
 (** [to_string c] serializes a circuit. *)
 val to_string : Circuit.t -> string
 
-(** [of_string s] parses back what [to_string] produced.
-    @raise Failure with a line-numbered message on malformed input. *)
+(** A located parse failure: 1-based [line]/[column] of the offending
+    [token] (empty when no single token is to blame). *)
+type parse_error = { line : int; column : int; token : string; message : string }
+
+val parse_error_to_string : parse_error -> string
+
+(** [parse s] parses back what [to_string] produced, reporting malformed
+    input as a located {!parse_error} instead of raising. *)
+val parse : string -> (Circuit.t, parse_error) result
+
+(** [of_string s] is [parse] for legacy callers.
+    @raise Failure with the rendered {!parse_error} on malformed input. *)
 val of_string : string -> Circuit.t
 
 (** [save path c] / [load path] file convenience wrappers. *)
 val save : string -> Circuit.t -> unit
 
 val load : string -> Circuit.t
+
+(** [parse_file path] is {!parse} on the file's contents. *)
+val parse_file : string -> (Circuit.t, parse_error) result

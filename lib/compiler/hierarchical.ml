@@ -1,11 +1,18 @@
 open Numerics
 
+let stage = "compiler.hier"
+
 let resynthesize lib rng ~w block =
   ignore rng;
   let k = Blocks.count_2q block in
   let u = Blocks.block_unitary block in
   let qarr = Array.of_list block.Blocks.qubits in
   if List.length block.Blocks.qubits > w then None
+  else if Robust.Fault.enabled () && Robust.Fault.fire "hier_fail" then
+    (* fault site "hier_fail": approximate resynthesis unavailable — the
+       caller must fall back to the block's exact gates *)
+    None
+  else if Mat.has_nan u then None
   else begin
     let e = Template.template_entry lib ~max_gates:(min (k - 1) 7) u in
     match e.Template.best with
@@ -13,6 +20,21 @@ let resynthesize lib rng ~w block =
       Some (List.map (Gate.remap (fun q -> qarr.(q))) gates)
     | _ -> None
   end
+
+(* Resynthesis must never abort a compile: any numerical breakdown inside
+   the template search degrades to keeping the block's original gates. *)
+let resynthesize_safe lib rng ~w block =
+  match resynthesize lib rng ~w block with
+  | Some gates ->
+    Robust.Counters.incr ~stage "resynth_ok";
+    Some gates
+  | None ->
+    Robust.Counters.incr ~stage "fallback";
+    None
+  | exception _ ->
+    Robust.Counters.incr ~stage "fallback";
+    Robust.Counters.incr ~stage "resynth_error";
+    None
 
 let one_round lib rng ~w ~m_th ~compacting (c : Circuit.t) =
   let fused = Blocks.fuse_2q c in
@@ -29,7 +51,7 @@ let one_round lib rng ~w ~m_th ~compacting (c : Circuit.t) =
     List.concat_map
       (fun (b : Blocks.block) ->
         if Blocks.count_2q b > m_th then
-          match resynthesize lib rng ~w b with
+          match resynthesize_safe lib rng ~w b with
           | Some gates -> gates
           | None -> b.gates
         else b.gates)

@@ -15,6 +15,8 @@ let program_to_cnot_input = function
   | Gates c -> Decomp.lower_to_cx c
   | Pauli p -> Phoenix.to_cx_circuit p
 
+let stage = "compiler.pipeline"
+
 let compile ?(mode = Eff) ?(mirror_threshold = Mirroring.default_threshold) rng p =
   let lib = Template.create_library (Numerics.Rng.split rng) in
   let su4_stage =
@@ -29,13 +31,32 @@ let compile ?(mode = Eff) ?(mirror_threshold = Mirroring.default_threshold) rng 
   let optimized =
     match mode with
     | Eff -> su4_stage
-    | Full -> Hierarchical.run ~compacting:true rng su4_stage
-    | Nc -> Hierarchical.run ~compacting:false rng su4_stage
+    | Full | Nc -> (
+      let compacting = mode = Full in
+      (* hierarchical synthesis is an optimization, never a requirement:
+         if it breaks down numerically, compile with the exact SU(4)
+         stage instead of aborting *)
+      match Hierarchical.run ~compacting rng su4_stage with
+      | c -> c
+      | exception _ ->
+        Robust.Counters.incr ~stage "hier_fallback";
+        su4_stage)
   in
   let m = Mirroring.run ~r:mirror_threshold optimized in
+  Robust.Counters.incr ~stage "ok";
   {
     circuit = m.Mirroring.circuit;
     final_mapping = m.Mirroring.final_mapping;
     mirrored = m.Mirroring.mirrored;
     template_classes = Template.library_size lib;
   }
+
+let compile_r ?mode ?mirror_threshold rng p =
+  match compile ?mode ?mirror_threshold rng p with
+  | out -> Ok out
+  | exception Failure msg ->
+    Robust.Counters.incr ~stage "failed";
+    Error (Robust.Err.Ill_conditioned { stage; detail = msg })
+  | exception Invalid_argument msg ->
+    Robust.Counters.incr ~stage "failed";
+    Error (Robust.Err.Ill_conditioned { stage; detail = msg })

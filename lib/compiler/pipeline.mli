@@ -25,6 +25,18 @@ val mode_to_string : mode -> string
 val compile :
   ?mode:mode -> ?mirror_threshold:float -> Numerics.Rng.t -> program -> output
 
+(** [compile_r rng ~mode p] is {!compile} with typed errors: synthesis
+    breakdowns surface as [Error (Ill_conditioned _)] instead of raising.
+    Inside {!compile} itself the hierarchical stage already degrades to the
+    exact template stage on failure (counter ["compiler.pipeline"/
+    "hier_fallback"]), so [Error] here means even exact synthesis broke. *)
+val compile_r :
+  ?mode:mode ->
+  ?mirror_threshold:float ->
+  Numerics.Rng.t ->
+  program ->
+  (output, Robust.Err.t) result
+
 (** [program_width p]. *)
 val program_width : program -> int
 

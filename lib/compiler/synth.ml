@@ -94,7 +94,10 @@ let optimize ?(sweeps = 400) ?(restarts = 6) ?(tol = 1e-10) rng ~n ~target slots
          if !stall > (if converged then 6 else 12) then raise Exit
        done
      with Exit -> ());
-    (Array.copy mats, 1.0 -. (!best /. float_of_int dim))
+    (* a NaN trace fidelity must read as "no convergence", not compare
+       as false against every threshold downstream *)
+    let inf = 1.0 -. (!best /. float_of_int dim) in
+    (Array.copy mats, if Float.is_nan inf then Float.infinity else inf)
   in
   let best_mats = ref [||] and best_inf = ref infinity in
   (try
@@ -152,16 +155,24 @@ let cx_template ~n m =
   front @ mid
 
 let search_counts ?(tol = 1e-9) rng ~n ~target ~max_gates ~template ~count_2q =
-  let rec go m =
-    if m > max_gates then None
-    else begin
-      let slots = template ~n m in
-      let restarts = if m <= 1 then 2 else 4 + m in
-      let gates, inf = optimize ~restarts ~tol rng ~n ~target slots in
-      if inf < tol then Some (gates, count_2q gates) else go (m + 1)
-    end
-  in
-  go 0
+  if Mat.has_nan target then begin
+    (* a poisoned target would make every restart chase NaN infidelities;
+       refuse up front so callers take their exact-synthesis fallback *)
+    Robust.Counters.incr ~stage:"compiler.synth" "nan_target";
+    None
+  end
+  else begin
+    let rec go m =
+      if m > max_gates then None
+      else begin
+        let slots = template ~n m in
+        let restarts = if m <= 1 then 2 else 4 + m in
+        let gates, inf = optimize ~restarts ~tol rng ~n ~target slots in
+        if inf < tol then Some (gates, count_2q gates) else go (m + 1)
+      end
+    in
+    go 0
+  end
 
 let count_su4 gates = List.length (List.filter Gate.is_2q gates)
 

@@ -46,5 +46,30 @@ let pulses coupling (c : Circuit.t) =
   in
   go [] c.Circuit.gates
 
+type gate_outcome = {
+  gate : Gate.t;
+  outcome : pulse_instruction Robust.Outcome.t;
+}
+
+let pulses_r ?budget coupling (c : Circuit.t) =
+  List.filter_map
+    (fun (g : Gate.t) ->
+      if not (Gate.is_2q g) then None
+      else begin
+        let outcome =
+          Robust.Outcome.map
+            (fun (r : Microarch.Genashn.result) ->
+              {
+                qubits = (g.qubits.(0), g.qubits.(1));
+                pulse = r.Microarch.Genashn.pulse;
+                pre = Some (r.Microarch.Genashn.b1, r.Microarch.Genashn.b2);
+                post = Some (r.Microarch.Genashn.a1, r.Microarch.Genashn.a2);
+              })
+            (Microarch.Genashn.solve_r ?budget coupling g.mat)
+        in
+        Some { gate = g; outcome }
+      end)
+    c.Circuit.gates
+
 let metrics = Compiler.Metrics.report
 let xy_coupling = Microarch.Coupling.xy ~g:1.0

@@ -48,6 +48,21 @@ type pulse_instruction = {
 val pulses :
   Microarch.Coupling.t -> Circuit.t -> (pulse_instruction list, string) result
 
+(** Per-gate solver verdict from {!pulses_r}. *)
+type gate_outcome = {
+  gate : Gate.t;
+  outcome : pulse_instruction Robust.Outcome.t;
+}
+
+(** [pulses_r coupling c] is the fault-tolerant {!pulses}: every 2Q gate
+    gets its own [Solved]/[Degraded]/[Failed] verdict and a failing gate
+    never aborts the rest of the program. *)
+val pulses_r :
+  ?budget:Robust.Budget.t ->
+  Microarch.Coupling.t ->
+  Circuit.t ->
+  gate_outcome list
+
 (** {1 Metrics} *)
 
 val metrics : Compiler.Metrics.isa -> Circuit.t -> Compiler.Metrics.report

@@ -35,6 +35,15 @@ val drives_of : eta:float -> float * float -> float * float
 (** [in_domain ~eta (alpha, beta)] tests membership of [Q_eta]. *)
 val in_domain : eta:float -> float * float -> bool
 
+(** [rescale_r h] is {!rescale} with typed errors: [Invalid_hamiltonian]
+    for isotropic couplings, [Nan_detected] for non-finite entries. *)
+val rescale_r : Coupling.t -> (float * float * float, Robust.Err.t) result
+
+(** [drives_of_r ~eta p] is {!drives_of} with typed errors instead of
+    raising. *)
+val drives_of_r :
+  eta:float -> float * float -> (float * float, Robust.Err.t) result
+
 (** [params_of h ~omega ~delta] inverts the map for a physical (unscaled)
     drive pair under coupling [h]: computes the spectrum of the driven
     Hamiltonian and reads off [(alpha, beta)] in rescaled units. *)

@@ -49,6 +49,30 @@ val solve_coords : Coupling.t -> Weyl.Coords.t -> (pulse, string) Stdlib.result
     exact single-qubit corrections. *)
 val solve : Coupling.t -> Mat.t -> (result, string) Stdlib.result
 
+(** [solve_coords_r coupling c] is the fault-tolerant entry point. The EA
+    search runs a deterministic retry ladder — baseline grid + Newton
+    (bit-identical to {!solve_coords}), a half-cell reseeded grid, a widened
+    window, and a long Nelder-Mead escalation — under the optional
+    [budget]; the ND scheme retries with a 3x wider sinc scan window.
+    Outcomes:
+    - [Solved pulse]: first-attempt strict solve (realized class within
+      1e-6 of the target);
+    - [Degraded (pulse, info)]: a usable pulse that needed retries or
+      landed between the strict (1e-6) and loose (1e-3) class tolerances;
+      [info] carries the residual and retry count;
+    - [Failed err]: typed error — [Non_convergence] (ladder exhausted),
+      [Budget_exceeded], [Invalid_hamiltonian] (degenerate coupling or
+      non-finite duration), or [Nan_detected] (poisoned inputs).
+    Per-stage counters accumulate in {!Robust.Counters} under stages
+    ["genashn"], ["solver.ea"] and ["solver.nd"]. *)
+val solve_coords_r :
+  ?budget:Robust.Budget.t -> Coupling.t -> Weyl.Coords.t -> pulse Robust.Outcome.t
+
+(** [solve_r coupling u] is the typed-outcome variant of {!solve}: KAK
+    errors surface as [Failed (Ill_conditioned _ | Nan_detected _)] and the
+    solver ladder behaves as in {!solve_coords_r}. *)
+val solve_r : ?budget:Robust.Budget.t -> Coupling.t -> Mat.t -> result Robust.Outcome.t
+
 (** [reconstruct r] is [(a1 ⊗ a2) realized (b1 ⊗ b2)]; equals the target. *)
 val reconstruct : result -> Mat.t
 

@@ -70,7 +70,7 @@ let rotate a v p q =
    destroyed; [v] receives the eigenvectors (columns), [w] the unsorted
    eigenvalues. Only the caller-provided buffers are written — no
    allocation beyond loop indices. *)
-let jacobi_into ~a ~v ~w =
+let jacobi_into ?(max_sweeps = 100) ~a ~v ~w () =
   let n = Mat.rows a in
   if n <> Mat.cols a then invalid_arg "Eig: non-square matrix";
   if Mat.rows v <> n || Mat.cols v <> n || Array.length w <> n then
@@ -80,21 +80,49 @@ let jacobi_into ~a ~v ~w =
   for i = 0 to n - 1 do
     vre.((i * n) + i) <- 1.0
   done;
-  let max_sweeps = 100 in
+  let max_sweeps =
+    if Robust.Fault.enabled () && Robust.Fault.fire "jacobi_stall" then 1 else max_sweeps
+  in
   let tol = 1e-14 *. (1.0 +. Mat.max_abs a) in
-  let sweep = ref 0 in
-  while offdiag_norm a > tol && !sweep < max_sweeps do
-    incr sweep;
-    for p = 0 to n - 2 do
-      for q = p + 1 to n - 1 do
-        rotate a v p q
-      done
-    done
-  done;
+  (* the sweep cap makes this total even on NaN-poisoned input (every
+     comparison against NaN is false, so the loop exits immediately); the
+     final off-diagonal norm is returned so callers can detect and report
+     non-convergence instead of silently using a bad basis *)
+  let rec go sweeps =
+    let r = offdiag_norm a in
+    if r > tol && sweeps < max_sweeps then begin
+      for p = 0 to n - 2 do
+        for q = p + 1 to n - 1 do
+          rotate a v p q
+        done
+      done;
+      go (sweeps + 1)
+    end
+    else r
+  in
+  let residual = go 0 in
   let are = Mat.re_plane a in
   for i = 0 to n - 1 do
     w.(i) <- are.((i * n) + i)
-  done
+  done;
+  residual
+
+let jacobi_into_r ?max_sweeps ~a ~v ~w () =
+  let tol_for m = 1e-12 *. (1.0 +. Mat.max_abs m) in
+  let loose = tol_for a in
+  let residual = jacobi_into ?max_sweeps ~a ~v ~w () in
+  if Float.is_nan residual then
+    Error (Robust.Err.Nan_detected { stage = "eig.jacobi"; site = "offdiag_norm" })
+  else if residual > loose then
+    Error
+      (Robust.Err.Non_convergence
+         {
+           stage = "eig.jacobi";
+           target = None;
+           iterations = Option.value max_sweeps ~default:100;
+           residual;
+         })
+  else Ok residual
 
 let jacobi a0 =
   let n = Mat.rows a0 in
@@ -102,7 +130,7 @@ let jacobi a0 =
   let a = Mat.copy a0 in
   let v = Mat.create n n in
   let w = Array.make n 0.0 in
-  jacobi_into ~a ~v ~w;
+  let (_ : float) = jacobi_into ~a ~v ~w () in
   (w, v)
 
 let sort_eig (w, v) =
@@ -118,6 +146,29 @@ let hermitian m =
   if not (Mat.is_hermitian ~tol m) then invalid_arg "Eig.hermitian: not Hermitian";
   sort_eig (jacobi m)
 
+let hermitian_r m =
+  if Mat.rows m <> Mat.cols m then
+    Error
+      (Robust.Err.Ill_conditioned { stage = "eig.hermitian"; detail = "non-square matrix" })
+  else if Mat.has_nan m then
+    Error (Robust.Err.Nan_detected { stage = "eig.hermitian"; site = "input" })
+  else begin
+    let tol = 1e-8 *. (1.0 +. Mat.max_abs m) in
+    if not (Mat.is_hermitian ~tol m) then
+      Error
+        (Robust.Err.Invalid_hamiltonian
+           { stage = "eig.hermitian"; detail = "matrix is not Hermitian" })
+    else begin
+      let n = Mat.rows m in
+      let a = Mat.copy m in
+      let v = Mat.create n n in
+      let w = Array.make n 0.0 in
+      match jacobi_into_r ~a ~v ~w () with
+      | Error e -> Error e
+      | Ok _ -> Ok (sort_eig (w, v))
+    end
+  end
+
 let symmetric_real m = sort_eig (jacobi m)
 
 let is_joint_diagonalizer v a b =
@@ -125,15 +176,26 @@ let is_joint_diagonalizer v a b =
   let da = Mat.mul3 (Mat.transpose v) a v and db = Mat.mul3 (Mat.transpose v) b v in
   offdiag_norm da <= tol a && offdiag_norm db <= tol b
 
-let simultaneous_real a b =
+let simultaneous_real_r a b =
   (* Deterministic sequence of mixing angles; a generic angle separates the
      joint spectrum of a commuting pair with probability 1. *)
   let angles = [ 0.7853; 1.1234; 0.3141; 2.0345; 0.5555; 1.7771; 2.9113; 0.1000 ] in
   let rec try_angles = function
-    | [] -> failwith "Eig.simultaneous_real: could not separate joint spectrum"
+    | [] ->
+      Error
+        (Robust.Err.Ill_conditioned
+           {
+             stage = "eig.simultaneous";
+             detail = "no mixing angle separated the joint spectrum";
+           })
     | t :: rest ->
       let c = Mat.add (Mat.rsmul (cos t) a) (Mat.rsmul (sin t) b) in
       let _, v = symmetric_real c in
-      if is_joint_diagonalizer v a b then v else try_angles rest
+      if is_joint_diagonalizer v a b then Ok v else try_angles rest
   in
   try_angles angles
+
+let simultaneous_real a b =
+  match simultaneous_real_r a b with
+  | Ok v -> v
+  | Error e -> failwith (Robust.Err.to_string e)

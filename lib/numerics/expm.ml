@@ -51,6 +51,12 @@ let assemble ws ~dst =
     done
   done
 
+(* fault hook: poison one output entry of a freshly assembled exponential
+   (site "expm_nan"); one branch per call when disarmed *)
+let poison_if_armed dst =
+  if Robust.Fault.enabled () && Robust.Fault.fire "expm_nan" then
+    (Mat.re_plane dst).(0) <- Float.nan
+
 let herm_apply_into ws ~dst h f =
   let n = ws.dim in
   if Mat.rows h <> n || Mat.cols h <> n then
@@ -58,13 +64,14 @@ let herm_apply_into ws ~dst h f =
   if Mat.rows dst <> n || Mat.cols dst <> n then
     invalid_arg "Expm.herm_apply_into: output shape mismatch";
   Mat.copy_into ~dst:ws.a h;
-  Eig.jacobi_into ~a:ws.a ~v:ws.v ~w:ws.w;
+  let (_ : float) = Eig.jacobi_into ~a:ws.a ~v:ws.v ~w:ws.w () in
   for k = 0 to n - 1 do
     let z = f ws.w.(k) in
     ws.fr.(k) <- Cx.re z;
     ws.fi.(k) <- Cx.im z
   done;
-  assemble ws ~dst
+  assemble ws ~dst;
+  poison_if_armed dst
 
 let herm_expi_into ws ~dst h ~t =
   let n = ws.dim in
@@ -73,13 +80,31 @@ let herm_expi_into ws ~dst h ~t =
   if Mat.rows dst <> n || Mat.cols dst <> n then
     invalid_arg "Expm.herm_expi_into: output shape mismatch";
   Mat.copy_into ~dst:ws.a h;
-  Eig.jacobi_into ~a:ws.a ~v:ws.v ~w:ws.w;
+  let (_ : float) = Eig.jacobi_into ~a:ws.a ~v:ws.v ~w:ws.w () in
   for k = 0 to n - 1 do
     let phi = -.t *. ws.w.(k) in
     ws.fr.(k) <- cos phi;
     ws.fi.(k) <- sin phi
   done;
-  assemble ws ~dst
+  assemble ws ~dst;
+  poison_if_armed dst
+
+(* checked variant for the robust solver paths: shape errors and NaNs come
+   back as typed errors instead of exceptions / silent garbage *)
+let herm_expi_into_r ws ~dst h ~t =
+  let n = ws.dim in
+  if Mat.rows h <> n || Mat.cols h <> n || Mat.rows dst <> n || Mat.cols dst <> n then
+    Error
+      (Robust.Err.Ill_conditioned
+         { stage = "expm"; detail = "workspace/output shape mismatch" })
+  else if Mat.has_nan h then
+    Error (Robust.Err.Nan_detected { stage = "expm"; site = "input" })
+  else begin
+    herm_expi_into ws ~dst h ~t;
+    if Mat.has_nan dst then
+      Error (Robust.Err.Nan_detected { stage = "expm"; site = "output" })
+    else Ok ()
+  end
 
 let herm_apply h f =
   let n = Mat.rows h in

@@ -106,6 +106,20 @@ let copy_into ~dst m =
 let check_no_alias op dst m =
   if dst.re == m.re then invalid_arg (Printf.sprintf "Mat.%s: dst aliases an input" op)
 
+let has_nan m =
+  let bad = ref false in
+  let n = Array.length m.re in
+  for k = 0 to n - 1 do
+    if Float.is_nan (Array.unsafe_get m.re k) || Float.is_nan (Array.unsafe_get m.im k)
+    then bad := true
+  done;
+  !bad
+
+(* fault-injection hook (site [name]): poison entry (0,0) of [m]. The guard
+   on [Fault.enabled] keeps the disabled cost to one branch per kernel call. *)
+let poison_if_armed name m =
+  if Robust.Fault.enabled () && Robust.Fault.fire name then m.re.(0) <- Float.nan
+
 (* dst <- a * b. The inner loop is pure float arithmetic on the planes:
    no Complex.t is ever allocated. *)
 let mul_into ~dst a b =
@@ -133,7 +147,8 @@ let mul_into ~dst a b =
         done
       end
     done
-  done
+  done;
+  poison_if_armed "mul_nan" dst
 
 (* dst <- alpha * a * b + beta * dst (complex alpha, beta). *)
 let gemm ~alpha ~beta ~dst a b =

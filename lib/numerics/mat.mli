@@ -140,6 +140,9 @@ val frobenius_norm : t -> float
 (** [max_abs m] is the entrywise max modulus. *)
 val max_abs : t -> float
 
+(** [has_nan m] is true when any entry has a NaN real or imaginary part. *)
+val has_nan : t -> bool
+
 (** [equal ?tol a b] holds when every entry differs by at most [tol]
     (default [1e-9]). *)
 val equal : ?tol:float -> t -> t -> bool

@@ -1,0 +1,59 @@
+(* Per-stage resilience counters: retries, fallbacks, degradations, ...
+
+   One global table keyed by (stage, counter); increments are mutex
+   protected so solver calls inside domain-parallel sweeps (Numerics.Par)
+   aggregate correctly. The bench harness snapshots this into its JSON
+   report; [reset] scopes measurements per run. *)
+
+let lock = Mutex.create ()
+let table : (string * string, int ref) Hashtbl.t = Hashtbl.create 64
+
+let add ~stage counter n =
+  Mutex.lock lock;
+  (match Hashtbl.find_opt table (stage, counter) with
+  | Some r -> r := !r + n
+  | None -> Hashtbl.add table (stage, counter) (ref n));
+  Mutex.unlock lock
+
+let incr ~stage counter = add ~stage counter 1
+
+let get ~stage counter =
+  Mutex.lock lock;
+  let v = match Hashtbl.find_opt table (stage, counter) with Some r -> !r | None -> 0 in
+  Mutex.unlock lock;
+  v
+
+let reset () =
+  Mutex.lock lock;
+  Hashtbl.reset table;
+  Mutex.unlock lock
+
+let snapshot () =
+  Mutex.lock lock;
+  let flat = Hashtbl.fold (fun (st, c) r acc -> (st, c, !r) :: acc) table [] in
+  Mutex.unlock lock;
+  let stages = List.sort_uniq compare (List.map (fun (st, _, _) -> st) flat) in
+  List.map
+    (fun st ->
+      let cs =
+        List.filter_map (fun (s, c, v) -> if s = st then Some (c, v) else None) flat
+      in
+      (st, List.sort compare cs))
+    stages
+
+let to_json () =
+  let buf = Buffer.create 256 in
+  Buffer.add_char buf '{';
+  List.iteri
+    (fun i (st, cs) ->
+      if i > 0 then Buffer.add_char buf ',';
+      Buffer.add_string buf (Printf.sprintf "%S:{" st);
+      List.iteri
+        (fun j (c, v) ->
+          if j > 0 then Buffer.add_char buf ',';
+          Buffer.add_string buf (Printf.sprintf "%S:%d" c v))
+        cs;
+      Buffer.add_char buf '}')
+    (snapshot ());
+  Buffer.add_char buf '}';
+  Buffer.contents buf

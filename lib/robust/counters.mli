@@ -1,0 +1,16 @@
+(** Global per-stage resilience counters (thread-safe).
+
+    Conventional counter names: ["ok"], ["retry"], ["fallback"],
+    ["degraded"], ["failed"], ["budget_exceeded"] — but any name works.
+    The bench harness snapshots the table into its JSON report. *)
+
+val incr : stage:string -> string -> unit
+val add : stage:string -> string -> int -> unit
+val get : stage:string -> string -> int
+val reset : unit -> unit
+
+(** Sorted [(stage, [(counter, value); ...])] listing. *)
+val snapshot : unit -> (string * (string * int) list) list
+
+(** The whole table as a JSON object [{"stage":{"counter":n,...},...}]. *)
+val to_json : unit -> string

@@ -1,0 +1,99 @@
+(* Fault-injection harness.
+
+   Armed from the REQISC_FAULTS environment variable (or programmatically
+   via [configure], which the tests use). The spec is a comma-separated
+   list of sites:
+
+     REQISC_FAULTS="ea_noconv:2,expm_nan:1,ham_perturb:2:1e-2"
+
+   Each entry is  site[:count[:param]] : [count] bounds how many times the
+   site fires (<= 0 or absent = unlimited), [param] is an optional float
+   the site interprets (perturbation magnitude, probability, ...).
+
+   Zero-cost when disabled: every instrumented kernel guards its injection
+   with [if Fault.enabled () then ...], a single load-and-branch; no parsing
+   or hashing happens on the hot path. Firing is mutex-protected so sites
+   inside domain-parallel sweeps count correctly. *)
+
+type site = {
+  name : string;
+  limit : int; (* <= 0: unlimited *)
+  param : float option;
+  mutable fired : int;
+}
+
+let lock = Mutex.create ()
+let state : site list ref = ref []
+let armed = ref false
+
+let known_sites =
+  [
+    ("mul_nan", "poison the result of Mat.mul_into with a NaN entry");
+    ("expm_nan", "poison the result of Expm.herm_expi_into with a NaN entry");
+    ("jacobi_stall", "cap Eig.jacobi_into at one sweep to force non-convergence");
+    ("ea_noconv", "discard the EA solver's Newton solutions for one ladder rung");
+    ("nd_noconv", "discard the ND solver's sinc roots for one attempt");
+    ("ham_perturb", "perturb the solver's cached Hamiltonian by param (default 1e-2)");
+    ("hier_fail", "fail one hierarchical per-block resynthesis probe");
+  ]
+
+let parse_entry entry =
+  match String.split_on_char ':' (String.trim entry) with
+  | [] | [ "" ] -> None
+  | name :: rest ->
+    let limit, param =
+      match rest with
+      | [] -> (0, None)
+      | [ c ] -> (int_of_string_opt c |> Option.value ~default:0, None)
+      | c :: p :: _ ->
+        (int_of_string_opt c |> Option.value ~default:0, float_of_string_opt p)
+    in
+    Some { name; limit; param; fired = 0 }
+
+let configure spec =
+  Mutex.lock lock;
+  (state :=
+     match spec with
+     | None -> []
+     | Some s -> List.filter_map parse_entry (String.split_on_char ',' s));
+  armed := !state <> [];
+  Mutex.unlock lock
+
+let () = configure (Sys.getenv_opt "REQISC_FAULTS")
+
+let enabled () = !armed
+
+let find name = List.find_opt (fun s -> s.name = name) !state
+
+let fire name =
+  !armed
+  && begin
+       Mutex.lock lock;
+       let hit =
+         match find name with
+         | Some s when s.limit <= 0 || s.fired < s.limit ->
+           s.fired <- s.fired + 1;
+           true
+         | _ -> false
+       in
+       Mutex.unlock lock;
+       hit
+     end
+
+let param name ~default =
+  match find name with Some { param = Some p; _ } -> p | _ -> default
+
+let hits () =
+  Mutex.lock lock;
+  let h = List.map (fun s -> (s.name, s.fired)) !state in
+  Mutex.unlock lock;
+  h
+
+let spec_string () =
+  String.concat ","
+    (List.map
+       (fun s ->
+         match s.param with
+         | Some p -> Printf.sprintf "%s:%d:%g" s.name s.limit p
+         | None -> Printf.sprintf "%s:%d" s.name s.limit)
+       !state)

@@ -1,0 +1,29 @@
+(** Fault-injection harness (env/config gated, zero-cost when disabled).
+
+    Sites are armed via [REQISC_FAULTS="site[:count[:param]],..."] at
+    process start, or via {!configure} from tests. Instrumented kernels
+    guard with [if Fault.enabled () then ...] so the disabled cost is a
+    single branch. *)
+
+(** Documented injection sites, [(name, effect)]. *)
+val known_sites : (string * string) list
+
+(** [enabled ()] is true when at least one site is armed. *)
+val enabled : unit -> bool
+
+(** [configure spec] re-arms from a spec string ([None] disarms everything
+    and resets hit counts). *)
+val configure : string option -> unit
+
+(** [fire name] is true when site [name] is armed and under its count
+    limit; every [true] return is counted as a hit. Thread-safe. *)
+val fire : string -> bool
+
+(** [param name ~default] is the site's optional float parameter. *)
+val param : string -> default:float -> float
+
+(** Hit counts per armed site (for asserting coverage in tests). *)
+val hits : unit -> (string * int) list
+
+(** Render the current armed spec (for reports). *)
+val spec_string : unit -> string

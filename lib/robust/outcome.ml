@@ -1,0 +1,29 @@
+(* Three-valued result of a fault-tolerant stage: strict success, degraded
+   best-effort success (residual above the strict tolerance but below the
+   loose one), or a typed failure. *)
+
+type info = {
+  residual : float; (* achieved residual (class distance / infidelity) *)
+  retries : int; (* ladder rungs consumed beyond the first attempt *)
+  note : string; (* which rung produced the answer *)
+}
+
+type 'a t = Solved of 'a | Degraded of 'a * info | Failed of Err.t
+
+let is_ok = function Solved _ | Degraded _ -> true | Failed _ -> false
+
+let map f = function
+  | Solved x -> Solved (f x)
+  | Degraded (x, i) -> Degraded (f x, i)
+  | Failed e -> Failed e
+
+let to_result = function
+  | Solved x | Degraded (x, _) -> Ok x
+  | Failed e -> Error e
+
+let value = function Solved x | Degraded (x, _) -> Some x | Failed _ -> None
+
+let kind = function
+  | Solved _ -> "ok"
+  | Degraded _ -> "degraded"
+  | Failed _ -> "failed"

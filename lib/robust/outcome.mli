@@ -1,0 +1,17 @@
+(** Outcome of a fault-tolerant stage: [Solved] (strict tolerance met),
+    [Degraded] (best-effort answer with its achieved residual reported),
+    or [Failed] with a typed error. *)
+
+type info = { residual : float; retries : int; note : string }
+type 'a t = Solved of 'a | Degraded of 'a * info | Failed of Err.t
+
+val is_ok : _ t -> bool
+val map : ('a -> 'b) -> 'a t -> 'b t
+
+(** [to_result o] keeps degraded answers ([Degraded] maps to [Ok]). *)
+val to_result : 'a t -> ('a, Err.t) result
+
+val value : 'a t -> 'a option
+
+(** ["ok"], ["degraded"] or ["failed"] (stable tags for counters/JSON). *)
+val kind : _ t -> string

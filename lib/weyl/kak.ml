@@ -170,5 +170,22 @@ let reconstruct { a1; a2; coords; b1; b2 } =
 
 let coords_of u = (decompose u).coords
 
+let decompose_r u =
+  if Mat.rows u <> 4 || Mat.cols u <> 4 then
+    Error (Robust.Err.Ill_conditioned { stage = "kak"; detail = "need a 4x4 matrix" })
+  else if Mat.has_nan u then
+    Error (Robust.Err.Nan_detected { stage = "kak"; site = "input" })
+  else if not (Mat.is_unitary ~tol:1e-7 u) then
+    Error (Robust.Err.Ill_conditioned { stage = "kak"; detail = "input not unitary" })
+  else
+    match decompose u with
+    | d -> Ok d
+    | exception Failure msg ->
+      Error (Robust.Err.Ill_conditioned { stage = "kak"; detail = msg })
+    | exception Invalid_argument msg ->
+      Error (Robust.Err.Ill_conditioned { stage = "kak"; detail = msg })
+
+let coords_of_r u = Result.map (fun d -> d.coords) (decompose_r u)
+
 let locally_equivalent ?(tol = 1e-7) u v =
   Coords.dist (coords_of u) (coords_of v) <= tol

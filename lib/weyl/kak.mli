@@ -29,6 +29,14 @@ val reconstruct : t -> Mat.t
 (** [coords_of u] is [(decompose u).coords]. *)
 val coords_of : Mat.t -> Coords.t
 
+(** [decompose_r u] is {!decompose} with typed errors instead of raising:
+    [Ill_conditioned] for shape/unitarity/factorization breakdown,
+    [Nan_detected] for poisoned input. *)
+val decompose_r : Mat.t -> (t, Robust.Err.t) result
+
+(** [coords_of_r u] is the typed-error variant of {!coords_of}. *)
+val coords_of_r : Mat.t -> (Coords.t, Robust.Err.t) result
+
 (** [canonical c] is the matrix [Can c]. *)
 val canonical : Coords.t -> Mat.t
 
