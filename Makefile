@@ -20,6 +20,7 @@ check: build test bench-smoke
 bench-smoke: build
 	dune exec bench/microbench.exe -- --smoke --out _build/bench_smoke.json
 	dune exec bench/main.exe -- table2 --limit 4
+	dune exec bench/main.exe -- serve --limit 3
 
 # full microbenchmark run; writes BENCH_numerics.json at the repo root
 microbench: build

@@ -6,7 +6,7 @@
 
    Targets: table1 table2 table3 fig4 fig5 fig6 fig12 fig13 fig14 fig15
    fig16 templates variational calibration decoherence calibrate leakage
-   all (default: all).
+   serve all (default: all).
 
    Unknown targets and malformed flag values are hard errors (exit 2), so a
    typo can't silently run the wrong benchmark set. *)
@@ -14,7 +14,7 @@
 let known_targets =
   [ "table1"; "table2"; "table3"; "fig4"; "fig5"; "fig6"; "fig12"; "fig13";
     "fig14"; "fig15"; "fig16"; "templates"; "variational"; "calibration";
-    "decoherence"; "calibrate"; "leakage"; "all" ]
+    "decoherence"; "calibrate"; "leakage"; "serve"; "all" ]
 
 let value_flags = [ "--haar-n"; "--trajectories"; "--limit"; "--csv-dir" ]
 
@@ -104,5 +104,6 @@ let () =
   if want "decoherence" then Extras.decoherence ~trajectories ();
   if want "calibrate" then Extras.calibrate ();
   if want "leakage" then Extras.leakage_study ();
+  if want "serve" then Serve_bench.serve ?limit ~big ();
   Util.write_robust_json "BENCH_robust.json";
   Printf.printf "\ntotal bench time: %.1fs\n" (Unix.gettimeofday () -. total_t0)

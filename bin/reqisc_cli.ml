@@ -5,6 +5,12 @@
      reqisc_cli compile BENCH [--mode eff|full|nc] [--route chain|grid] [--pulses]
      reqisc_cli pulse GATE [--coupling xy|xx] (GATE in cnot|cz|iswap|sqisw|b|swap)
      reqisc_cli qasm FILE [--pulses]
+     reqisc_cli serve [--cache FILE] [--workers N] [--capacity N]
+     reqisc_cli cache stats --cache FILE
+
+   `serve` speaks the line-delimited JSON protocol on stdin/stdout (one
+   request per line, one response per line; see DESIGN.md "Service &
+   cache"); diagnostics go to stderr only, so stdout stays pure protocol.
 
    Exit codes: 0 success, 2 usage error, 3 parse error, 4 solver error.
    Structured errors go to stderr as "error[kind] stage: detail". *)
@@ -197,10 +203,49 @@ let cmd_qasm path args =
       (List.length c.Circuit.gates) (Circuit.count_2q c);
     if List.mem "--pulses" args then run_pulses (Microarch.Coupling.xy ~g:1.0) c
 
+let int_flag args flag default =
+  match flag_value args flag with
+  | None -> default
+  | Some v -> (
+    match int_of_string_opt v with
+    | Some n when n > 0 -> n
+    | _ -> usage_error "%s expects a positive integer, got %S" flag v)
+
+let cmd_serve args =
+  let config =
+    {
+      Serve.Server.default_config with
+      Serve.Server.cache_path = flag_value args "--cache";
+      workers = int_flag args "--workers" 0;
+      cache_capacity = int_flag args "--capacity" 4096;
+    }
+  in
+  Printf.eprintf "reqisc serve: %s workers, cache %s\n%!"
+    (if config.Serve.Server.workers = 0 then "auto"
+     else string_of_int config.Serve.Server.workers)
+    (Option.value ~default:"(none)" config.Serve.Server.cache_path);
+  match Serve.Server.run ~config stdin stdout with
+  | Ok s ->
+    Printf.eprintf "reqisc serve: drained — %d responses (%d errors) in %.2fs\n%!"
+      s.Serve.Server.served s.Serve.Server.errors s.Serve.Server.elapsed
+  | Error e -> usage_error "cannot open cache: %s" e
+
+let cmd_cache_stats args =
+  match flag_value args "--cache" with
+  | None -> usage_error "cache stats needs --cache FILE"
+  | Some path -> (
+    if not (Sys.file_exists path) then usage_error "no such cache file %s" path;
+    match Cache.create ~path () with
+    | Error e -> usage_error "cannot open cache: %s" e
+    | Ok c ->
+      print_endline (Cache.stats_json c);
+      Cache.close c)
+
 let usage () =
   print_endline
     "usage: reqisc_cli list | compile BENCH [--mode eff|full|nc] [--route \
-     chain|grid] [--pulses] | pulse GATE [--coupling xy|xx] | qasm FILE [--pulses]"
+     chain|grid] [--pulses] | pulse GATE [--coupling xy|xx] | qasm FILE [--pulses] \
+     | serve [--cache FILE] [--workers N] [--capacity N] | cache stats --cache FILE"
 
 let () =
   match Array.to_list Sys.argv with
@@ -208,6 +253,8 @@ let () =
   | _ :: "compile" :: name :: rest -> cmd_compile name rest
   | _ :: "pulse" :: name :: rest -> cmd_pulse name rest
   | _ :: "qasm" :: path :: rest -> cmd_qasm path rest
+  | _ :: "serve" :: rest -> cmd_serve rest
+  | _ :: "cache" :: "stats" :: rest -> cmd_cache_stats rest
   | _ ->
     usage ();
     exit exit_usage

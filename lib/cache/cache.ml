@@ -1,0 +1,7 @@
+(* Library root: [Cache] is the tiered cache itself, with the building
+   blocks exposed as submodules. *)
+
+module Fingerprint = Fingerprint
+module Store = Store
+module Lru = Lru
+include Tiered

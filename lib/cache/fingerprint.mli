@@ -1,0 +1,40 @@
+(** Canonical quantized fingerprints for content-addressed caches.
+
+    A fingerprint is built by appending typed fields to a tagged builder;
+    floats are quantized (rounded to integer multiples of a [quantum],
+    default 1e-9) so that keys are stable under sub-tolerance numerical
+    noise while distinct problems stay distinct. The rendered key is a
+    self-delimiting ASCII string: equal keys imply equal field sequences.
+
+    This is the shared helper behind the pulse-synthesis cache
+    ([Tiered]/[Pulse_cache]) and the compiler's gate-exchange memo
+    ([Compiler.Compact]); [unitary] is the phase-invariant matrix key
+    historically private to [Compiler.Template]. *)
+
+open Numerics
+
+type t
+
+(** [create tag] starts a fingerprint under a version/domain [tag]
+    (e.g. ["genashn.pulse.v1"]). Bump the tag whenever the semantics of
+    the cached computation change. *)
+val create : string -> t
+
+val int : t -> int -> t
+val str : t -> string -> t
+
+(** [float fp v] appends [round (v / quantum)]. Non-finite values get
+    distinct symbolic encodings (never an exception). *)
+val float : ?quantum:float -> t -> float -> t
+
+val floats : ?quantum:float -> t -> float array -> t
+
+(** [unitary fp u] appends a global-phase-invariant key of the matrix:
+    entries are divided by the phase of the first entry with norm > 0.2,
+    then quantized ([quantum] defaults to 1e-3 — coarse keys are meant for
+    bucketing, with exact comparison inside the bucket). *)
+val unitary : ?quantum:float -> t -> Mat.t -> t
+
+(** The rendered key. The builder remains usable (keys of extended
+    builders share this key as a prefix). *)
+val key : t -> string

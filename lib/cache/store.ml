@@ -1,0 +1,126 @@
+type record = { key : string; value : string }
+
+type load_result = {
+  records : record list;
+  valid_bytes : int;
+  torn_bytes : int;
+}
+
+let magic = "RQCACHE1"
+let header_len = String.length magic
+
+(* sanity bound on a single frame; anything larger is treated as torn *)
+let max_frame = 1 lsl 28
+
+let fnv1a32 bytes off len =
+  let h = ref 0x811c9dc5 in
+  for i = off to off + len - 1 do
+    h := (!h lxor Char.code (Bytes.get bytes i)) * 0x01000193 land 0xFFFFFFFF
+  done;
+  !h
+
+let get_u32le bytes off =
+  Char.code (Bytes.get bytes off)
+  lor (Char.code (Bytes.get bytes (off + 1)) lsl 8)
+  lor (Char.code (Bytes.get bytes (off + 2)) lsl 16)
+  lor (Char.code (Bytes.get bytes (off + 3)) lsl 24)
+
+let put_u32le buf v =
+  Buffer.add_char buf (Char.chr (v land 0xff));
+  Buffer.add_char buf (Char.chr ((v lsr 8) land 0xff));
+  Buffer.add_char buf (Char.chr ((v lsr 16) land 0xff));
+  Buffer.add_char buf (Char.chr ((v lsr 24) land 0xff))
+
+let frame r =
+  let buf = Buffer.create (16 + String.length r.key + String.length r.value) in
+  let payload = Buffer.create (4 + String.length r.key + String.length r.value) in
+  put_u32le payload (String.length r.key);
+  Buffer.add_string payload r.key;
+  Buffer.add_string payload r.value;
+  let p = Buffer.to_bytes payload in
+  put_u32le buf (Bytes.length p);
+  put_u32le buf (fnv1a32 p 0 (Bytes.length p));
+  Buffer.add_bytes buf p;
+  Buffer.contents buf
+
+(* Decode one frame at [off]; [None] marks a torn/corrupt tail starting
+   there (short frame, implausible length, checksum mismatch, or a payload
+   whose key length overruns it). *)
+let decode_frame bytes off total =
+  if off + 8 > total then None
+  else begin
+    let len = get_u32le bytes off in
+    let sum = get_u32le bytes (off + 4) in
+    if len < 4 || len > max_frame || off + 8 + len > total then None
+    else if fnv1a32 bytes (off + 8) len <> sum then None
+    else begin
+      let keylen = get_u32le bytes (off + 8) in
+      if keylen > len - 4 then None
+      else begin
+        let key = Bytes.sub_string bytes (off + 12) keylen in
+        let value = Bytes.sub_string bytes (off + 12 + keylen) (len - 4 - keylen) in
+        Some ({ key; value }, off + 8 + len)
+      end
+    end
+  end
+
+let load path =
+  if not (Sys.file_exists path) then Ok { records = []; valid_bytes = 0; torn_bytes = 0 }
+  else begin
+    match
+      let ic = open_in_bin path in
+      Fun.protect
+        ~finally:(fun () -> close_in_noerr ic)
+        (fun () ->
+          let total = in_channel_length ic in
+          let bytes = Bytes.create total in
+          really_input ic bytes 0 total;
+          bytes)
+    with
+    | exception Sys_error e -> Error e
+    | bytes ->
+      let total = Bytes.length bytes in
+      if total = 0 then Ok { records = []; valid_bytes = 0; torn_bytes = 0 }
+      else if
+        total < header_len || Bytes.sub_string bytes 0 header_len <> magic
+      then Error (Printf.sprintf "%s: not a reqisc cache store (bad magic)" path)
+      else begin
+        let rec go acc off =
+          match decode_frame bytes off total with
+          | Some (r, off') -> go (r :: acc) off'
+          | None ->
+            { records = List.rev acc; valid_bytes = off; torn_bytes = total - off }
+        in
+        Ok (go [] header_len)
+      end
+  end
+
+type writer = { oc : out_channel; mutable bytes : int }
+
+let open_writer path ~valid_bytes =
+  match
+    let fd = Unix.openfile path [ Unix.O_WRONLY; Unix.O_CREAT ] 0o644 in
+    let keep = if valid_bytes = 0 then 0 else valid_bytes in
+    Unix.ftruncate fd keep;
+    ignore (Unix.lseek fd keep Unix.SEEK_SET);
+    let oc = Unix.out_channel_of_descr fd in
+    set_binary_mode_out oc true;
+    if keep = 0 then begin
+      output_string oc magic;
+      flush oc
+    end;
+    { oc; bytes = (if keep = 0 then header_len else keep) }
+  with
+  | w -> Ok w
+  | exception Unix.Unix_error (e, _, _) ->
+    Error (Printf.sprintf "%s: %s" path (Unix.error_message e))
+  | exception Sys_error e -> Error e
+
+let append w r =
+  let f = frame r in
+  output_string w.oc f;
+  flush w.oc;
+  w.bytes <- w.bytes + String.length f
+
+let written_bytes w = w.bytes
+let close_writer w = close_out_noerr w.oc

@@ -1,0 +1,42 @@
+(** Append-only on-disk record store (the persistent cache tier).
+
+    File layout: an 8-byte magic header ["RQCACHE1"] followed by framed
+    records
+
+    {v [u32le frame_len][u32le fnv1a32(payload)][payload]
+       payload = [u32le key_len][key bytes][value bytes] v}
+
+    Writes are append + flush, so a crash can only produce a torn tail.
+    {!load} replays the longest valid prefix and reports how many trailing
+    bytes it skipped; {!open_writer} truncates the file back to that valid
+    prefix before appending, so a torn tail is dropped exactly once and
+    never corrupts later records. Duplicate keys are allowed — the reader
+    keeps the latest occurrence (append-only update semantics). *)
+
+type record = { key : string; value : string }
+
+type load_result = {
+  records : record list;  (** in append order, duplicates included *)
+  valid_bytes : int;  (** length of the valid prefix, header included *)
+  torn_bytes : int;  (** trailing bytes skipped (0 for a clean file) *)
+}
+
+(** [load path] is [Ok { records = []; valid_bytes = 0; _ }] for a missing
+    file; [Error] only for an unreadable file or one whose header is not a
+    cache store (never for torn/corrupt record data). *)
+val load : string -> (load_result, string) result
+
+type writer
+
+(** [open_writer path ~valid_bytes] truncates [path] to [valid_bytes]
+    (writing a fresh header when [valid_bytes = 0]) and positions for
+    appending. *)
+val open_writer : string -> valid_bytes:int -> (writer, string) result
+
+(** [append w r] writes one framed record and flushes. *)
+val append : writer -> record -> unit
+
+(** Bytes currently in the file (header + records). *)
+val written_bytes : writer -> int
+
+val close_writer : writer -> unit

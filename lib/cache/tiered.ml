@@ -1,0 +1,139 @@
+let stage = "cache"
+
+type stats = {
+  size : int;
+  capacity : int;
+  disk_records : int;
+  disk_bytes : int;
+  torn_bytes : int;
+  hits : int;
+  disk_hits : int;
+  misses : int;
+  inserts : int;
+  evictions : int;
+}
+
+type t = {
+  lock : Mutex.t;
+  lru : (string, string) Lru.t;
+  disk : (string, string) Hashtbl.t;  (* persistent index, latest write wins *)
+  writer : Store.writer option;
+  file : string option;
+  torn_bytes : int;
+  mutable hits : int;
+  mutable disk_hits : int;
+  mutable misses : int;
+  mutable inserts : int;
+  mutable evictions : int;
+}
+
+let locked t f =
+  Mutex.lock t.lock;
+  Fun.protect ~finally:(fun () -> Mutex.unlock t.lock) f
+
+let create ?(capacity = 4096) ?path () =
+  let open_disk path =
+    match Store.load path with
+    | Error e -> Error e
+    | Ok { records; valid_bytes; torn_bytes } -> (
+      match Store.open_writer path ~valid_bytes with
+      | Error e -> Error e
+      | Ok writer ->
+        let disk = Hashtbl.create 1024 in
+        List.iter (fun (r : Store.record) -> Hashtbl.replace disk r.key r.value) records;
+        Robust.Counters.add ~stage "load_records" (Hashtbl.length disk);
+        if torn_bytes > 0 then Robust.Counters.add ~stage "torn_bytes" torn_bytes;
+        Ok (disk, Some writer, torn_bytes))
+  in
+  match
+    match path with
+    | None -> Ok (Hashtbl.create 16, None, 0)
+    | Some p -> open_disk p
+  with
+  | Error e -> Error e
+  | Ok (disk, writer, torn_bytes) ->
+    Ok
+      {
+        lock = Mutex.create ();
+        lru = Lru.create ~capacity;
+        disk;
+        writer;
+        file = path;
+        torn_bytes;
+        hits = 0;
+        disk_hits = 0;
+        misses = 0;
+        inserts = 0;
+        evictions = 0;
+      }
+
+let note_evicted t = function
+  | None -> ()
+  | Some _ ->
+    t.evictions <- t.evictions + 1;
+    Robust.Counters.incr ~stage "evict"
+
+let find t key =
+  locked t (fun () ->
+      match Lru.find t.lru key with
+      | Some v ->
+        t.hits <- t.hits + 1;
+        Robust.Counters.incr ~stage "hit";
+        Some v
+      | None -> (
+        match Hashtbl.find_opt t.disk key with
+        | Some v ->
+          t.disk_hits <- t.disk_hits + 1;
+          Robust.Counters.incr ~stage "hit_disk";
+          note_evicted t (Lru.add t.lru key v);
+          Some v
+        | None ->
+          t.misses <- t.misses + 1;
+          Robust.Counters.incr ~stage "miss";
+          None))
+
+let add t key value =
+  locked t (fun () ->
+      t.inserts <- t.inserts + 1;
+      Robust.Counters.incr ~stage "insert";
+      note_evicted t (Lru.add t.lru key value);
+      (* the persistent index only exists with a backing file — a
+         memory-only cache stays bounded by its LRU capacity *)
+      match t.writer with
+      | None -> ()
+      | Some w ->
+        let already = Hashtbl.find_opt t.disk key = Some value in
+        if not already then begin
+          Hashtbl.replace t.disk key value;
+          Store.append w { Store.key; value }
+        end)
+
+let path t = t.file
+
+let stats t =
+  locked t (fun () ->
+      {
+        size = Lru.length t.lru;
+        capacity = Lru.capacity t.lru;
+        disk_records = Hashtbl.length t.disk;
+        disk_bytes = (match t.writer with Some w -> Store.written_bytes w | None -> 0);
+        torn_bytes = t.torn_bytes;
+        hits = t.hits;
+        disk_hits = t.disk_hits;
+        misses = t.misses;
+        inserts = t.inserts;
+        evictions = t.evictions;
+      })
+
+let stats_json t =
+  let s = stats t in
+  Printf.sprintf
+    "{\"path\":%s,\"size\":%d,\"capacity\":%d,\"disk_records\":%d,\"disk_bytes\":%d,\
+     \"torn_bytes\":%d,\"hits\":%d,\"disk_hits\":%d,\"misses\":%d,\"inserts\":%d,\
+     \"evictions\":%d}"
+    (match t.file with Some p -> Printf.sprintf "%S" p | None -> "null")
+    s.size s.capacity s.disk_records s.disk_bytes s.torn_bytes s.hits s.disk_hits
+    s.misses s.inserts s.evictions
+
+let close t =
+  locked t (fun () -> match t.writer with Some w -> Store.close_writer w | None -> ())

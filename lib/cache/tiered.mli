@@ -1,0 +1,46 @@
+(** Content-addressed cache: a bounded in-memory LRU tier over an optional
+    append-only on-disk store ({!Store}).
+
+    Keys are canonical fingerprints ({!Fingerprint}), values opaque byte
+    strings. [find] consults the LRU tier first, then the persistent
+    index (promoting the entry); [add] inserts into both tiers (the disk
+    append is skipped when the key already holds the same bytes, so warm
+    re-runs do not grow the file). All operations are thread-safe — one
+    cache can be shared by the server's worker domains.
+
+    Hit/miss/insert/eviction counters are mirrored into
+    {!Robust.Counters} under stage ["cache"] so every bench/robustness
+    report includes cache effectiveness. *)
+
+type t
+
+type stats = {
+  size : int;  (** entries in the LRU tier *)
+  capacity : int;
+  disk_records : int;  (** distinct keys in the persistent tier *)
+  disk_bytes : int;  (** file size, header included (0 when memory-only) *)
+  torn_bytes : int;  (** torn tail dropped at load time *)
+  hits : int;  (** LRU-tier hits *)
+  disk_hits : int;  (** persistent-tier hits (promoted) *)
+  misses : int;
+  inserts : int;
+  evictions : int;
+}
+
+(** [create ?capacity ?path ()] opens (or creates) the store at [path];
+    omitting [path] gives a memory-only cache. A torn tail on disk is
+    dropped (and counted) — [Error] only for an unreadable file or one
+    that is not a cache store. Default [capacity]: 4096 entries. *)
+val create : ?capacity:int -> ?path:string -> unit -> (t, string) result
+
+val find : t -> string -> string option
+val add : t -> string -> string -> unit
+val path : t -> string option
+val stats : t -> stats
+
+(** One-line JSON rendering of {!stats} (plus the path), for the [stats]
+    server op and [cache stats] CLI. *)
+val stats_json : t -> string
+
+(** Flushes and closes the on-disk tier; the cache must not be used after. *)
+val close : t -> unit

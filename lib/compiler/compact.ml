@@ -54,9 +54,15 @@ let run ?(max_rounds = 2) rng (c : Circuit.t) =
      re-running the synthesis for repeated patterns *)
   let cache : (string, (Mat.t * Mat.t) option) Hashtbl.t = Hashtbl.create 64 in
   let fp (g1 : Gate.t) (g2 : Gate.t) =
-    Printf.sprintf "%s#%s#%d%d%d%d"
-      (Template.fingerprint g1.mat) (Template.fingerprint g2.mat)
-      g1.qubits.(0) g1.qubits.(1) g2.qubits.(0) g2.qubits.(1)
+    let open Cache.Fingerprint in
+    let b = create "compact.exchange.v1" in
+    let b = unitary b g1.mat in
+    let b = unitary b g2.mat in
+    let b = int b g1.qubits.(0) in
+    let b = int b g1.qubits.(1) in
+    let b = int b g2.qubits.(0) in
+    let b = int b g2.qubits.(1) in
+    key b
   in
   while !improved && !rounds < max_rounds do
     improved := false;

@@ -11,35 +11,12 @@ type library = {
 let create_library rng = { rng; buckets = Hashtbl.create 64; distinct = 0 }
 let library_size lib = lib.distinct
 
-(* Phase-invariant fingerprint: normalize by the phase of the first large
-   entry, round coarsely (collisions are resolved by exact comparison inside
-   the bucket; coarse rounding only trades extra comparisons for fewer
+(* Phase-invariant fingerprint via the shared quantized-key helper: coarse
+   1e-3 rounding (collisions are resolved by exact comparison inside the
+   bucket; coarse rounding only trades extra comparisons for fewer
    misses). *)
 let fingerprint u =
-  let n = Mat.rows u in
-  let phase = ref Cx.one in
-  (try
-     for i = 0 to n - 1 do
-       for j = 0 to n - 1 do
-         let v = Mat.get u i j in
-         if Cx.norm v > 0.2 then begin
-           phase := Cx.scale (1.0 /. Cx.norm v) v;
-           raise Exit
-         end
-       done
-     done
-   with Exit -> ());
-  let b = Buffer.create 256 in
-  Buffer.add_string b (string_of_int n);
-  for i = 0 to n - 1 do
-    for j = 0 to n - 1 do
-      let v = Cx.( /: ) (Mat.get u i j) !phase in
-      Buffer.add_string b
-        (Printf.sprintf "|%d,%d" (int_of_float (Float.round (Cx.re v *. 1e3)))
-           (int_of_float (Float.round (Cx.im v *. 1e3))))
-    done
-  done;
-  Buffer.contents b
+  Cache.Fingerprint.(key (unitary ~quantum:1e-3 (create "template.unitary.v1") u))
 
 let lookup lib u =
   let key = fingerprint u in

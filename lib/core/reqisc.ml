@@ -71,5 +71,7 @@ let pulses_r ?budget coupling (c : Circuit.t) =
       end)
     c.Circuit.gates
 
+let with_pulse_cache cache f = Microarch.Pulse_cache.with_cache cache f
+
 let metrics = Compiler.Metrics.report
 let xy_coupling = Microarch.Coupling.xy ~g:1.0

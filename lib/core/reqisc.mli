@@ -63,6 +63,13 @@ val pulses_r :
   Circuit.t ->
   gate_outcome list
 
+(** [with_pulse_cache cache f] runs [f] with [cache] installed as the
+    process-global pulse-synthesis cache ({!Microarch.Pulse_cache}): every
+    2Q solve inside {!pulses} / {!pulses_r} whose Weyl-class fingerprint
+    hits skips Algorithm 1 entirely. The previous cache (if any) is
+    restored afterwards. *)
+val with_pulse_cache : Cache.t -> (unit -> 'a) -> 'a
+
 (** {1 Metrics} *)
 
 val metrics : Compiler.Metrics.isa -> Circuit.t -> Compiler.Metrics.report

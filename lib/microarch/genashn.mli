@@ -64,7 +64,13 @@ val solve : Coupling.t -> Mat.t -> (result, string) Stdlib.result
       [Budget_exceeded], [Invalid_hamiltonian] (degenerate coupling or
       non-finite duration), or [Nan_detected] (poisoned inputs).
     Per-stage counters accumulate in {!Robust.Counters} under stages
-    ["genashn"], ["solver.ea"] and ["solver.nd"]. *)
+    ["genashn"], ["solver.ea"] and ["solver.nd"].
+
+    When a pulse-synthesis cache is installed ({!Pulse_cache.install}),
+    the target's {!cache_fingerprint} is looked up first: a hit replays
+    the stored Solved/Degraded verdict bit for bit and skips the root
+    search entirely (counter ["cache_hit"]); a miss solves as usual and
+    stores the verdict. With no cache installed, behaviour is unchanged. *)
 val solve_coords_r :
   ?budget:Robust.Budget.t -> Coupling.t -> Weyl.Coords.t -> pulse Robust.Outcome.t
 
@@ -72,6 +78,12 @@ val solve_coords_r :
     errors surface as [Failed (Ill_conditioned _ | Nan_detected _)] and the
     solver ladder behaves as in {!solve_coords_r}. *)
 val solve_r : ?budget:Robust.Budget.t -> Coupling.t -> Mat.t -> result Robust.Outcome.t
+
+(** [cache_fingerprint h c] is the canonical pulse-cache key for steering
+    to class [c] under coupling [h]: a versioned tag over the quantized
+    (1e-9) normal-form coefficients and Weyl coordinates. The solver
+    settings are pinned by the version tag. *)
+val cache_fingerprint : Coupling.t -> Weyl.Coords.t -> string
 
 (** [reconstruct r] is [(a1 ⊗ a2) realized (b1 ⊗ b2)]; equals the target. *)
 val reconstruct : result -> Mat.t

@@ -1,0 +1,38 @@
+type 'a t = {
+  lock : Mutex.t;
+  nonempty : Condition.t;
+  items : 'a Queue.t;
+  mutable closed : bool;
+}
+
+let create () =
+  { lock = Mutex.create (); nonempty = Condition.create (); items = Queue.create (); closed = false }
+
+let push q x =
+  Mutex.lock q.lock;
+  if not q.closed then begin
+    Queue.push x q.items;
+    Condition.signal q.nonempty
+  end;
+  Mutex.unlock q.lock
+
+let pop q =
+  Mutex.lock q.lock;
+  while Queue.is_empty q.items && not q.closed do
+    Condition.wait q.nonempty q.lock
+  done;
+  let r = if Queue.is_empty q.items then None else Some (Queue.pop q.items) in
+  Mutex.unlock q.lock;
+  r
+
+let close q =
+  Mutex.lock q.lock;
+  q.closed <- true;
+  Condition.broadcast q.nonempty;
+  Mutex.unlock q.lock
+
+let length q =
+  Mutex.lock q.lock;
+  let n = Queue.length q.items in
+  Mutex.unlock q.lock;
+  n

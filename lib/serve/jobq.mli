@@ -1,0 +1,20 @@
+(** Thread-safe FIFO job queue (mutex + condition) draining into the
+    server's worker domains.
+
+    [pop] blocks until an item is available or the queue is closed and
+    empty; closing wakes every blocked consumer, so shutdown is a drain,
+    not a drop. *)
+
+type 'a t
+
+val create : unit -> 'a t
+
+(** [push q x] — silently ignored after [close] (the producer lost the
+    race with shutdown; nothing should enqueue behind a drain). *)
+val push : 'a t -> 'a -> unit
+
+(** [pop q] is [None] only when the queue is closed and fully drained. *)
+val pop : 'a t -> 'a option
+
+val close : 'a t -> unit
+val length : 'a t -> int

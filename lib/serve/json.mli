@@ -1,0 +1,38 @@
+(** Minimal dependency-free JSON, sized for the line-delimited wire
+    protocol: a full RFC 8259 parser (objects, arrays, strings with
+    escapes and [\uXXXX], numbers, literals) and a canonical emitter.
+
+    Numbers are floats (ints round-trip exactly up to 2^53, far beyond any
+    id or counter this protocol carries). Parse errors report the byte
+    offset. *)
+
+type t =
+  | Null
+  | Bool of bool
+  | Num of float
+  | Str of string
+  | Arr of t list
+  | Obj of (string * t) list
+
+val parse : string -> (t, string) result
+
+(** Compact one-line rendering (never contains a raw newline, so every
+    response is exactly one protocol line). *)
+val to_string : t -> string
+
+(** {1 Accessors} ([None] on shape mismatch) *)
+
+val member : string -> t -> t option
+
+val str : t -> string option
+val num : t -> float option
+val int : t -> int option
+val bool : t -> bool option
+val arr : t -> t list option
+
+(** [obj_int o] etc.: [member] composed with the accessor. *)
+val mem_str : string -> t -> string option
+val mem_num : string -> t -> float option
+val mem_int : string -> t -> int option
+val mem_bool : string -> t -> bool option
+val mem_arr : string -> t -> t list option

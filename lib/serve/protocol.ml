@@ -1,0 +1,139 @@
+type budget_spec = { max_iterations : int option; max_seconds : float option }
+type target = Gate of string | Coords of float * float * float
+
+type op =
+  | Compile of { bench : string; mode : string; pulses : bool }
+  | Pulses of { target : target; coupling : string }
+  | Batch of body list
+  | Stats
+  | Shutdown
+
+and body = { op : op; budget : budget_spec option }
+
+type parsed = { id : Json.t; body : (body, string) result }
+
+let op_name = function
+  | Compile _ -> "compile"
+  | Pulses _ -> "pulses"
+  | Batch _ -> "batch"
+  | Stats -> "stats"
+  | Shutdown -> "shutdown"
+
+let ( let* ) = Result.bind
+
+let parse_budget json =
+  match Json.member "budget" json with
+  | None | Some Json.Null -> Ok None
+  | Some (Json.Obj _ as b) -> (
+    let iters = Json.member "max_iterations" b in
+    let secs = Json.member "max_seconds" b in
+    match (iters, secs) with
+    | (None | Some Json.Null), (None | Some Json.Null) ->
+      Error "budget needs max_iterations and/or max_seconds"
+    | _ -> (
+      match
+        ( Option.map Json.int iters,
+          Option.map Json.num secs )
+      with
+      | Some None, _ -> Error "budget.max_iterations must be an integer"
+      | _, Some None -> Error "budget.max_seconds must be a number"
+      | i, s ->
+        Ok
+          (Some
+             {
+               max_iterations = Option.join i;
+               max_seconds = Option.join s;
+             })))
+  | Some _ -> Error "budget must be an object"
+
+let parse_target json =
+  match (Json.member "gate" json, Json.member "coords" json) with
+  | Some _, Some _ -> Error "give either gate or coords, not both"
+  | Some g, None -> (
+    match Json.str g with
+    | Some name -> Ok (Gate name)
+    | None -> Error "gate must be a string")
+  | None, Some c -> (
+    match Json.arr c with
+    | Some [ x; y; z ] -> (
+      match (Json.num x, Json.num y, Json.num z) with
+      | Some x, Some y, Some z -> Ok (Coords (x, y, z))
+      | _ -> Error "coords must be [x, y, z] numbers")
+    | _ -> Error "coords must be [x, y, z]")
+  | None, None -> Error "pulses needs a gate or coords target"
+
+(* [depth] rejects batches inside batches *)
+let rec parse_body ?(depth = 0) json =
+  let* budget = parse_budget json in
+  let* op =
+    match Json.mem_str "op" json with
+    | None -> Error "missing op"
+    | Some "compile" -> (
+      match Json.mem_str "bench" json with
+      | None -> Error "compile needs a bench name"
+      | Some bench -> (
+        let mode = Option.value ~default:"eff" (Json.mem_str "mode" json) in
+        let pulses = Option.value ~default:false (Json.mem_bool "pulses" json) in
+        match mode with
+        | "eff" | "full" | "nc" -> Ok (Compile { bench; mode; pulses })
+        | m -> Error (Printf.sprintf "unknown mode %S (expected eff|full|nc)" m)))
+    | Some "pulses" -> (
+      let* target = parse_target json in
+      let coupling = Option.value ~default:"xy" (Json.mem_str "coupling" json) in
+      match coupling with
+      | "xy" | "xx" -> Ok (Pulses { target; coupling })
+      | c -> Error (Printf.sprintf "unknown coupling %S (expected xy|xx)" c))
+    | Some "batch" -> (
+      if depth > 0 then Error "nested batch requests are not allowed"
+      else
+        match Json.mem_arr "requests" json with
+        | None -> Error "batch needs a requests array"
+        | Some items ->
+          let rec go acc = function
+            | [] -> Ok (Batch (List.rev acc))
+            | item :: rest ->
+              let* b = parse_body ~depth:1 item in
+              go (b :: acc) rest
+          in
+          go [] items)
+    | Some "stats" -> Ok Stats
+    | Some "shutdown" -> Ok Shutdown
+    | Some op -> Error (Printf.sprintf "unknown op %S" op)
+  in
+  Ok { op; budget }
+
+let parse_line line =
+  match Json.parse line with
+  | Error e -> { id = Json.Null; body = Error (Printf.sprintf "malformed JSON: %s" e) }
+  | Ok (Json.Obj _ as json) ->
+    let id = Option.value ~default:Json.Null (Json.member "id" json) in
+    { id; body = parse_body json }
+  | Ok _ -> { id = Json.Null; body = Error "request must be a JSON object" }
+
+(* --------------------------------------------------------- responses *)
+
+let ok_item ~op result = Json.Obj [ ("ok", Json.Bool true); ("op", Json.Str op); ("result", result) ]
+
+let error_item ~kind ~stage message =
+  Json.Obj
+    [
+      ("ok", Json.Bool false);
+      ( "error",
+        Json.Obj
+          [
+            ("kind", Json.Str kind);
+            ("stage", Json.Str stage);
+            ("message", Json.Str message);
+          ] );
+    ]
+
+let err_item e =
+  error_item ~kind:(Robust.Err.kind e) ~stage:(Robust.Err.stage e) (Robust.Err.to_string e)
+
+let with_id ~id = function
+  | Json.Obj members -> Json.Obj (("id", id) :: members)
+  | v -> v
+
+let ok_response ~id ~op result = with_id ~id (ok_item ~op result)
+let error_response ~id ~kind ~stage message = with_id ~id (error_item ~kind ~stage message)
+let err_response ~id e = with_id ~id (err_item e)

@@ -1,0 +1,58 @@
+(** The compilation service's line-delimited JSON protocol: one request
+    object per line in, one response object per line out.
+
+    Request grammar (see DESIGN.md "Service & cache" for the full
+    description):
+
+    {v { "id": <any json>?, "op": "compile" | "pulses" | "batch"
+                               | "stats" | "shutdown",
+         "budget": { "max_iterations": int?, "max_seconds": num? }?,
+         ... op-specific fields ... } v}
+
+    - [compile]: ["bench"] (suite name), ["mode"] ("eff"|"full"|"nc",
+      default "eff"), ["pulses"] (bool, default false).
+    - [pulses]: ["gate"] (named 2Q gate) or ["coords"] ([[x, y, z]] Weyl
+      target), ["coupling"] ("xy"|"xx", default "xy").
+    - [batch]: ["requests"] — an array of op objects (no ids, no nested
+      batches); executed in order inside one job.
+    - [stats], [shutdown]: no extra fields.
+
+    Responses: [{"id": .., "ok": true, "op": .., "result": ..}] or
+    [{"id": .., "ok": false, "error": {"kind": .., "stage": ..,
+    "message": ..}}]. Error kinds are {!Robust.Err.kind} tags plus
+    ["bad_request"] and ["internal_error"]. *)
+
+type budget_spec = { max_iterations : int option; max_seconds : float option }
+type target = Gate of string | Coords of float * float * float
+
+type op =
+  | Compile of { bench : string; mode : string; pulses : bool }
+  | Pulses of { target : target; coupling : string }
+  | Batch of body list
+  | Stats
+  | Shutdown
+
+and body = { op : op; budget : budget_spec option }
+
+type parsed = { id : Json.t; body : (body, string) result }
+
+(** [parse_line line] never raises; a malformed line yields
+    [body = Error _] with whatever ["id"] could still be recovered. *)
+val parse_line : string -> parsed
+
+(** Stable op tag (["compile"], ["pulses"], ...). *)
+val op_name : op -> string
+
+(** {1 Response builders} *)
+
+val ok_response : id:Json.t -> op:string -> Json.t -> Json.t
+val error_response : id:Json.t -> kind:string -> stage:string -> string -> Json.t
+val err_response : id:Json.t -> Robust.Err.t -> Json.t
+
+(** Embedded (id-less) forms for batch result arrays. *)
+val ok_item : op:string -> Json.t -> Json.t
+val error_item : kind:string -> stage:string -> string -> Json.t
+val err_item : Robust.Err.t -> Json.t
+
+(** [with_id ~id item] prepends the ["id"] field to an item-form response. *)
+val with_id : id:Json.t -> Json.t -> Json.t

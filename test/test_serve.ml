@@ -1,0 +1,331 @@
+(* Compilation server: JSON wire format, protocol parsing, and the server
+   loop driven over temp-file channels — malformed input, budget
+   exhaustion and injected solver faults must all come back as typed JSON
+   error responses (never a dead worker), and the server must keep
+   serving afterwards and drain cleanly. *)
+
+let disarm () = Robust.Fault.configure None
+
+let with_faults spec f =
+  Robust.Fault.configure (Some spec);
+  Fun.protect ~finally:disarm f
+
+let xy = Microarch.Coupling.xy ~g:1.0
+
+(* a Weyl chamber point planned onto an EA subscheme, so budgets and
+   ea_noconv faults bite (same probing as test_robust) *)
+let ea_xyz =
+  let candidates =
+    [ (0.5, 0.3, 0.1); (0.7, 0.2, 0.1); (0.6, 0.5, 0.4); (0.3, 0.2, 0.1);
+      (0.75, 0.4, 0.0) ]
+  in
+  let is_ea (x, y, z) =
+    let c = Weyl.Coords.make x y z in
+    match (Microarch.Tau.plan xy c).Microarch.Tau.subscheme with
+    | Microarch.Tau.EA_same | Microarch.Tau.EA_opposite -> true
+    | Microarch.Tau.ND -> false
+  in
+  match List.find_opt is_ea candidates with
+  | Some xyz -> xyz
+  | None -> Alcotest.fail "no EA-subscheme candidate coords under XY coupling"
+
+let contains s sub =
+  let n = String.length s and m = String.length sub in
+  let rec go i = i + m <= n && (String.sub s i m = sub || go (i + 1)) in
+  m = 0 || go 0
+
+(* ----------------------------------------------------------------- json *)
+
+let rec json_eq a b =
+  match (a, b) with
+  | Serve.Json.Num x, Serve.Json.Num y -> Int64.bits_of_float x = Int64.bits_of_float y
+  | Serve.Json.Arr xs, Serve.Json.Arr ys ->
+    List.length xs = List.length ys && List.for_all2 json_eq xs ys
+  | Serve.Json.Obj xs, Serve.Json.Obj ys ->
+    List.length xs = List.length ys
+    && List.for_all2 (fun (k, v) (k', v') -> k = k' && json_eq v v') xs ys
+  | _ -> a = b
+
+let test_json_roundtrip () =
+  let samples =
+    [
+      "null"; "true"; "false"; "0"; "-12"; "3.5"; "1e-3"; "\"\"";
+      "\"a b\\n\\t\\\"c\\\"\""; "[]"; "[1,[2,[3]]]"; "{}";
+      "{\"a\":1,\"b\":[true,null],\"c\":{\"d\":\"e\"}}";
+    ]
+  in
+  List.iter
+    (fun s ->
+      match Serve.Json.parse s with
+      | Error e -> Alcotest.failf "parse %s: %s" s e
+      | Ok v -> (
+        match Serve.Json.parse (Serve.Json.to_string v) with
+        | Error e -> Alcotest.failf "reparse %s: %s" s e
+        | Ok v' ->
+          Alcotest.(check bool) ("round trip " ^ s) true (json_eq v v')))
+    samples;
+  (* floats survive the emitter exactly *)
+  List.iter
+    (fun f ->
+      match Serve.Json.parse (Serve.Json.to_string (Serve.Json.Num f)) with
+      | Ok (Serve.Json.Num f') ->
+        Alcotest.(check bool)
+          (Printf.sprintf "float %.17g" f)
+          true
+          (Int64.bits_of_float f = Int64.bits_of_float f')
+      | _ -> Alcotest.failf "float %.17g did not round trip" f)
+    [ 0.1; -1.0 /. 3.0; Float.pi; 1e-300; 9.007199254740993e15 ]
+
+let test_json_unicode () =
+  (match Serve.Json.parse "\"\\u0041\\u00e9\"" with
+  | Ok (Serve.Json.Str s) -> Alcotest.(check string) "bmp escapes" "A\xc3\xa9" s
+  | _ -> Alcotest.fail "bmp escape parse");
+  match Serve.Json.parse "\"\\ud83d\\ude00\"" with
+  | Ok (Serve.Json.Str s) ->
+    Alcotest.(check string) "surrogate pair to utf-8" "\xf0\x9f\x98\x80" s
+  | _ -> Alcotest.fail "surrogate pair parse"
+
+let test_json_malformed () =
+  List.iter
+    (fun s ->
+      match Serve.Json.parse s with
+      | Error _ -> ()
+      | Ok _ -> Alcotest.failf "expected parse error for %s" s)
+    [
+      ""; "{"; "}"; "{\"a\"}"; "{\"a\":}"; "[1,]"; "[1 2]"; "\"unterminated";
+      "\"bad \\x escape\""; "truef"; "1.2.3"; "{\"a\":1} trailing"; "nul";
+    ]
+
+let test_json_accessors () =
+  match Serve.Json.parse "{\"n\":3,\"s\":\"x\",\"b\":true,\"a\":[1]}" with
+  | Error e -> Alcotest.failf "parse: %s" e
+  | Ok v ->
+    Alcotest.(check (option int)) "int" (Some 3) (Serve.Json.mem_int "n" v);
+    Alcotest.(check (option string)) "str" (Some "x") (Serve.Json.mem_str "s" v);
+    Alcotest.(check (option bool)) "bool" (Some true) (Serve.Json.mem_bool "b" v);
+    Alcotest.(check (option int)) "shape mismatch" None (Serve.Json.mem_int "s" v);
+    Alcotest.(check (option int)) "missing member" None (Serve.Json.mem_int "zz" v)
+
+(* ------------------------------------------------------------- protocol *)
+
+let parse_body line =
+  let p = Serve.Protocol.parse_line line in
+  p.Serve.Protocol.body
+
+let test_protocol_parse_ok () =
+  (match parse_body "{\"op\":\"compile\",\"bench\":\"alu_2\",\"mode\":\"full\",\"pulses\":true}" with
+  | Ok { Serve.Protocol.op = Serve.Protocol.Compile { bench; mode; pulses }; budget } ->
+    Alcotest.(check string) "bench" "alu_2" bench;
+    Alcotest.(check string) "mode" "full" mode;
+    Alcotest.(check bool) "pulses" true pulses;
+    Alcotest.(check bool) "no budget" true (budget = None)
+  | _ -> Alcotest.fail "compile body");
+  (match parse_body "{\"op\":\"pulses\",\"coords\":[0.5,0.3,0.1],\"budget\":{\"max_iterations\":5}}" with
+  | Ok
+      {
+        Serve.Protocol.op = Serve.Protocol.Pulses { target = Serve.Protocol.Coords (x, y, z); _ };
+        budget = Some b;
+      } ->
+    Alcotest.(check (float 0.0)) "x" 0.5 x;
+    Alcotest.(check (float 0.0)) "y" 0.3 y;
+    Alcotest.(check (float 0.0)) "z" 0.1 z;
+    Alcotest.(check (option int)) "budget iterations" (Some 5)
+      b.Serve.Protocol.max_iterations
+  | _ -> Alcotest.fail "pulses coords body");
+  match parse_body "{\"op\":\"batch\",\"requests\":[{\"op\":\"stats\"},{\"op\":\"pulses\",\"gate\":\"cz\"}]}" with
+  | Ok { Serve.Protocol.op = Serve.Protocol.Batch items; _ } ->
+    Alcotest.(check int) "batch size" 2 (List.length items)
+  | _ -> Alcotest.fail "batch body"
+
+let test_protocol_parse_errors () =
+  let expect_err line frag =
+    match parse_body line with
+    | Error msg ->
+      Alcotest.(check bool)
+        (Printf.sprintf "%s mentions %s" line frag)
+        true (contains msg frag)
+    | Ok _ -> Alcotest.failf "expected error for %s" line
+  in
+  expect_err "not json at all" "";
+  expect_err "{\"op\":\"nope\"}" "nope";
+  expect_err "{\"id\":1}" "op";
+  expect_err "{\"op\":\"compile\"}" "bench";
+  expect_err "{\"op\":\"compile\",\"bench\":\"alu_2\",\"mode\":\"hyper\"}" "mode";
+  expect_err "{\"op\":\"pulses\"}" "gate";
+  expect_err "{\"op\":\"pulses\",\"gate\":\"cz\",\"coords\":[0.1,0.0,0.0]}" "";
+  expect_err "{\"op\":\"pulses\",\"gate\":\"cz\",\"coupling\":\"zz\"}" "coupling";
+  expect_err "{\"op\":\"batch\",\"requests\":[{\"op\":\"batch\",\"requests\":[]}]}" "batch";
+  (* a malformed line still recovers the id when one is readable *)
+  let p = Serve.Protocol.parse_line "{\"id\":42,\"op\":\"nope\"}" in
+  Alcotest.(check (option int)) "recovered id" (Some 42)
+    (Serve.Json.int p.Serve.Protocol.id)
+
+(* --------------------------------------------------------------- server *)
+
+(* drive a full Server.run over temp-file channels and hand back the
+   response lines *)
+let run_server ?(workers = 1) lines =
+  let req = Filename.temp_file "reqisc_test" ".in" in
+  let resp = Filename.temp_file "reqisc_test" ".out" in
+  let oc = open_out req in
+  List.iter
+    (fun l ->
+      output_string oc l;
+      output_char oc '\n')
+    lines;
+  close_out oc;
+  let ic = open_in req in
+  let out = open_out resp in
+  let summary =
+    Serve.Server.run
+      ~config:{ Serve.Server.default_config with Serve.Server.workers }
+      ic out
+  in
+  close_in ic;
+  close_out out;
+  let acc = ref [] in
+  let ic = open_in resp in
+  (try
+     while true do
+       acc := input_line ic :: !acc
+     done
+   with End_of_file -> ());
+  close_in ic;
+  Sys.remove req;
+  Sys.remove resp;
+  match summary with
+  | Error e -> Alcotest.failf "server failed to start: %s" e
+  | Ok s -> (s, List.rev !acc)
+
+let find_by_id lines id =
+  match
+    List.find_opt
+      (fun l ->
+        match Serve.Json.parse l with
+        | Ok j -> Serve.Json.mem_int "id" j = Some id
+        | Error _ -> false)
+      lines
+  with
+  | Some l -> l
+  | None -> Alcotest.failf "no response with id %d" id
+
+let test_server_happy_path () =
+  disarm ();
+  let summary, lines =
+    run_server
+      [
+        "{\"id\":1,\"op\":\"stats\"}";
+        "{\"id\":2,\"op\":\"pulses\",\"gate\":\"cnot\"}";
+        "{\"id\":3,\"op\":\"batch\",\"requests\":[{\"op\":\"pulses\",\"gate\":\"cz\"},{\"op\":\"stats\"}]}";
+      ]
+  in
+  Alcotest.(check int) "three responses" 3 (List.length lines);
+  Alcotest.(check int) "served" 3 summary.Serve.Server.served;
+  Alcotest.(check int) "no errors" 0 summary.Serve.Server.errors;
+  List.iter
+    (fun l -> Alcotest.(check bool) "ok response" true (contains l "\"ok\":true"))
+    lines;
+  Alcotest.(check bool) "pulse payload present" true
+    (contains (find_by_id lines 2) "\"tau\"")
+
+let test_server_malformed_request () =
+  disarm ();
+  let summary, lines =
+    run_server
+      [
+        "this is not json";
+        "{\"id\":7,\"op\":\"nope\"}";
+        "{\"id\":8,\"op\":\"pulses\",\"gate\":\"bogus\"}";
+        "{\"id\":9,\"op\":\"stats\"}";
+      ]
+  in
+  Alcotest.(check int) "every line answered" 4 (List.length lines);
+  Alcotest.(check int) "errors counted" 3 summary.Serve.Server.errors;
+  List.iter
+    (fun id ->
+      Alcotest.(check bool)
+        (Printf.sprintf "id %d rejected as bad_request" id)
+        true
+        (contains (find_by_id lines id) "bad_request"))
+    [ 7; 8 ];
+  (* the server must keep serving after garbage *)
+  Alcotest.(check bool) "later request still ok" true
+    (contains (find_by_id lines 9) "\"ok\":true")
+
+let test_server_over_budget () =
+  disarm ();
+  let x, y, z = ea_xyz in
+  let req =
+    Printf.sprintf
+      "{\"id\":1,\"op\":\"pulses\",\"coords\":[%.17g,%.17g,%.17g],\"budget\":{\"max_seconds\":0}}"
+      x y z
+  in
+  let summary, lines = run_server [ req; "{\"id\":2,\"op\":\"pulses\",\"gate\":\"cnot\"}" ] in
+  Alcotest.(check int) "both answered" 2 (List.length lines);
+  let l = find_by_id lines 1 in
+  Alcotest.(check bool) "typed budget error" true (contains l "budget_exceeded");
+  Alcotest.(check bool) "is an error response" true (contains l "\"ok\":false");
+  Alcotest.(check bool) "unbudgeted request unaffected" true
+    (contains (find_by_id lines 2) "\"ok\":true");
+  Alcotest.(check int) "summary error count" 1 summary.Serve.Server.errors
+
+let test_server_solver_fault () =
+  let x, y, z = ea_xyz in
+  let coords_req id =
+    Printf.sprintf "{\"id\":%d,\"op\":\"pulses\",\"coords\":[%.17g,%.17g,%.17g]}" id x y z
+  in
+  with_faults "ea_noconv:4" (fun () ->
+      let summary, lines = run_server [ coords_req 1; "{\"id\":2,\"op\":\"stats\"}" ] in
+      (* the injected non-convergence surfaces as a JSON error — the worker
+         survives and still answers the next request *)
+      let l = find_by_id lines 1 in
+      Alcotest.(check bool) "failure is a response" true (contains l "\"ok\":false");
+      Alcotest.(check bool) "typed non_convergence" true (contains l "non_convergence");
+      Alcotest.(check bool) "server alive after fault" true
+        (contains (find_by_id lines 2) "\"ok\":true");
+      Alcotest.(check int) "clean drain" 2 summary.Serve.Server.served)
+
+let test_server_shutdown_drains () =
+  disarm ();
+  let summary, lines =
+    run_server ~workers:2
+      [
+        "{\"id\":1,\"op\":\"pulses\",\"gate\":\"cnot\"}";
+        "{\"id\":2,\"op\":\"pulses\",\"gate\":\"iswap\"}";
+        "{\"id\":3,\"op\":\"shutdown\"}";
+        "{\"id\":99,\"op\":\"stats\"}";
+      ]
+  in
+  (* everything queued before the shutdown is drained; the line after it
+     is never read *)
+  Alcotest.(check int) "drained queue" 3 (List.length lines);
+  List.iter (fun id -> ignore (find_by_id lines id)) [ 1; 2; 3 ];
+  Alcotest.(check bool) "post-shutdown line unread" true
+    (List.for_all (fun l -> not (contains l "\"id\":99")) lines);
+  Alcotest.(check int) "summary served" 3 summary.Serve.Server.served
+
+let () =
+  disarm ();
+  Alcotest.run "serve"
+    [
+      ( "json",
+        [
+          Alcotest.test_case "round trip" `Quick test_json_roundtrip;
+          Alcotest.test_case "unicode" `Quick test_json_unicode;
+          Alcotest.test_case "malformed" `Quick test_json_malformed;
+          Alcotest.test_case "accessors" `Quick test_json_accessors;
+        ] );
+      ( "protocol",
+        [
+          Alcotest.test_case "parse ok" `Quick test_protocol_parse_ok;
+          Alcotest.test_case "parse errors" `Quick test_protocol_parse_errors;
+        ] );
+      ( "server",
+        [
+          Alcotest.test_case "happy path" `Quick test_server_happy_path;
+          Alcotest.test_case "malformed request" `Quick test_server_malformed_request;
+          Alcotest.test_case "over budget" `Quick test_server_over_budget;
+          Alcotest.test_case "solver fault" `Quick test_server_solver_fault;
+          Alcotest.test_case "shutdown drains" `Quick test_server_shutdown_drains;
+        ] );
+    ]
