@@ -3,7 +3,7 @@
 
 RESULTS ?= results
 
-.PHONY: all build test check bench-smoke demo bench microbench tables figures csv clean
+.PHONY: all build test check bench-smoke bench-obs demo bench microbench tables figures csv clean
 
 all: build
 
@@ -21,6 +21,12 @@ bench-smoke: build
 	dune exec bench/microbench.exe -- --smoke --out _build/bench_smoke.json
 	dune exec bench/main.exe -- table2 --limit 4
 	dune exec bench/main.exe -- serve --limit 3
+	dune exec bench/main.exe -- obs --limit 2
+
+# observability bench alone: tracing overhead contract + per-stage
+# latencies; writes BENCH_obs.json and BENCH_obs_trace.json
+bench-obs: build
+	dune exec bench/main.exe -- obs
 
 # full microbenchmark run; writes BENCH_numerics.json at the repo root
 microbench: build

@@ -6,15 +6,18 @@
 
    Targets: table1 table2 table3 fig4 fig5 fig6 fig12 fig13 fig14 fig15
    fig16 templates variational calibration decoherence calibrate leakage
-   serve all (default: all).
+   serve obs all (default: all).
 
    Unknown targets and malformed flag values are hard errors (exit 2), so a
-   typo can't silently run the wrong benchmark set. *)
+   typo can't silently run the wrong benchmark set.
+
+   REQISC_TRACE=FILE records the whole run with an Obs recorder and writes
+   a Chrome trace-event JSON to FILE on exit (same contract as the CLI). *)
 
 let known_targets =
   [ "table1"; "table2"; "table3"; "fig4"; "fig5"; "fig6"; "fig12"; "fig13";
     "fig14"; "fig15"; "fig16"; "templates"; "variational"; "calibration";
-    "decoherence"; "calibrate"; "leakage"; "serve"; "all" ]
+    "decoherence"; "calibrate"; "leakage"; "serve"; "obs"; "all" ]
 
 let value_flags = [ "--haar-n"; "--trajectories"; "--limit"; "--csv-dir" ]
 
@@ -32,6 +35,11 @@ let fail fmt =
     fmt
 
 let () =
+  (match Sys.getenv_opt "REQISC_TRACE" with
+  | Some path when path <> "" && not (Obs.Sink.enabled ()) ->
+    let r = Obs.Recorder.start () in
+    at_exit (fun () -> Obs.Export.write_chrome_trace path (Obs.Recorder.events r))
+  | _ -> ());
   let args = List.tl (Array.to_list Sys.argv) in
   let has f = List.mem f args in
   let get_int flag default =
@@ -105,5 +113,6 @@ let () =
   if want "calibrate" then Extras.calibrate ();
   if want "leakage" then Extras.leakage_study ();
   if want "serve" then Serve_bench.serve ?limit ~big ();
+  if want "obs" then Obs_bench.obs ?limit ~big ();
   Util.write_robust_json "BENCH_robust.json";
   Printf.printf "\ntotal bench time: %.1fs\n" (Unix.gettimeofday () -. total_t0)

@@ -50,7 +50,7 @@ let run_workload ~limit ~big () =
       let out = Compiler.Pipeline.compile ~mode:Compiler.Pipeline.Eff rng b.program in
       Printf.ksprintf (Buffer.add_string buf) "== %s #2Q=%d\n" b.name
         (Circuit.count_2q out.Compiler.Pipeline.circuit);
-      List.iter (render_outcome buf) (Reqisc.pulses_r xy out.Compiler.Pipeline.circuit))
+      List.iter (render_outcome buf) (Reqisc.pulse_outcomes xy out.Compiler.Pipeline.circuit))
     suite;
   Buffer.contents buf
 
@@ -67,9 +67,9 @@ let protocol_smoke () =
   let resp_path = Filename.temp_file "reqisc_serve" ".out" in
   let oc = open_out req_path in
   output_string oc
-    "{\"id\":1,\"op\":\"stats\"}\n\
-     {\"id\":2,\"op\":\"pulses\",\"gate\":\"cnot\"}\n\
-     {\"id\":3,\"op\":\"batch\",\"requests\":[{\"op\":\"pulses\",\"gate\":\"cz\"},{\"op\":\"stats\"}]}\n";
+    "{\"v\":1,\"id\":1,\"op\":\"stats\"}\n\
+     {\"v\":1,\"id\":2,\"op\":\"pulses\",\"gate\":\"cnot\"}\n\
+     {\"v\":1,\"id\":3,\"op\":\"batch\",\"requests\":[{\"op\":\"pulses\",\"gate\":\"cz\"},{\"op\":\"stats\"}]}\n";
   close_out oc;
   let ic = open_in req_path in
   let out = open_out resp_path in

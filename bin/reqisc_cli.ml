@@ -7,21 +7,65 @@
      reqisc_cli qasm FILE [--pulses]
      reqisc_cli serve [--cache FILE] [--workers N] [--capacity N]
      reqisc_cli cache stats --cache FILE
+     reqisc_cli trace [--out FILE] [--prom FILE] SUBCOMMAND [ARGS...]
 
    `serve` speaks the line-delimited JSON protocol on stdin/stdout (one
    request per line, one response per line; see DESIGN.md "Service &
    cache"); diagnostics go to stderr only, so stdout stays pure protocol.
 
+   `trace` runs any other subcommand with the observability sink
+   installed and writes a Chrome trace-event JSON (load in Perfetto /
+   chrome://tracing) and/or a Prometheus text snapshot on exit. Setting
+   REQISC_TRACE=FILE does the same for a plain invocation.
+
    Exit codes: 0 success, 2 usage error, 3 parse error, 4 solver error.
+   `--help` on any subcommand prints its synopsis and exits 0.
    Structured errors go to stderr as "error[kind] stage: detail". *)
 
 let exit_usage = 2
 let exit_parse = 3
 
+(* ------------------------------------------------------ shared usage *)
+
+let subcommands =
+  [
+    ("list", "list", "show the benchmark suite, grouped by category");
+    ( "compile",
+      "compile BENCH [--mode eff|full|nc] [--route chain|grid] [--pulses]",
+      "compile a suite benchmark to the SU(4) ISA" );
+    ( "pulse",
+      "pulse GATE [--coupling xy|xx]",
+      "synthesize one pulse (GATE in cnot|cz|iswap|sqisw|b|swap)" );
+    ("qasm", "qasm FILE [--pulses]", "parse a REQASM file and report metrics");
+    ( "serve",
+      "serve [--cache FILE] [--workers N] [--capacity N]",
+      "speak the line-delimited JSON protocol on stdin/stdout" );
+    ("cache", "cache stats --cache FILE", "print cache statistics as JSON");
+    ( "trace",
+      "trace [--out FILE] [--prom FILE] SUBCOMMAND [ARGS...]",
+      "run a subcommand traced; write Chrome trace / Prometheus text" );
+  ]
+
+let print_usage oc =
+  output_string oc "usage: reqisc_cli SUBCOMMAND [ARGS...]\n\nsubcommands:\n";
+  List.iter
+    (fun (_, syn, desc) -> Printf.fprintf oc "  %-62s %s\n" syn desc)
+    subcommands;
+  output_string oc
+    "\nexit codes: 0 success, 2 usage error, 3 parse error, 4 solver error\n\
+     environment: REQISC_TRACE=FILE writes a Chrome trace of the run to FILE\n"
+
+let print_subcommand_help name =
+  match List.find_opt (fun (n, _, _) -> n = name) subcommands with
+  | Some (_, syn, desc) -> Printf.printf "usage: reqisc_cli %s\n  %s\n" syn desc
+  | None -> print_usage stdout
+
+let help_requested args = List.mem "--help" args || List.mem "-h" args
+
 let usage_error fmt =
   Printf.ksprintf
     (fun msg ->
-      Printf.eprintf "error[usage]: %s\n" msg;
+      Printf.eprintf "error[usage]: %s\n(run `reqisc_cli --help` for usage)\n" msg;
       exit exit_usage)
     fmt
 
@@ -33,6 +77,30 @@ let solver_error (e : Robust.Err.t) =
   Printf.eprintf "error[%s] %s: %s\n" (Robust.Err.kind e) (Robust.Err.stage e)
     (Robust.Err.to_string e);
   exit (Robust.Err.exit_code e)
+
+(* ---------------------------------------------------------- tracing *)
+
+(* Install the recorder now and write the export files when the process
+   exits — via [at_exit], so traces survive error exits too. *)
+let install_tracing ~out ~prom =
+  let r = Obs.Recorder.start () in
+  at_exit (fun () ->
+      Obs.Recorder.stop r;
+      (match out with
+      | None -> ()
+      | Some path ->
+        Obs.Export.write_chrome_trace path (Obs.Recorder.events r);
+        Printf.eprintf "reqisc trace: wrote %s (%d span events)\n%!" path
+          (Obs.Recorder.event_count r));
+      match prom with
+      | None -> ()
+      | Some path ->
+        let oc = open_out path in
+        output_string oc (Obs.Export.prometheus ());
+        close_out oc;
+        Printf.eprintf "reqisc trace: wrote %s\n%!" path)
+
+(* ------------------------------------------------------------- suite *)
 
 let suite = lazy (Benchmarks.Suite.suite ~big:true ())
 
@@ -73,7 +141,7 @@ let print_pulse_table (instrs : Reqisc.pulse_instruction list) =
 (* per-gate robust synthesis: report every verdict, exit 4 only if some
    gate ended in a hard failure *)
 let run_pulses coupling circuit =
-  let outcomes = Reqisc.pulses_r coupling circuit in
+  let outcomes = Reqisc.pulse_outcomes coupling circuit in
   let ok =
     List.filter_map
       (fun (o : Reqisc.gate_outcome) ->
@@ -148,7 +216,11 @@ let cmd_compile name args =
       else if kind = "chain" then Compiler.Routing.chain n
       else usage_error "unknown topology %s (expected chain|grid)" kind
     in
-    let routed = Compiler.Routing.route ~mirror:true rng topo out.Compiler.Pipeline.circuit in
+    let routed =
+      match Reqisc.route ~mirror:true rng topo out.Compiler.Pipeline.circuit with
+      | Ok routed -> routed
+      | Error e -> solver_error e
+    in
     Printf.printf "routed (%s):        #2Q=%d (+%d swaps, %d absorbed)\n" kind
       (Circuit.count_2q routed.Compiler.Routing.circuit)
       routed.Compiler.Routing.swaps_inserted routed.Compiler.Routing.swaps_absorbed
@@ -241,20 +313,55 @@ let cmd_cache_stats args =
       print_endline (Cache.stats_json c);
       Cache.close c)
 
-let usage () =
-  print_endline
-    "usage: reqisc_cli list | compile BENCH [--mode eff|full|nc] [--route \
-     chain|grid] [--pulses] | pulse GATE [--coupling xy|xx] | qasm FILE [--pulses] \
-     | serve [--cache FILE] [--workers N] [--capacity N] | cache stats --cache FILE"
+(* ---------------------------------------------------------- dispatch *)
+
+let rec dispatch = function
+  | cmd :: rest when help_requested rest -> print_subcommand_help cmd
+  | "list" :: _ -> cmd_list ()
+  | "compile" :: name :: rest -> cmd_compile name rest
+  | [ "compile" ] -> usage_error "compile needs a benchmark name"
+  | "pulse" :: name :: rest -> cmd_pulse name rest
+  | [ "pulse" ] -> usage_error "pulse needs a gate name"
+  | "qasm" :: path :: rest -> cmd_qasm path rest
+  | [ "qasm" ] -> usage_error "qasm needs a file"
+  | "serve" :: rest -> cmd_serve rest
+  | "cache" :: "stats" :: rest -> cmd_cache_stats rest
+  | "cache" :: _ -> usage_error "cache supports: stats --cache FILE"
+  | "trace" :: rest -> cmd_trace rest
+  | cmd :: _ -> usage_error "unknown subcommand %s" cmd
+  | [] ->
+    print_usage stderr;
+    exit exit_usage
+
+and cmd_trace args =
+  (* flags before the wrapped subcommand; everything after the first
+     non-flag token belongs to it *)
+  let rec parse out prom = function
+    | "--out" :: path :: rest -> parse (Some path) prom rest
+    | "--prom" :: path :: rest -> parse out (Some path) rest
+    | [] -> usage_error "trace needs a subcommand to run"
+    | rest -> (out, prom, rest)
+  in
+  let out, prom, rest = parse None None args in
+  (* with neither flag given, default to a Chrome trace next to the cwd *)
+  let out = match (out, prom) with None, None -> Some "trace.json" | _ -> out in
+  if Obs.Sink.enabled () then
+    usage_error "trace: a sink is already installed (REQISC_TRACE is set?)";
+  install_tracing ~out ~prom;
+  dispatch rest
 
 let () =
+  (match Sys.getenv_opt "REQISC_TRACE" with
+  | Some path when path <> "" && not (Obs.Sink.enabled ()) ->
+    install_tracing ~out:(Some path) ~prom:None
+  | _ -> ());
   match Array.to_list Sys.argv with
-  | _ :: "list" :: _ -> cmd_list ()
-  | _ :: "compile" :: name :: rest -> cmd_compile name rest
-  | _ :: "pulse" :: name :: rest -> cmd_pulse name rest
-  | _ :: "qasm" :: path :: rest -> cmd_qasm path rest
-  | _ :: "serve" :: rest -> cmd_serve rest
-  | _ :: "cache" :: "stats" :: rest -> cmd_cache_stats rest
-  | _ ->
-    usage ();
+  | _ :: [] ->
+    print_usage stderr;
+    exit exit_usage
+  | _ :: args when help_requested [ List.hd args ] || List.hd args = "help" ->
+    print_usage stdout
+  | _ :: args -> dispatch args
+  | [] ->
+    print_usage stderr;
     exit exit_usage

@@ -8,6 +8,13 @@ open Numerics
 
 let k = 3 (* bits per register *)
 
+(* unwrap the facade's typed errors, exiting with their CLI code *)
+let ok = function
+  | Ok v -> v
+  | Error e ->
+    Printf.eprintf "error: %s\n" (Robust.Err.to_string e);
+    exit (Robust.Err.exit_code e)
+
 let () =
   let adder = Benchmarks.Generators.ripple_add k in
   let n = adder.Circuit.n in
@@ -20,8 +27,8 @@ let () =
   let base_q = Compiler.Metrics.report Compiler.Metrics.Cnot_isa qiskit in
 
   let isa = Compiler.Metrics.Su4_isa Reqisc.xy_coupling in
-  let eff = Reqisc.compile ~mode:Reqisc.Eff rng adder in
-  let full = Reqisc.compile ~mode:Reqisc.Full rng adder in
+  let eff = ok (Reqisc.compile ~mode:Reqisc.Eff rng adder) in
+  let full = ok (Reqisc.compile ~mode:Reqisc.Full rng adder) in
   let pp tag r = Printf.printf "%-14s %s\n" tag (Format.asprintf "%a" Compiler.Metrics.pp_report r) in
   pp "input (CNOT)" base;
   pp "Qiskit-like" base_q;
@@ -30,7 +37,7 @@ let () =
 
   (* map onto a 1D chain with mirroring-SABRE *)
   let topo = Compiler.Routing.chain n in
-  let routed = Reqisc.route ~mirror:true rng topo eff.Reqisc.circuit in
+  let routed = ok (Reqisc.route ~mirror:true rng topo eff.Reqisc.circuit) in
   Printf.printf "routed on chain: #SU4 %d (+%d swaps inserted, %d absorbed)\n"
     (Circuit.count_2q routed.Compiler.Routing.circuit)
     routed.Compiler.Routing.swaps_inserted routed.Compiler.Routing.swaps_absorbed;

@@ -20,7 +20,13 @@ let () =
 
   (* compile and export the SU(4) circuit as REQASM *)
   let rng = Numerics.Rng.create 1L in
-  let out = Reqisc.compile ~mode:Reqisc.Eff rng reparsed in
+  let out =
+    match Reqisc.compile ~mode:Reqisc.Eff rng reparsed with
+    | Ok out -> out
+    | Error e ->
+      Printf.eprintf "compilation failed: %s\n" (Robust.Err.to_string e);
+      exit (Robust.Err.exit_code e)
+  in
   let qasm_path = Filename.concat dir "ripple_add_2.reqasm" in
   Qasm.save qasm_path out.Reqisc.circuit;
   Printf.printf "wrote %s (%d su4 gates)\n" qasm_path

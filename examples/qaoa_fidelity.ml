@@ -13,7 +13,13 @@ let () =
   (* baseline: TKet-style CNOT compilation *)
   let cnot = Compiler.Baselines.tket_like_pauli program in
   (* ReQISC: phoenix front end + fusion + mirroring *)
-  let out = Reqisc.compile_pauli ~mode:Reqisc.Eff rng program in
+  let out =
+    match Reqisc.compile_pauli ~mode:Reqisc.Eff rng program with
+    | Ok out -> out
+    | Error e ->
+      Printf.eprintf "compilation failed: %s\n" (Robust.Err.to_string e);
+      exit (Robust.Err.exit_code e)
+  in
 
   let cnot_isa = Compiler.Metrics.Cnot_isa in
   let su4_isa = Compiler.Metrics.Su4_isa Reqisc.xy_coupling in

@@ -23,8 +23,15 @@ let () =
   let base = Reqisc.metrics Compiler.Metrics.Cnot_isa cnot_input in
   Printf.printf "CNOT ISA:  %s\n" (Format.asprintf "%a" Compiler.Metrics.pp_report base);
 
-  (* ReQISC compilation to the {Can, U3} ISA *)
-  let out = Reqisc.compile ~mode:Reqisc.Eff rng circuit in
+  (* ReQISC compilation to the {Can, U3} ISA — the facade is
+     result-first, so failures arrive as typed errors *)
+  let out =
+    match Reqisc.compile ~mode:Reqisc.Eff rng circuit with
+    | Ok out -> out
+    | Error e ->
+      Printf.eprintf "compilation failed: %s\n" (Robust.Err.to_string e);
+      exit (Robust.Err.exit_code e)
+  in
   let isa = Compiler.Metrics.Su4_isa Reqisc.xy_coupling in
   let opt = Reqisc.metrics isa out.Reqisc.circuit in
   Printf.printf "ReQISC:    %s  (mirrored %d, distinct 3Q classes %d)\n"
@@ -39,7 +46,7 @@ let () =
 
   (* pulse synthesis: Algorithm 1 per SU(4) gate *)
   match Reqisc.pulses Reqisc.xy_coupling out.Reqisc.circuit with
-  | Error e -> Printf.printf "pulse synthesis failed: %s\n" e
+  | Error e -> Printf.printf "pulse synthesis failed: %s\n" (Robust.Err.to_string e)
   | Ok instrs ->
     Printf.printf "== pulse program (XY coupling, g = 1) ==\n";
     Printf.printf "%-8s %-5s %10s %10s %10s %10s\n" "qubits" "mode" "tau" "A1" "A2" "delta";

@@ -74,25 +74,33 @@ let note_evicted t = function
     Robust.Counters.incr ~stage "evict"
 
 let find t key =
-  locked t (fun () ->
-      match Lru.find t.lru key with
-      | Some v ->
-        t.hits <- t.hits + 1;
-        Robust.Counters.incr ~stage "hit";
-        Some v
-      | None -> (
-        match Hashtbl.find_opt t.disk key with
+  (* split-phase span: the probe is a "hit", "hit_disk" or "miss"
+     depending on which tier (if any) answers *)
+  let t0 = Obs.Span.now_ns () in
+  let verdict, v =
+    locked t (fun () ->
+        match Lru.find t.lru key with
         | Some v ->
-          t.disk_hits <- t.disk_hits + 1;
-          Robust.Counters.incr ~stage "hit_disk";
-          note_evicted t (Lru.add t.lru key v);
-          Some v
-        | None ->
-          t.misses <- t.misses + 1;
-          Robust.Counters.incr ~stage "miss";
-          None))
+          t.hits <- t.hits + 1;
+          Robust.Counters.incr ~stage "hit";
+          ("hit", Some v)
+        | None -> (
+          match Hashtbl.find_opt t.disk key with
+          | Some v ->
+            t.disk_hits <- t.disk_hits + 1;
+            Robust.Counters.incr ~stage "hit_disk";
+            note_evicted t (Lru.add t.lru key v);
+            ("hit_disk", Some v)
+          | None ->
+            t.misses <- t.misses + 1;
+            Robust.Counters.incr ~stage "miss";
+            ("miss", None)))
+  in
+  Obs.Span.emit ~stage:"cache" ~name:verdict ~t0;
+  v
 
 let add t key value =
+  Obs.Span.with_ ~stage:"cache" ~name:"insert" @@ fun () ->
   locked t (fun () ->
       t.inserts <- t.inserts + 1;
       Robust.Counters.incr ~stage "insert";

@@ -43,7 +43,8 @@ let one_round lib rng ~w ~m_th ~compacting (c : Circuit.t) =
      probes, so it is gated (the paper caps its Fig. 13/14 studies at
      comparable sizes) *)
   let fused =
-    if compacting && Circuit.count_2q fused <= 300 then Compact.run rng fused
+    if compacting && Circuit.count_2q fused <= 300 then
+      Obs.Span.with_ ~stage:"compiler" ~name:"compact" (fun () -> Compact.run rng fused)
     else fused
   in
   let blocks = Blocks.collect ~w fused in

@@ -18,8 +18,10 @@ let program_to_cnot_input = function
 let stage = "compiler.pipeline"
 
 let compile ?(mode = Eff) ?(mirror_threshold = Mirroring.default_threshold) rng p =
+  Obs.Span.with_ ~stage:"compiler" ~name:"compile" @@ fun () ->
   let lib = Template.create_library (Numerics.Rng.split rng) in
   let su4_stage =
+    Obs.Span.with_ ~stage:"compiler" ~name:"template" @@ fun () ->
     match p with
     | Gates c ->
       (* program-aware, template-based synthesis over the CCX-based IR *)
@@ -36,13 +38,19 @@ let compile ?(mode = Eff) ?(mirror_threshold = Mirroring.default_threshold) rng 
       (* hierarchical synthesis is an optimization, never a requirement:
          if it breaks down numerically, compile with the exact SU(4)
          stage instead of aborting *)
-      match Hierarchical.run ~compacting rng su4_stage with
+      match
+        Obs.Span.with_ ~stage:"compiler" ~name:"hierarchical" (fun () ->
+            Hierarchical.run ~compacting rng su4_stage)
+      with
       | c -> c
       | exception _ ->
         Robust.Counters.incr ~stage "hier_fallback";
         su4_stage)
   in
-  let m = Mirroring.run ~r:mirror_threshold optimized in
+  let m =
+    Obs.Span.with_ ~stage:"compiler" ~name:"mirroring" (fun () ->
+        Mirroring.run ~r:mirror_threshold optimized)
+  in
   Robust.Counters.incr ~stage "ok";
   {
     circuit = m.Mirroring.circuit;

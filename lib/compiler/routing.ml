@@ -273,6 +273,7 @@ let forward_pass ?(mirror = false) ~lookahead topo (c : Circuit.t) init_mapping 
     !swaps_absorbed )
 
 let route ?(mirror = false) ?(lookahead = 20) ?(passes = 3) rng topo (c : Circuit.t) =
+  Obs.Span.with_ ~stage:"compiler" ~name:"routing" @@ fun () ->
   ignore rng;
   if c.Circuit.n > topo.n then invalid_arg "Routing.route: circuit wider than device";
   (* pad the logical circuit to the device size *)

@@ -10,12 +10,27 @@ type compiled = Compiler.Pipeline.output = {
 }
 
 let compile ?(mode = Eff) rng c =
+  Compiler.Pipeline.compile_r ~mode rng (Compiler.Pipeline.Gates c)
+
+let compile_exn ?(mode = Eff) rng c =
   Compiler.Pipeline.compile ~mode rng (Compiler.Pipeline.Gates c)
 
 let compile_pauli ?(mode = Eff) rng p =
+  Compiler.Pipeline.compile_r ~mode rng (Compiler.Pipeline.Pauli p)
+
+let compile_pauli_exn ?(mode = Eff) rng p =
   Compiler.Pipeline.compile ~mode rng (Compiler.Pipeline.Pauli p)
 
-let route ?(mirror = true) rng topology c = Compiler.Routing.route ~mirror rng topology c
+let route_exn ?(mirror = true) rng topology c =
+  Compiler.Routing.route ~mirror rng topology c
+
+let route ?mirror rng topology c =
+  match route_exn ?mirror rng topology c with
+  | r -> Ok r
+  | exception Failure msg ->
+    Error (Robust.Err.Ill_conditioned { stage = "compiler.routing"; detail = msg })
+  | exception Invalid_argument msg ->
+    Error (Robust.Err.Ill_conditioned { stage = "compiler.routing"; detail = msg })
 
 type pulse_instruction = {
   qubits : int * int;
@@ -24,34 +39,12 @@ type pulse_instruction = {
   post : (Mat.t * Mat.t) option;
 }
 
-let pulses coupling (c : Circuit.t) =
-  let rec go acc = function
-    | [] -> Ok (List.rev acc)
-    | (g : Gate.t) :: rest ->
-      if not (Gate.is_2q g) then go acc rest
-      else begin
-        match Microarch.Genashn.solve coupling g.mat with
-        | Error e -> Error (Printf.sprintf "%s: %s" (Gate.to_string g) e)
-        | Ok r ->
-          let instr =
-            {
-              qubits = (g.qubits.(0), g.qubits.(1));
-              pulse = r.Microarch.Genashn.pulse;
-              pre = Some (r.Microarch.Genashn.b1, r.Microarch.Genashn.b2);
-              post = Some (r.Microarch.Genashn.a1, r.Microarch.Genashn.a2);
-            }
-          in
-          go (instr :: acc) rest
-      end
-  in
-  go [] c.Circuit.gates
-
 type gate_outcome = {
   gate : Gate.t;
   outcome : pulse_instruction Robust.Outcome.t;
 }
 
-let pulses_r ?budget coupling (c : Circuit.t) =
+let pulse_outcomes ?budget coupling (c : Circuit.t) =
   List.filter_map
     (fun (g : Gate.t) ->
       if not (Gate.is_2q g) then None
@@ -70,6 +63,21 @@ let pulses_r ?budget coupling (c : Circuit.t) =
         Some { gate = g; outcome }
       end)
     c.Circuit.gates
+
+let pulses ?budget coupling (c : Circuit.t) =
+  let rec go acc = function
+    | [] -> Ok (List.rev acc)
+    | (o : gate_outcome) :: rest -> (
+      match o.outcome with
+      | Robust.Outcome.Solved i | Robust.Outcome.Degraded (i, _) -> go (i :: acc) rest
+      | Robust.Outcome.Failed e -> Error e)
+  in
+  go [] (pulse_outcomes ?budget coupling c)
+
+let pulses_exn ?budget coupling c =
+  match pulses ?budget coupling c with
+  | Ok instrs -> instrs
+  | Error e -> failwith (Robust.Err.to_string e)
 
 let with_pulse_cache cache f = Microarch.Pulse_cache.with_cache cache f
 

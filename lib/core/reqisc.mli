@@ -4,7 +4,13 @@
     The full per-subsystem APIs remain available as [Numerics], [Quantum],
     [Weyl], [Circuit]/[Gate]/..., [Microarch], [Compiler], [Noise] and
     [Benchmarks]; this module only re-exports the flows a downstream user
-    needs for "compile my program and give me pulses". *)
+    needs for "compile my program and give me pulses".
+
+    The facade is result-first: every fallible entry point returns
+    [(_, Robust.Err.t) result] (or per-gate {!Robust.Outcome.t} verdicts)
+    so callers branch on typed errors instead of catching exceptions. The
+    raising forms survive as [*_exn] for scripts and tests that prefer to
+    crash. *)
 
 open Numerics
 
@@ -20,15 +26,30 @@ type compiled = Compiler.Pipeline.output = {
 }
 
 (** [compile rng ~mode circuit] compiles a Type-I (CCX/CX/1Q) circuit to the
-    SU(4) ISA. *)
-val compile : ?mode:mode -> Rng.t -> Circuit.t -> compiled
+    SU(4) ISA. Numerical breakdown inside the pipeline surfaces as a typed
+    [Error], never an exception. *)
+val compile : ?mode:mode -> Rng.t -> Circuit.t -> (compiled, Robust.Err.t) result
+
+(** [compile_exn] is {!compile} that raises on pipeline failure. *)
+val compile_exn : ?mode:mode -> Rng.t -> Circuit.t -> compiled
 
 (** [compile_pauli rng ~mode p] compiles a Pauli-rotation program. *)
-val compile_pauli : ?mode:mode -> Rng.t -> Compiler.Phoenix.program -> compiled
+val compile_pauli :
+  ?mode:mode -> Rng.t -> Compiler.Phoenix.program -> (compiled, Robust.Err.t) result
+
+val compile_pauli_exn : ?mode:mode -> Rng.t -> Compiler.Phoenix.program -> compiled
 
 (** [route rng topology compiled] maps a compiled circuit onto hardware with
-    mirroring-SABRE. *)
+    mirroring-SABRE. A circuit wider than the device (or a routing
+    breakdown) is an [Ill_conditioned] error at stage ["compiler.routing"]. *)
 val route :
+  ?mirror:bool ->
+  Rng.t ->
+  Compiler.Routing.topology ->
+  Circuit.t ->
+  (Compiler.Routing.routed, Robust.Err.t) result
+
+val route_exn :
   ?mirror:bool -> Rng.t -> Compiler.Routing.topology -> Circuit.t ->
   Compiler.Routing.routed
 
@@ -41,33 +62,41 @@ type pulse_instruction = {
   post : (Mat.t * Mat.t) option;  (** 1Q corrections after *)
 }
 
-(** [pulses coupling c] runs Algorithm 1 on every 2Q gate of a compiled
-    circuit, producing the executable pulse program. Near-identity gates
-    must have been mirrored away by compilation; an unsolvable gate is an
-    [Error]. *)
-val pulses :
-  Microarch.Coupling.t -> Circuit.t -> (pulse_instruction list, string) result
-
-(** Per-gate solver verdict from {!pulses_r}. *)
+(** Per-gate solver verdict from {!pulse_outcomes}. *)
 type gate_outcome = {
   gate : Gate.t;
   outcome : pulse_instruction Robust.Outcome.t;
 }
 
-(** [pulses_r coupling c] is the fault-tolerant {!pulses}: every 2Q gate
-    gets its own [Solved]/[Degraded]/[Failed] verdict and a failing gate
-    never aborts the rest of the program. *)
-val pulses_r :
+(** [pulse_outcomes coupling c] runs Algorithm 1 on every 2Q gate of a
+    compiled circuit: each gate gets its own [Solved]/[Degraded]/[Failed]
+    verdict and a failing gate never aborts the rest of the program. *)
+val pulse_outcomes :
   ?budget:Robust.Budget.t ->
   Microarch.Coupling.t ->
   Circuit.t ->
   gate_outcome list
 
+(** [pulses coupling c] is the all-or-nothing view of {!pulse_outcomes}:
+    the executable pulse program if every 2Q gate solved (degraded
+    solutions are kept — they carry their residual in the per-gate view),
+    or the first gate's typed error. *)
+val pulses :
+  ?budget:Robust.Budget.t ->
+  Microarch.Coupling.t ->
+  Circuit.t ->
+  (pulse_instruction list, Robust.Err.t) result
+
+(** [pulses_exn] raises [Failure] on the first unsolvable gate. *)
+val pulses_exn :
+  ?budget:Robust.Budget.t -> Microarch.Coupling.t -> Circuit.t ->
+  pulse_instruction list
+
 (** [with_pulse_cache cache f] runs [f] with [cache] installed as the
     process-global pulse-synthesis cache ({!Microarch.Pulse_cache}): every
-    2Q solve inside {!pulses} / {!pulses_r} whose Weyl-class fingerprint
-    hits skips Algorithm 1 entirely. The previous cache (if any) is
-    restored afterwards. *)
+    2Q solve inside {!pulses} / {!pulse_outcomes} whose Weyl-class
+    fingerprint hits skips Algorithm 1 entirely. The previous cache (if
+    any) is restored afterwards. *)
 val with_pulse_cache : Cache.t -> (unit -> 'a) -> 'a
 
 (** {1 Metrics} *)

@@ -95,7 +95,8 @@ let nd_stage = "solver.nd"
 let solve_nd_r (h : Coupling.t) (x, y, z) tau =
   ignore x;
   let u = y +. z and v = y -. z in
-  let attempt ?span_pi ?steps () =
+  let attempt ?(span_name = "nd.scan") ?span_pi ?steps () =
+   Obs.Span.with_ ~stage:"solver" ~name:span_name @@ fun () ->
     let s2 = solve_sinc ?span_pi ?steps ~tau ~s0:(h.b +. h.c) ~target:(sin u) () in
     let s1 = solve_sinc ?span_pi ?steps ~tau ~s0:(h.b -. h.c) ~target:(sin v) () in
     match (s1, s2) with
@@ -123,7 +124,7 @@ let solve_nd_r (h : Coupling.t) (x, y, z) tau =
   | None -> (
     (* retry rung: triple the scan window for the first sinc sign change *)
     Robust.Counters.incr ~stage:nd_stage "retry";
-    match attempt ~span_pi:120.0 ~steps:12000 () with
+    match attempt ~span_name:"nd.widen" ~span_pi:120.0 ~steps:12000 () with
     | Some p ->
       Robust.Counters.incr ~stage:nd_stage "ok";
       Robust.Outcome.Solved p
@@ -245,22 +246,26 @@ let run_ea_rung buf h target tau spec ~note_best =
   in
   let scale = Coupling.strength h in
   (* compactified seed grid: v/(1-v) covers the first quadrant *)
-  let seeds = ref [] in
-  let n = spec.grid_n in
-  for i = 0 to n - 1 do
-    for j = 0 to n - 1 do
-      let map k =
-        let v = (float_of_int k +. spec.jitter) /. float_of_int n in
-        spec.widen *. scale *. (v /. (1.0 -. v))
-      in
-      let om = map i and de = map j in
-      let r = Cx.norm (res om de) in
-      seeds := (r, om, de) :: !seeds
-    done
-  done;
-  let sorted = List.sort compare !seeds in
+  let sorted =
+    Obs.Span.with_ ~stage:"solver" ~name:"ea.grid" @@ fun () ->
+    let seeds = ref [] in
+    let n = spec.grid_n in
+    for i = 0 to n - 1 do
+      for j = 0 to n - 1 do
+        let map k =
+          let v = (float_of_int k +. spec.jitter) /. float_of_int n in
+          spec.widen *. scale *. (v /. (1.0 -. v))
+        in
+        let om = map i and de = map j in
+        let r = Cx.norm (res om de) in
+        seeds := (r, om, de) :: !seeds
+      done
+    done;
+    List.sort compare !seeds
+  in
   let candidates = List.filteri (fun i _ -> i < spec.newton_top) sorted in
   let solutions =
+    Obs.Span.with_ ~stage:"solver" ~name:"ea.newton" @@ fun () ->
     List.filter_map
       (fun (_, om, de) ->
         match Roots.newton2d ~tol:1e-10 res2 (om, de) with
@@ -276,6 +281,7 @@ let run_ea_rung buf h target tau spec ~note_best =
   let solutions =
     if solutions <> [] then solutions
     else
+      Obs.Span.with_ ~stage:"solver" ~name:"ea.nelder_mead" @@ fun () ->
       List.filter_map
         (fun (_, om, de) ->
           let f v = Cx.norm2 (res (Float.abs v.(0)) (Float.abs v.(1))) in
@@ -356,10 +362,10 @@ let solve_ea_same_r ?budget (h : Coupling.t) target tau =
         (* fault site "ea_noconv": pretend this rung found nothing *)
         let root, evals =
           if Robust.Fault.enabled () && Robust.Fault.fire "ea_noconv" then (None, 0)
-          else begin
-            let buf = make_ea_buf h in
-            run_ea_rung buf h target tau spec ~note_best
-          end
+          else
+            Obs.Span.with_ ~stage:"solver" ~name:("ea." ^ spec.rung_name) (fun () ->
+                let buf = make_ea_buf h in
+                run_ea_rung buf h target tau spec ~note_best)
         in
         spent := !spent + evals;
         Option.iter (fun b -> Robust.Budget.spend b evals) budget;
@@ -532,6 +538,7 @@ let solve_coords_uncached ?budget (h : Coupling.t) (coords : Weyl.Coords.t) =
    bit for bit and skips Algorithm 1 entirely (no grid, no Newton, no
    end-to-end class check — the pulse was verified when it was stored). *)
 let solve_coords_r ?budget (h : Coupling.t) (coords : Weyl.Coords.t) =
+  Obs.Span.with_ ~stage:"solver" ~name:"solve_coords" @@ fun () ->
   match validate h coords with
   | Error e ->
     Robust.Counters.incr ~stage "failed";
@@ -550,15 +557,17 @@ let solve_coords_r ?budget (h : Coupling.t) (coords : Weyl.Coords.t) =
         cache_store key oc;
         oc))
 
+let kak_decompose_r u = Obs.Span.with_ ~stage:"solver" ~name:"kak" (fun () -> Weyl.Kak.decompose_r u)
+
 let solve_r ?budget h u =
-  match Weyl.Kak.decompose_r u with
+  match kak_decompose_r u with
   | Error e -> Robust.Outcome.Failed e
   | Ok du -> (
     match solve_coords_r ?budget h du.Weyl.Kak.coords with
     | Robust.Outcome.Failed e -> Robust.Outcome.Failed e
     | (Robust.Outcome.Solved pulse | Robust.Outcome.Degraded (pulse, _)) as oc -> (
       let realized = evolve h pulse in
-      match Weyl.Kak.decompose_r realized with
+      match kak_decompose_r realized with
       | Error e -> Robust.Outcome.Failed e
       | Ok dw ->
         let d = Weyl.Coords.dist du.Weyl.Kak.coords dw.Weyl.Kak.coords in

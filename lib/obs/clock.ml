@@ -1,0 +1,28 @@
+(* gettimeofday monotonized by a process-wide high-water mark: a CAS loop
+   publishes the max ever observed, so concurrent readers in different
+   domains all see non-decreasing values. *)
+
+let raw_ns () = int_of_float (Unix.gettimeofday () *. 1e9)
+
+let epoch = Atomic.make 0
+let high_water = Atomic.make 0
+
+let epoch_ns () =
+  let e = Atomic.get epoch in
+  if e <> 0 then e
+  else begin
+    let now = raw_ns () in
+    (* first caller wins; everyone else adopts its epoch *)
+    ignore (Atomic.compare_and_set epoch 0 now);
+    Atomic.get epoch
+  end
+
+let rec monotonize candidate =
+  let seen = Atomic.get high_water in
+  if candidate <= seen then seen
+  else if Atomic.compare_and_set high_water seen candidate then candidate
+  else monotonize candidate
+
+let now_ns () =
+  let e = epoch_ns () in
+  monotonize (raw_ns () - e)

@@ -1,0 +1,16 @@
+(** The observability clock: nanoseconds since an arbitrary process
+    epoch, guaranteed non-decreasing across all domains.
+
+    The underlying source is [Unix.gettimeofday] (the only sub-second
+    clock the stdlib exposes); a process-wide high-water mark turns it
+    into a monotone reading, so a wall-clock step backwards (NTP slew)
+    can never produce a negative span duration. An [int] holds ~292
+    years of nanoseconds — plenty for span arithmetic without boxing. *)
+
+(** [now_ns ()] — nanoseconds since {!epoch_ns}, non-decreasing. *)
+val now_ns : unit -> int
+
+(** Wall-clock time of the process epoch (first clock read), in
+    nanoseconds since the Unix epoch; exporters use it to place traces
+    in absolute time. *)
+val epoch_ns : unit -> int

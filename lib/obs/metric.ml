@@ -1,0 +1,52 @@
+let lock = Mutex.create ()
+let counter_table : (string * string, int ref) Hashtbl.t = Hashtbl.create 64
+let gauge_table : (string * string, float ref) Hashtbl.t = Hashtbl.create 16
+
+let add ~stage name n =
+  if Sink.enabled () then begin
+    Mutex.lock lock;
+    (match Hashtbl.find_opt counter_table (stage, name) with
+    | Some r -> r := !r + n
+    | None -> Hashtbl.add counter_table (stage, name) (ref n));
+    Mutex.unlock lock
+  end
+
+let incr ~stage name = add ~stage name 1
+
+let set_gauge ~stage name v =
+  if Sink.enabled () then begin
+    Mutex.lock lock;
+    (match Hashtbl.find_opt gauge_table (stage, name) with
+    | Some r -> r := v
+    | None -> Hashtbl.add gauge_table (stage, name) (ref v));
+    Mutex.unlock lock
+  end
+
+let get ~stage name =
+  Mutex.lock lock;
+  let v =
+    match Hashtbl.find_opt counter_table (stage, name) with Some r -> !r | None -> 0
+  in
+  Mutex.unlock lock;
+  v
+
+let get_gauge ~stage name =
+  Mutex.lock lock;
+  let v = Option.map ( ! ) (Hashtbl.find_opt gauge_table (stage, name)) in
+  Mutex.unlock lock;
+  v
+
+let sorted_fold table =
+  Mutex.lock lock;
+  let flat = Hashtbl.fold (fun (st, n) r acc -> (st, n, !r) :: acc) table [] in
+  Mutex.unlock lock;
+  List.sort compare flat
+
+let counters () = sorted_fold counter_table
+let gauges () = sorted_fold gauge_table
+
+let reset () =
+  Mutex.lock lock;
+  Hashtbl.reset counter_table;
+  Hashtbl.reset gauge_table;
+  Mutex.unlock lock

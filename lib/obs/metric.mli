@@ -1,0 +1,23 @@
+(** Domain-safe counters and gauges, keyed by (stage, name).
+
+    Complements {!Robust.Counters} (which tracks resilience events and is
+    always on): these metrics only move while a {!Sink} is installed, so
+    the disabled path stays a single branch, and they are exported
+    alongside the span histograms by {!Export}. *)
+
+(** [incr ~stage name] / [add ~stage name n] — no-ops when disabled. *)
+val incr : stage:string -> string -> unit
+
+val add : stage:string -> string -> int -> unit
+
+(** [set_gauge ~stage name v] — last write wins; no-op when disabled. *)
+val set_gauge : stage:string -> string -> float -> unit
+
+val get : stage:string -> string -> int
+val get_gauge : stage:string -> string -> float option
+
+(** Sorted [(stage, name, value)] listings. *)
+val counters : unit -> (string * string * int) list
+
+val gauges : unit -> (string * string * float) list
+val reset : unit -> unit

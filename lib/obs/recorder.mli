@@ -1,0 +1,33 @@
+(** The standard sink: buffers span events (bounded ring, newest wins)
+    and feeds every event into the {!Hist} registry, so one recorder
+    session yields both a loadable trace and aggregate latencies.
+
+    [create ?capacity ()] allocates a recorder (default capacity 65536
+    events; aggregation continues past the cap — only the raw event
+    buffer is bounded). [start] installs it as the process sink, [stop]
+    uninstalls and returns it for export. *)
+
+type t
+
+val create : ?capacity:int -> unit -> t
+
+(** [sink r] — the {!Sink.t} view (to install by hand). *)
+val sink : t -> Sink.t
+
+(** [start ?capacity ()] = create + {!Sink.install}. *)
+val start : ?capacity:int -> unit -> t
+
+(** [stop r] uninstalls the process sink (whatever it is). *)
+val stop : t -> unit
+
+(** Recorded events, oldest first (at most [capacity]; [dropped] tells
+    how many older events the ring discarded). *)
+val events : t -> Sink.span_event list
+
+val event_count : t -> int
+val dropped : t -> int
+
+(** [with_recorder ?capacity f] — run [f] with a fresh recorder
+    installed (restoring the previous sink afterwards) and return its
+    result alongside the recorder. *)
+val with_recorder : ?capacity:int -> (unit -> 'a) -> 'a * t

@@ -1,0 +1,17 @@
+type span_event = {
+  stage : string;
+  name : string;
+  t0_ns : int;
+  dur_ns : int;
+  depth : int;
+  domain : int;
+}
+
+type t = { on_span : span_event -> unit }
+
+let current : t option Atomic.t = Atomic.make None
+
+let install s = Atomic.set current (Some s)
+let uninstall () = Atomic.set current None
+let installed () = Atomic.get current
+let enabled () = Atomic.get current <> None

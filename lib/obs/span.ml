@@ -1,0 +1,47 @@
+(* Per-domain nesting depth. A plain ref in domain-local storage: spans on
+   one domain are strictly nested, and domains never share the ref. *)
+let dls_depth = Domain.DLS.new_key (fun () -> ref 0)
+
+let depth () = !(Domain.DLS.get dls_depth)
+
+let domain_id () = (Domain.self () :> int)
+
+let with_ ~stage ~name f =
+  match Sink.installed () with
+  | None -> f ()
+  | Some sink ->
+    let d = Domain.DLS.get dls_depth in
+    let at = !d in
+    d := at + 1;
+    let t0 = Clock.now_ns () in
+    let finish () =
+      let dur = Clock.now_ns () - t0 in
+      d := at;
+      sink.Sink.on_span
+        { Sink.stage; name; t0_ns = t0; dur_ns = dur; depth = at; domain = domain_id () }
+    in
+    (match f () with
+    | v ->
+      finish ();
+      v
+    | exception e ->
+      finish ();
+      raise e)
+
+let now_ns () = if Sink.enabled () then Clock.now_ns () else 0
+
+let emit ~stage ~name ~t0 =
+  if t0 <> 0 then
+    match Sink.installed () with
+    | None -> ()
+    | Some sink ->
+      let dur = Clock.now_ns () - t0 in
+      sink.Sink.on_span
+        {
+          Sink.stage;
+          name;
+          t0_ns = t0;
+          dur_ns = dur;
+          depth = depth ();
+          domain = domain_id ();
+        }

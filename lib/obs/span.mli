@@ -1,0 +1,29 @@
+(** Nested monotonic-clock spans.
+
+    [with_ ~stage ~name f] times [f] and emits one {!Sink.span_event}
+    when a sink is installed; with no sink it is exactly [f ()] behind a
+    single branch. Spans nest per domain: each [with_] on the same domain
+    records the depth at which it started, and the depth unwinds even
+    when [f] raises (the span is still emitted, covering the time up to
+    the exception). *)
+
+val with_ : stage:string -> name:string -> (unit -> 'a) -> 'a
+
+(** {1 Split-phase spans}
+
+    For sites where the span's name is only known at the end (a cache
+    probe is a ["hit"] or a ["miss"] depending on the answer), take a
+    timestamp first and emit later. *)
+
+(** [now_ns ()] is {!Clock.now_ns} when a sink is installed, and [0]
+    otherwise (no clock read on the disabled path). *)
+val now_ns : unit -> int
+
+(** [emit ~stage ~name ~t0] emits a leaf span from [t0] to now. A no-op
+    when no sink is installed or when [t0 = 0] (i.e. {!now_ns} was called
+    while disabled — a sink installed mid-flight cannot fabricate a
+    bogus duration). *)
+val emit : stage:string -> name:string -> t0:int -> unit
+
+(** Current nesting depth on this domain (0 outside any span). *)
+val depth : unit -> int

@@ -12,6 +12,8 @@ and body = { op : op; budget : budget_spec option }
 
 type parsed = { id : Json.t; body : (body, string) result }
 
+let version = 1
+
 let op_name = function
   | Compile _ -> "compile"
   | Pulses _ -> "pulses"
@@ -105,18 +107,36 @@ let rec parse_body ?(depth = 0) json =
 let parse_line line =
   match Json.parse line with
   | Error e -> { id = Json.Null; body = Error (Printf.sprintf "malformed JSON: %s" e) }
-  | Ok (Json.Obj _ as json) ->
+  | Ok (Json.Obj _ as json) -> (
     let id = Option.value ~default:Json.Null (Json.member "id" json) in
-    { id; body = parse_body json }
+    (* version negotiation: every request carries "v"; an absent or alien
+       version is rejected before the op is even looked at, so protocol
+       evolution can change op semantics without silent misreads *)
+    match Json.mem_int "v" json with
+    | None ->
+      { id; body = Error (Printf.sprintf "missing protocol version (send \"v\": %d)" version) }
+    | Some v when v <> version ->
+      {
+        id;
+        body =
+          Error
+            (Printf.sprintf "unsupported protocol version %d (this server speaks %d)" v
+               version);
+      }
+    | Some _ -> { id; body = parse_body json })
   | Ok _ -> { id = Json.Null; body = Error "request must be a JSON object" }
 
 (* --------------------------------------------------------- responses *)
 
-let ok_item ~op result = Json.Obj [ ("ok", Json.Bool true); ("op", Json.Str op); ("result", result) ]
+let vfield = ("v", Json.Num (float_of_int version))
+
+let ok_item ~op result =
+  Json.Obj [ vfield; ("ok", Json.Bool true); ("op", Json.Str op); ("result", result) ]
 
 let error_item ~kind ~stage message =
   Json.Obj
     [
+      vfield;
       ("ok", Json.Bool false);
       ( "error",
         Json.Obj

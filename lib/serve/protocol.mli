@@ -4,10 +4,19 @@
     Request grammar (see DESIGN.md "Service & cache" for the full
     description):
 
-    {v { "id": <any json>?, "op": "compile" | "pulses" | "batch"
+    {v { "v": 1, "id": <any json>?, "op": "compile" | "pulses" | "batch"
                                | "stats" | "shutdown",
          "budget": { "max_iterations": int?, "max_seconds": num? }?,
          ... op-specific fields ... } v}
+
+    Every request must carry the protocol version ["v"]; a missing or
+    unsupported version is a [bad_request] before the op is examined.
+    Every response echoes ["v"]. *)
+
+(** The protocol version this build speaks. *)
+val version : int
+
+(**
 
     - [compile]: ["bench"] (suite name), ["mode"] ("eff"|"full"|"nc",
       default "eff"), ["pulses"] (bool, default false).

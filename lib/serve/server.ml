@@ -15,7 +15,9 @@ type state = {
   config : config;
   suite : Benchmarks.Suite.bench list;
   cache : Cache.t option;
-  queue : Protocol.parsed Jobq.t;
+  (* each job carries its enqueue timestamp so the worker can account
+     queue-wait separately from execution time *)
+  queue : (Protocol.parsed * int) Jobq.t;
   out_lock : Mutex.t;
   oc : out_channel;
   served : int Atomic.t;
@@ -175,7 +177,7 @@ let exec_compile st ~budget ~bench ~mode ~pulses =
         else begin
           (* per-gate verdicts: a failing gate degrades the report, not
              the request *)
-          let outcomes = Reqisc.pulses_r ?budget xy out.Compiler.Pipeline.circuit in
+          let outcomes = Reqisc.pulse_outcomes ?budget xy out.Compiler.Pipeline.circuit in
           let count k =
             List.length
               (List.filter
@@ -218,6 +220,7 @@ let exec_stats st =
          ("queue_depth", Json.Num (float_of_int (Jobq.length st.queue)));
          ("cache", cache_json);
          ("counters", json_of_string (Robust.Counters.to_json ()));
+         ("obs", json_of_string (Obs.Export.snapshot_json ()));
        ])
 
 (* ---------------------------------------------------------- dispatch *)
@@ -260,14 +263,17 @@ let worker st () =
   let rec loop () =
     match Jobq.pop st.queue with
     | None -> ()
-    | Some (p : Protocol.parsed) ->
+    | Some ((p : Protocol.parsed), enqueued_ns) ->
+      Obs.Span.emit ~stage ~name:"queue_wait" ~t0:enqueued_ns;
+      Obs.Metric.set_gauge ~stage "queue_depth" (float_of_int (Jobq.length st.queue));
       (match p.body with
       | Error msg ->
         respond st
           (Protocol.error_response ~id:p.id ~kind:"bad_request" ~stage:"serve.protocol"
              msg)
       | Ok body -> (
-        match exec_guarded st body with
+        let name = "exec." ^ Protocol.op_name body.op in
+        match Obs.Span.with_ ~stage ~name (fun () -> exec_guarded st body) with
         | Json.Obj _ as item -> respond st (Protocol.with_id ~id:p.id item)
         | other -> respond st other));
       loop ()
@@ -287,6 +293,12 @@ let run ?(config = default_config) ic oc =
   match opened with
   | Error e -> Error e
   | Ok cache ->
+    (* the server observes itself: if the embedding process has not
+       installed a sink, record into our own ring so the [stats] op (and
+       its "obs" block) always has live span/metric data to report *)
+    let owned_recorder =
+      if Obs.Sink.enabled () then None else Some (Obs.Recorder.start ())
+    in
     Option.iter Microarch.Pulse_cache.install cache;
     let st =
       {
@@ -313,7 +325,9 @@ let run ?(config = default_config) ic oc =
         if String.trim line = "" then read_loop ()
         else begin
           let p = Protocol.parse_line line in
-          Jobq.push st.queue p;
+          Jobq.push st.queue (p, Obs.Span.now_ns ());
+          Obs.Metric.set_gauge ~stage "queue_depth"
+            (float_of_int (Jobq.length st.queue));
           match p.body with
           | Ok { op = Protocol.Shutdown; _ } -> () (* stop reading; drain *)
           | _ -> read_loop ()
@@ -325,6 +339,7 @@ let run ?(config = default_config) ic oc =
     flush oc;
     if Option.is_some cache then Microarch.Pulse_cache.uninstall ();
     Option.iter Cache.close cache;
+    Option.iter Obs.Recorder.stop owned_recorder;
     Ok
       {
         served = Atomic.get st.served;

@@ -184,7 +184,7 @@ let test_pulses_for_compiled_circuit () =
   let c = random_ccx_program (Rng.create 66L) 4 8 in
   let out = Compiler.Pipeline.compile ~mode:Compiler.Pipeline.Eff (Rng.create 3L) (Compiler.Pipeline.Gates c) in
   match Reqisc.pulses Reqisc.xy_coupling out.Compiler.Pipeline.circuit with
-  | Error e -> Alcotest.fail e
+  | Error e -> Alcotest.fail (Robust.Err.to_string e)
   | Ok instrs ->
     Alcotest.(check int) "one pulse per 2q gate"
       (Circuit.count_2q out.Compiler.Pipeline.circuit)

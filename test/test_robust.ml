@@ -336,7 +336,7 @@ let test_pipeline_under_faults () =
         (* a typed failure is an acceptable structured outcome *)
         Alcotest.(check bool) "typed" true (String.length (Robust.Err.to_string e) > 0)
       | Ok out ->
-        let outcomes = Reqisc.pulses_r xy out.Compiler.Pipeline.circuit in
+        let outcomes = Reqisc.pulse_outcomes xy out.Compiler.Pipeline.circuit in
         List.iter
           (fun (o : Reqisc.gate_outcome) ->
             Alcotest.(check bool) "structured per-gate outcome" true
@@ -353,7 +353,7 @@ let test_pulses_r_never_aborts () =
       (Mat.init 4 4 (fun _ _ -> Cx.of_float Float.nan))
   in
   let c = Circuit.create 2 [ good; bad; Gate.cz 0 1 ] in
-  let outcomes = Reqisc.pulses_r xy c in
+  let outcomes = Reqisc.pulse_outcomes xy c in
   Alcotest.(check int) "three verdicts" 3 (List.length outcomes);
   let kinds = List.map (fun (o : Reqisc.gate_outcome) -> Robust.Outcome.kind o.outcome) outcomes in
   Alcotest.(check bool) "good solved" true (List.nth kinds 0 = "ok");

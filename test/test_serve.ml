@@ -113,14 +113,14 @@ let parse_body line =
   p.Serve.Protocol.body
 
 let test_protocol_parse_ok () =
-  (match parse_body "{\"op\":\"compile\",\"bench\":\"alu_2\",\"mode\":\"full\",\"pulses\":true}" with
+  (match parse_body "{\"v\":1,\"op\":\"compile\",\"bench\":\"alu_2\",\"mode\":\"full\",\"pulses\":true}" with
   | Ok { Serve.Protocol.op = Serve.Protocol.Compile { bench; mode; pulses }; budget } ->
     Alcotest.(check string) "bench" "alu_2" bench;
     Alcotest.(check string) "mode" "full" mode;
     Alcotest.(check bool) "pulses" true pulses;
     Alcotest.(check bool) "no budget" true (budget = None)
   | _ -> Alcotest.fail "compile body");
-  (match parse_body "{\"op\":\"pulses\",\"coords\":[0.5,0.3,0.1],\"budget\":{\"max_iterations\":5}}" with
+  (match parse_body "{\"v\":1,\"op\":\"pulses\",\"coords\":[0.5,0.3,0.1],\"budget\":{\"max_iterations\":5}}" with
   | Ok
       {
         Serve.Protocol.op = Serve.Protocol.Pulses { target = Serve.Protocol.Coords (x, y, z); _ };
@@ -132,7 +132,7 @@ let test_protocol_parse_ok () =
     Alcotest.(check (option int)) "budget iterations" (Some 5)
       b.Serve.Protocol.max_iterations
   | _ -> Alcotest.fail "pulses coords body");
-  match parse_body "{\"op\":\"batch\",\"requests\":[{\"op\":\"stats\"},{\"op\":\"pulses\",\"gate\":\"cz\"}]}" with
+  match parse_body "{\"v\":1,\"op\":\"batch\",\"requests\":[{\"op\":\"stats\"},{\"op\":\"pulses\",\"gate\":\"cz\"}]}" with
   | Ok { Serve.Protocol.op = Serve.Protocol.Batch items; _ } ->
     Alcotest.(check int) "batch size" 2 (List.length items)
   | _ -> Alcotest.fail "batch body"
@@ -147,18 +147,46 @@ let test_protocol_parse_errors () =
     | Ok _ -> Alcotest.failf "expected error for %s" line
   in
   expect_err "not json at all" "";
-  expect_err "{\"op\":\"nope\"}" "nope";
-  expect_err "{\"id\":1}" "op";
-  expect_err "{\"op\":\"compile\"}" "bench";
-  expect_err "{\"op\":\"compile\",\"bench\":\"alu_2\",\"mode\":\"hyper\"}" "mode";
-  expect_err "{\"op\":\"pulses\"}" "gate";
-  expect_err "{\"op\":\"pulses\",\"gate\":\"cz\",\"coords\":[0.1,0.0,0.0]}" "";
-  expect_err "{\"op\":\"pulses\",\"gate\":\"cz\",\"coupling\":\"zz\"}" "coupling";
-  expect_err "{\"op\":\"batch\",\"requests\":[{\"op\":\"batch\",\"requests\":[]}]}" "batch";
+  expect_err "{\"v\":1,\"op\":\"nope\"}" "nope";
+  expect_err "{\"v\":1,\"id\":1}" "op";
+  expect_err "{\"v\":1,\"op\":\"compile\"}" "bench";
+  expect_err "{\"v\":1,\"op\":\"compile\",\"bench\":\"alu_2\",\"mode\":\"hyper\"}" "mode";
+  expect_err "{\"v\":1,\"op\":\"pulses\"}" "gate";
+  expect_err "{\"v\":1,\"op\":\"pulses\",\"gate\":\"cz\",\"coords\":[0.1,0.0,0.0]}" "";
+  expect_err "{\"v\":1,\"op\":\"pulses\",\"gate\":\"cz\",\"coupling\":\"zz\"}" "coupling";
+  expect_err "{\"v\":1,\"op\":\"batch\",\"requests\":[{\"op\":\"batch\",\"requests\":[]}]}" "batch";
   (* a malformed line still recovers the id when one is readable *)
-  let p = Serve.Protocol.parse_line "{\"id\":42,\"op\":\"nope\"}" in
+  let p = Serve.Protocol.parse_line "{\"v\":1,\"id\":42,\"op\":\"nope\"}" in
   Alcotest.(check (option int)) "recovered id" (Some 42)
     (Serve.Json.int p.Serve.Protocol.id)
+
+let test_protocol_version () =
+  (* no "v" at all *)
+  (match parse_body "{\"op\":\"stats\"}" with
+  | Error msg ->
+    Alcotest.(check bool) "missing v mentions version" true (contains msg "version")
+  | Ok _ -> Alcotest.fail "missing v accepted");
+  (* an alien version *)
+  (match parse_body "{\"v\":2,\"op\":\"stats\"}" with
+  | Error msg ->
+    Alcotest.(check bool) "v=2 unsupported" true (contains msg "unsupported")
+  | Ok _ -> Alcotest.fail "v=2 accepted");
+  (* a non-integer version *)
+  (match parse_body "{\"v\":\"1\",\"op\":\"stats\"}" with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "string v accepted");
+  (* the current version parses *)
+  match parse_body (Printf.sprintf "{\"v\":%d,\"op\":\"stats\"}" Serve.Protocol.version) with
+  | Ok { Serve.Protocol.op = Serve.Protocol.Stats; _ } -> ()
+  | _ -> Alcotest.fail "current version rejected"
+
+let test_response_carries_version () =
+  let item = Serve.Protocol.ok_item ~op:"stats" Serve.Json.Null in
+  Alcotest.(check (option int)) "ok response v" (Some Serve.Protocol.version)
+    (Serve.Json.mem_int "v" item);
+  let err = Serve.Protocol.error_item ~kind:"bad_request" ~stage:"t" "m" in
+  Alcotest.(check (option int)) "error response v" (Some Serve.Protocol.version)
+    (Serve.Json.mem_int "v" err)
 
 (* --------------------------------------------------------------- server *)
 
@@ -214,9 +242,9 @@ let test_server_happy_path () =
   let summary, lines =
     run_server
       [
-        "{\"id\":1,\"op\":\"stats\"}";
-        "{\"id\":2,\"op\":\"pulses\",\"gate\":\"cnot\"}";
-        "{\"id\":3,\"op\":\"batch\",\"requests\":[{\"op\":\"pulses\",\"gate\":\"cz\"},{\"op\":\"stats\"}]}";
+        "{\"v\":1,\"id\":1,\"op\":\"stats\"}";
+        "{\"v\":1,\"id\":2,\"op\":\"pulses\",\"gate\":\"cnot\"}";
+        "{\"v\":1,\"id\":3,\"op\":\"batch\",\"requests\":[{\"op\":\"pulses\",\"gate\":\"cz\"},{\"op\":\"stats\"}]}";
       ]
   in
   Alcotest.(check int) "three responses" 3 (List.length lines);
@@ -226,7 +254,59 @@ let test_server_happy_path () =
     (fun l -> Alcotest.(check bool) "ok response" true (contains l "\"ok\":true"))
     lines;
   Alcotest.(check bool) "pulse payload present" true
-    (contains (find_by_id lines 2) "\"tau\"")
+    (contains (find_by_id lines 2) "\"tau\"");
+  (* every response echoes the protocol version *)
+  List.iter
+    (fun l -> Alcotest.(check bool) "response carries v" true (contains l "\"v\":1"))
+    lines
+
+let test_server_version_negotiation () =
+  disarm ();
+  let summary, lines =
+    run_server
+      [
+        "{\"id\":1,\"op\":\"stats\"}";
+        "{\"v\":99,\"id\":2,\"op\":\"stats\"}";
+        "{\"v\":1,\"id\":3,\"op\":\"stats\"}";
+      ]
+  in
+  Alcotest.(check int) "all answered" 3 (List.length lines);
+  Alcotest.(check int) "two rejections" 2 summary.Serve.Server.errors;
+  Alcotest.(check bool) "missing v is bad_request" true
+    (contains (find_by_id lines 1) "bad_request");
+  Alcotest.(check bool) "alien v is bad_request" true
+    (contains (find_by_id lines 2) "bad_request");
+  Alcotest.(check bool) "alien v names the number" true
+    (contains (find_by_id lines 2) "99");
+  Alcotest.(check bool) "current v accepted" true
+    (contains (find_by_id lines 3) "\"ok\":true")
+
+let test_server_stats_obs_block () =
+  disarm ();
+  let _, lines =
+    run_server
+      [
+        "{\"v\":1,\"id\":1,\"op\":\"pulses\",\"gate\":\"cnot\"}";
+        "{\"v\":1,\"id\":2,\"op\":\"stats\"}";
+      ]
+  in
+  let l = find_by_id lines 2 in
+  (* the self-installed recorder means stats always carries live span
+     aggregates: the pulses request just served must appear *)
+  Alcotest.(check bool) "stats has obs block" true (contains l "\"obs\"");
+  Alcotest.(check bool) "obs has span map" true (contains l "\"spans\"");
+  Alcotest.(check bool) "exec span for pulses present" true
+    (contains l "serve.exec.pulses");
+  match Serve.Json.parse l with
+  | Error e -> Alcotest.failf "stats response not JSON: %s" e
+  | Ok j -> (
+    match Serve.Json.member "result" j with
+    | Some r ->
+      Alcotest.(check bool) "obs parses as object" true
+        (match Serve.Json.member "obs" r with
+        | Some (Serve.Json.Obj _) -> true
+        | _ -> false)
+    | None -> Alcotest.fail "stats result missing")
 
 let test_server_malformed_request () =
   disarm ();
@@ -234,9 +314,9 @@ let test_server_malformed_request () =
     run_server
       [
         "this is not json";
-        "{\"id\":7,\"op\":\"nope\"}";
-        "{\"id\":8,\"op\":\"pulses\",\"gate\":\"bogus\"}";
-        "{\"id\":9,\"op\":\"stats\"}";
+        "{\"v\":1,\"id\":7,\"op\":\"nope\"}";
+        "{\"v\":1,\"id\":8,\"op\":\"pulses\",\"gate\":\"bogus\"}";
+        "{\"v\":1,\"id\":9,\"op\":\"stats\"}";
       ]
   in
   Alcotest.(check int) "every line answered" 4 (List.length lines);
@@ -257,10 +337,10 @@ let test_server_over_budget () =
   let x, y, z = ea_xyz in
   let req =
     Printf.sprintf
-      "{\"id\":1,\"op\":\"pulses\",\"coords\":[%.17g,%.17g,%.17g],\"budget\":{\"max_seconds\":0}}"
+      "{\"v\":1,\"id\":1,\"op\":\"pulses\",\"coords\":[%.17g,%.17g,%.17g],\"budget\":{\"max_seconds\":0}}"
       x y z
   in
-  let summary, lines = run_server [ req; "{\"id\":2,\"op\":\"pulses\",\"gate\":\"cnot\"}" ] in
+  let summary, lines = run_server [ req; "{\"v\":1,\"id\":2,\"op\":\"pulses\",\"gate\":\"cnot\"}" ] in
   Alcotest.(check int) "both answered" 2 (List.length lines);
   let l = find_by_id lines 1 in
   Alcotest.(check bool) "typed budget error" true (contains l "budget_exceeded");
@@ -272,10 +352,10 @@ let test_server_over_budget () =
 let test_server_solver_fault () =
   let x, y, z = ea_xyz in
   let coords_req id =
-    Printf.sprintf "{\"id\":%d,\"op\":\"pulses\",\"coords\":[%.17g,%.17g,%.17g]}" id x y z
+    Printf.sprintf "{\"v\":1,\"id\":%d,\"op\":\"pulses\",\"coords\":[%.17g,%.17g,%.17g]}" id x y z
   in
   with_faults "ea_noconv:4" (fun () ->
-      let summary, lines = run_server [ coords_req 1; "{\"id\":2,\"op\":\"stats\"}" ] in
+      let summary, lines = run_server [ coords_req 1; "{\"v\":1,\"id\":2,\"op\":\"stats\"}" ] in
       (* the injected non-convergence surfaces as a JSON error — the worker
          survives and still answers the next request *)
       let l = find_by_id lines 1 in
@@ -290,10 +370,10 @@ let test_server_shutdown_drains () =
   let summary, lines =
     run_server ~workers:2
       [
-        "{\"id\":1,\"op\":\"pulses\",\"gate\":\"cnot\"}";
-        "{\"id\":2,\"op\":\"pulses\",\"gate\":\"iswap\"}";
-        "{\"id\":3,\"op\":\"shutdown\"}";
-        "{\"id\":99,\"op\":\"stats\"}";
+        "{\"v\":1,\"id\":1,\"op\":\"pulses\",\"gate\":\"cnot\"}";
+        "{\"v\":1,\"id\":2,\"op\":\"pulses\",\"gate\":\"iswap\"}";
+        "{\"v\":1,\"id\":3,\"op\":\"shutdown\"}";
+        "{\"v\":1,\"id\":99,\"op\":\"stats\"}";
       ]
   in
   (* everything queued before the shutdown is drained; the line after it
@@ -319,10 +399,14 @@ let () =
         [
           Alcotest.test_case "parse ok" `Quick test_protocol_parse_ok;
           Alcotest.test_case "parse errors" `Quick test_protocol_parse_errors;
+          Alcotest.test_case "version negotiation" `Quick test_protocol_version;
+          Alcotest.test_case "response version" `Quick test_response_carries_version;
         ] );
       ( "server",
         [
           Alcotest.test_case "happy path" `Quick test_server_happy_path;
+          Alcotest.test_case "version negotiation" `Quick test_server_version_negotiation;
+          Alcotest.test_case "stats obs block" `Quick test_server_stats_obs_block;
           Alcotest.test_case "malformed request" `Quick test_server_malformed_request;
           Alcotest.test_case "over budget" `Quick test_server_over_budget;
           Alcotest.test_case "solver fault" `Quick test_server_solver_fault;
