@@ -3,7 +3,7 @@
 
 RESULTS ?= results
 
-.PHONY: all build test check bench-smoke bench-obs demo bench microbench tables figures csv clean
+.PHONY: all build test check bench-smoke bench-obs bench-net demo bench microbench tables figures csv clean
 
 all: build
 
@@ -27,6 +27,12 @@ bench-smoke: build
 # latencies; writes BENCH_obs.json and BENCH_obs_trace.json
 bench-obs: build
 	dune exec bench/main.exe -- obs
+
+# socket transport load bench: 8 clients over a unix socket vs the
+# in-process server on the same warm-cache stream; writes
+# BENCH_serve_net.json
+bench-net: build
+	dune exec bench/main.exe -- serve-net
 
 # full microbenchmark run; writes BENCH_numerics.json at the repo root
 microbench: build

@@ -6,7 +6,8 @@
 
    Targets: table1 table2 table3 fig4 fig5 fig6 fig12 fig13 fig14 fig15
    fig16 templates variational calibration decoherence calibrate leakage
-   serve obs all (default: all).
+   serve serve-net obs all (default: all). For serve-net, --limit is the
+   per-client request count.
 
    Unknown targets and malformed flag values are hard errors (exit 2), so a
    typo can't silently run the wrong benchmark set.
@@ -17,7 +18,7 @@
 let known_targets =
   [ "table1"; "table2"; "table3"; "fig4"; "fig5"; "fig6"; "fig12"; "fig13";
     "fig14"; "fig15"; "fig16"; "templates"; "variational"; "calibration";
-    "decoherence"; "calibrate"; "leakage"; "serve"; "obs"; "all" ]
+    "decoherence"; "calibrate"; "leakage"; "serve"; "serve-net"; "obs"; "all" ]
 
 let value_flags = [ "--haar-n"; "--trajectories"; "--limit"; "--csv-dir" ]
 
@@ -113,6 +114,7 @@ let () =
   if want "calibrate" then Extras.calibrate ();
   if want "leakage" then Extras.leakage_study ();
   if want "serve" then Serve_bench.serve ?limit ~big ();
+  if want "serve-net" then Serve_net_bench.serve_net ?requests:limit ();
   if want "obs" then Obs_bench.obs ?limit ~big ();
   Util.write_robust_json "BENCH_robust.json";
   Printf.printf "\ntotal bench time: %.1fs\n" (Unix.gettimeofday () -. total_t0)

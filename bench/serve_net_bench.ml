@@ -1,0 +1,195 @@
+(* `serve-net` bench target: multi-client load over the socket transport
+   vs the same request stream through the in-process stdio server. Both
+   sides share one warm pulse cache (populated by an untimed pass), so
+   the comparison isolates transport overhead: framing, socket hops, the
+   per-connection reader threads, and the response demux. Writes
+   BENCH_serve_net.json at the repo root with throughput for both paths
+   and client-observed p50/p99 completion latency under pipelined load.
+   Acceptance: socket throughput within 2x of the in-process path. *)
+
+open Util
+
+module J = Serve.Json
+module T = Serve.Transport
+module C = Serve.Client
+
+let gates = [| "cnot"; "cz"; "iswap"; "swap" |]
+
+(* client [c]'s [j]th request line; every other request is a warm-cache
+   pulse synthesis, the rest are stats (pure engine overhead) *)
+let request_body ~client ~j =
+  let id = J.Str (Printf.sprintf "c%d-%d" client j) in
+  let op =
+    if j mod 2 = 0 then
+      [ ("op", J.Str "pulses"); ("gate", J.Str gates.(j / 2 mod Array.length gates)) ]
+    else [ ("op", J.Str "stats") ]
+  in
+  J.Obj (("id", id) :: ("v", J.Num (float_of_int Serve.Protocol.version)) :: op)
+
+let stream ~clients ~requests =
+  List.concat_map
+    (fun c -> List.init requests (fun j -> J.to_string (request_body ~client:c ~j)))
+    (List.init clients (fun c -> c))
+
+let server_config cache_path =
+  { Serve.Server.default_config with Serve.Server.workers = 2;
+    Serve.Server.cache_path = Some cache_path }
+
+(* ------------------------------------------------------ in-process path *)
+
+let run_stdio ~cache_path lines =
+  let req = Filename.temp_file "reqisc_net" ".in" in
+  let resp = Filename.temp_file "reqisc_net" ".out" in
+  let oc = open_out req in
+  List.iter (fun l -> output_string oc (l ^ "\n")) lines;
+  close_out oc;
+  let ic = open_in req in
+  let out = open_out resp in
+  let summary = Serve.Server.run ~config:(server_config cache_path) ic out in
+  close_in ic;
+  close_out out;
+  Sys.remove req;
+  Sys.remove resp;
+  match summary with
+  | Error e -> failwith ("serve-net bench: stdio server failed: " ^ e)
+  | Ok s -> s
+
+(* ---------------------------------------------------------- socket path *)
+
+(* one load-generator thread: pipeline every request, then drain the
+   responses, recording per-request completion latency (send -> response
+   arrival; under pipelining this includes queue wait, which is the
+   latency a loaded client actually sees) *)
+let client_thread addr ~client ~requests lock latencies errors =
+  match C.connect ~retries:3 addr with
+  | Error e -> failwith ("serve-net bench: " ^ C.error_to_string e)
+  | Ok c ->
+    let sent = Hashtbl.create requests in
+    for j = 0 to requests - 1 do
+      let body = request_body ~client ~j in
+      match C.send c body with
+      | Ok id -> Hashtbl.replace sent (J.to_string id) (Unix.gettimeofday ())
+      | Error e -> failwith ("serve-net bench: send: " ^ C.error_to_string e)
+    done;
+    for _ = 1 to requests do
+      match C.recv c with
+      | Error e -> failwith ("serve-net bench: recv: " ^ C.error_to_string e)
+      | Ok j ->
+        let now = Unix.gettimeofday () in
+        let key = J.to_string (Option.value ~default:J.Null (J.member "id" j)) in
+        Mutex.protect lock (fun () ->
+            if J.mem_bool "ok" j <> Some true then incr errors;
+            match Hashtbl.find_opt sent key with
+            | Some t0 -> latencies := (now -. t0) :: !latencies
+            | None -> incr errors)
+    done;
+    C.close c
+
+let run_socket ~cache_path ~clients ~requests =
+  let path = Filename.temp_file "reqisc_net" ".sock" in
+  Sys.remove path;
+  let config =
+    { T.server = server_config cache_path;
+      T.max_connections = clients + 4;
+      T.idle_timeout = 60.0;
+      T.max_line_bytes = Serve.Protocol.max_line_bytes }
+  in
+  let ready = Atomic.make false in
+  let actual = ref (T.Unix_path path) in
+  let result = ref (Error "server did not return") in
+  let server =
+    Thread.create
+      (fun () ->
+        result :=
+          T.serve ~config
+            ~ready:(fun a ->
+              actual := a;
+              Atomic.set ready true)
+            (T.Unix_path path))
+      ()
+  in
+  while not (Atomic.get ready) do
+    Thread.delay 0.002
+  done;
+  let lock = Mutex.create () in
+  let latencies = ref [] and errors = ref 0 in
+  let (), elapsed =
+    timeit (fun () ->
+        let threads =
+          List.init clients (fun client ->
+              Thread.create
+                (fun () -> client_thread !actual ~client ~requests lock latencies errors)
+                ())
+        in
+        List.iter Thread.join threads)
+  in
+  (match C.rpc !actual (J.Obj [ ("op", J.Str "shutdown") ]) with
+  | Ok _ -> ()
+  | Error e -> failwith ("serve-net bench: shutdown: " ^ C.error_to_string e));
+  Thread.join server;
+  match !result with
+  | Error e -> failwith ("serve-net bench: socket server failed: " ^ e)
+  | Ok summary -> (summary, elapsed, List.sort compare !latencies, !errors)
+
+let percentile sorted p =
+  match sorted with
+  | [] -> 0.0
+  | _ ->
+    let arr = Array.of_list sorted in
+    let n = Array.length arr in
+    arr.(min (n - 1) (int_of_float (p *. float_of_int (n - 1) +. 0.5)))
+
+(* ----------------------------------------------------------------- main *)
+
+let write_json path ~clients ~requests ~total ~stdio_t ~stdio_rps ~sock_t ~sock_rps
+    ~ratio ~p50 ~p99 ~lat_max ~client_errors ~(summary : T.summary) =
+  let buf = Buffer.create 1024 in
+  let bpf fmt = Printf.ksprintf (Buffer.add_string buf) fmt in
+  bpf "{\n";
+  bpf "  \"workload\": {\"clients\": %d, \"requests_per_client\": %d, \"total\": %d, \"transport\": \"unix\"},\n"
+    clients requests total;
+  bpf "  \"in_process\": {\"seconds\": %.4f, \"throughput_rps\": %.1f},\n" stdio_t stdio_rps;
+  bpf "  \"socket\": {\"seconds\": %.4f, \"throughput_rps\": %.1f, \"served\": %d, \"server_errors\": %d, \"refused\": %d, \"client_errors\": %d},\n"
+    sock_t sock_rps summary.T.served summary.T.errors summary.T.refused client_errors;
+  bpf "  \"latency_ms\": {\"p50\": %.3f, \"p99\": %.3f, \"max\": %.3f},\n"
+    (1e3 *. p50) (1e3 *. p99) (1e3 *. lat_max);
+  bpf "  \"throughput_ratio\": %.3f,\n" ratio;
+  bpf "  \"within_2x\": %b\n" (ratio >= 0.5);
+  bpf "}\n";
+  let oc = open_out path in
+  output_string oc (Buffer.contents buf);
+  close_out oc;
+  Printf.printf "  [serve-net] wrote %s\n%!" path
+
+let serve_net ?(clients = 8) ?requests () =
+  let requests = match requests with Some r -> r | None -> 64 in
+  hr "serve-net: socket transport load vs in-process server";
+  let cache_path = Filename.temp_file "reqisc_bench" ".rqcache" in
+  let total = clients * requests in
+  let lines = stream ~clients ~requests in
+  (* untimed warm-up: populate the shared pulse cache so both timed
+     passes replay hits and the only variable is the transport *)
+  ignore (run_stdio ~cache_path lines);
+  let stdio_summary, stdio_t = timeit (fun () -> run_stdio ~cache_path lines) in
+  if stdio_summary.Serve.Server.errors > 0 then
+    failwith "serve-net bench: in-process pass produced error responses";
+  let summary, sock_t, latencies, client_errors = run_socket ~cache_path ~clients ~requests in
+  Sys.remove cache_path;
+  let stdio_rps = float_of_int total /. stdio_t in
+  let sock_rps = float_of_int total /. sock_t in
+  let ratio = sock_rps /. stdio_rps in
+  let p50 = percentile latencies 0.50 in
+  let p99 = percentile latencies 0.99 in
+  let lat_max = match List.rev latencies with [] -> 0.0 | m :: _ -> m in
+  Printf.printf "  workload: %d clients x %d requests = %d (warm cache, 2 workers)\n"
+    clients requests total;
+  Printf.printf "  in-process: %.3fs  (%.0f req/s)\n" stdio_t stdio_rps;
+  Printf.printf "  socket:     %.3fs  (%.0f req/s)  p50 %.2fms  p99 %.2fms\n" sock_t
+    sock_rps (1e3 *. p50) (1e3 *. p99);
+  Printf.printf "  socket/in-process throughput ratio %.2f (target >= 0.5): %s\n" ratio
+    (if ratio >= 0.5 then "PASS" else "FAIL");
+  if summary.T.errors > 0 || client_errors > 0 then
+    Printf.printf "  WARNING: %d server error responses, %d client anomalies\n"
+      summary.T.errors client_errors;
+  write_json "BENCH_serve_net.json" ~clients ~requests ~total ~stdio_t ~stdio_rps
+    ~sock_t ~sock_rps ~ratio ~p50 ~p99 ~lat_max ~client_errors ~summary

@@ -5,13 +5,21 @@
      reqisc_cli compile BENCH [--mode eff|full|nc] [--route chain|grid] [--pulses]
      reqisc_cli pulse GATE [--coupling xy|xx] (GATE in cnot|cz|iswap|sqisw|b|swap)
      reqisc_cli qasm FILE [--pulses]
-     reqisc_cli serve [--cache FILE] [--workers N] [--capacity N]
+     reqisc_cli serve [--listen tcp:HOST:PORT|unix:PATH] [--cache FILE]
+                      [--workers N] [--capacity N] [--max-conns N]
+                      [--idle-timeout S] [--max-line BYTES]
+     reqisc_cli client --connect tcp:HOST:PORT|unix:PATH [--retries N]
+                       [--backoff S] [--timeout S] [REQUEST...]
      reqisc_cli cache stats --cache FILE
      reqisc_cli trace [--out FILE] [--prom FILE] SUBCOMMAND [ARGS...]
 
    `serve` speaks the line-delimited JSON protocol on stdin/stdout (one
    request per line, one response per line; see DESIGN.md "Service &
    cache"); diagnostics go to stderr only, so stdout stays pure protocol.
+   With --listen it serves the same protocol over TCP or a Unix-domain
+   socket instead (DESIGN.md "Network transport"); `client` is the
+   matching sender — request lines from argv or stdin, responses to
+   stdout, deterministic retry/backoff against an overloaded server.
 
    `trace` runs any other subcommand with the observability sink
    installed and writes a Chrome trace-event JSON (load in Perfetto /
@@ -38,8 +46,11 @@ let subcommands =
       "synthesize one pulse (GATE in cnot|cz|iswap|sqisw|b|swap)" );
     ("qasm", "qasm FILE [--pulses]", "parse a REQASM file and report metrics");
     ( "serve",
-      "serve [--cache FILE] [--workers N] [--capacity N]",
-      "speak the line-delimited JSON protocol on stdin/stdout" );
+      "serve [--listen tcp:HOST:PORT|unix:PATH] [--cache FILE] [--workers N] [--capacity N] [--max-conns N] [--idle-timeout S] [--max-line BYTES]",
+      "serve the JSON protocol on stdin/stdout, or on a socket with --listen" );
+    ( "client",
+      "client --connect tcp:HOST:PORT|unix:PATH [--retries N] [--backoff S] [--timeout S] [REQUEST...]",
+      "send request lines (args, or stdin when none) to a serve --listen instance" );
     ("cache", "cache stats --cache FILE", "print cache statistics as JSON");
     ( "trace",
       "trace [--out FILE] [--prom FILE] SUBCOMMAND [ARGS...]",
@@ -283,6 +294,14 @@ let int_flag args flag default =
     | Some n when n > 0 -> n
     | _ -> usage_error "%s expects a positive integer, got %S" flag v)
 
+let float_flag args flag default =
+  match flag_value args flag with
+  | None -> default
+  | Some v -> (
+    match float_of_string_opt v with
+    | Some f when f >= 0.0 -> f
+    | _ -> usage_error "%s expects a non-negative number, got %S" flag v)
+
 let cmd_serve args =
   let config =
     {
@@ -292,15 +311,111 @@ let cmd_serve args =
       cache_capacity = int_flag args "--capacity" 4096;
     }
   in
-  Printf.eprintf "reqisc serve: %s workers, cache %s\n%!"
-    (if config.Serve.Server.workers = 0 then "auto"
-     else string_of_int config.Serve.Server.workers)
-    (Option.value ~default:"(none)" config.Serve.Server.cache_path);
-  match Serve.Server.run ~config stdin stdout with
-  | Ok s ->
-    Printf.eprintf "reqisc serve: drained — %d responses (%d errors) in %.2fs\n%!"
-      s.Serve.Server.served s.Serve.Server.errors s.Serve.Server.elapsed
-  | Error e -> usage_error "cannot open cache: %s" e
+  let workers_str =
+    if config.Serve.Server.workers = 0 then "auto"
+    else string_of_int config.Serve.Server.workers
+  in
+  let cache_str = Option.value ~default:"(none)" config.Serve.Server.cache_path in
+  match flag_value args "--listen" with
+  | None -> (
+    Printf.eprintf "reqisc serve: stdio, %s workers, cache %s\n%!" workers_str cache_str;
+    match Serve.Server.run ~config stdin stdout with
+    | Ok s ->
+      Printf.eprintf "reqisc serve: drained — %d responses (%d errors) in %.2fs\n%!"
+        s.Serve.Server.served s.Serve.Server.errors s.Serve.Server.elapsed
+    | Error e -> usage_error "cannot open cache: %s" e)
+  | Some spec -> (
+    let addr =
+      match Serve.Transport.parse_addr spec with
+      | Ok a -> a
+      | Error e -> usage_error "--listen: %s" e
+    in
+    let tconfig =
+      {
+        Serve.Transport.server = config;
+        max_connections = int_flag args "--max-conns" 64;
+        idle_timeout = float_flag args "--idle-timeout" 300.0;
+        max_line_bytes = int_flag args "--max-line" Serve.Protocol.max_line_bytes;
+      }
+    in
+    let ready a =
+      Printf.eprintf "reqisc serve: listening on %s, %s workers, cache %s\n%!"
+        (Serve.Transport.addr_to_string a)
+        workers_str cache_str
+    in
+    match Serve.Transport.serve ~config:tconfig ~ready addr with
+    | Ok s ->
+      Printf.eprintf
+        "reqisc serve: drained — %d responses (%d errors) over %d connections (%d refused) in %.2fs\n%!"
+        s.Serve.Transport.served s.Serve.Transport.errors s.Serve.Transport.connections
+        s.Serve.Transport.refused s.Serve.Transport.elapsed
+    | Error e -> usage_error "serve --listen: %s" e)
+
+(* one request per line (argv, or stdin when no REQUEST args): responses
+   print to stdout in request order; transport failures exit 4 with a
+   typed error on stderr *)
+let cmd_client args =
+  let addr =
+    match flag_value args "--connect" with
+    | None -> usage_error "client needs --connect tcp:HOST:PORT|unix:PATH"
+    | Some spec -> (
+      match Serve.Transport.parse_addr spec with
+      | Ok a -> a
+      | Error e -> usage_error "--connect: %s" e)
+  in
+  let retries = int_flag args "--retries" 3 in
+  let backoff = float_flag args "--backoff" 0.05 in
+  let recv_timeout =
+    match float_flag args "--timeout" 0.0 with 0.0 -> None | s -> Some s
+  in
+  let client_error e =
+    Printf.eprintf "error[%s]: %s\n" (Serve.Client.error_kind e)
+      (Serve.Client.error_to_string e);
+    exit 4
+  in
+  (* positional args are request lines; skip flag/value pairs *)
+  let value_flags = [ "--connect"; "--retries"; "--backoff"; "--timeout" ] in
+  let requests =
+    let rec go acc = function
+      | f :: _ :: rest when List.mem f value_flags -> go acc rest
+      | a :: rest -> go (a :: acc) rest
+      | [] -> List.rev acc
+    in
+    go [] args
+  in
+  let t =
+    match Serve.Client.connect ~retries ~backoff ?recv_timeout addr with
+    | Ok t -> t
+    | Error e -> client_error e
+  in
+  let run_line line =
+    if String.trim line <> "" then begin
+      let body =
+        match Serve.Json.parse line with
+        | Ok (Serve.Json.Obj _ as body) -> body
+        | Ok _ -> usage_error "request must be a JSON object: %s" line
+        | Error e -> usage_error "request is not JSON (%s): %s" e line
+      in
+      match Serve.Client.request t body with
+      | Ok json -> print_endline (Serve.Json.to_string json)
+      | Error (Serve.Client.Server_error _ as e) ->
+        (* the server answered; surface the typed error but keep going *)
+        Printf.eprintf "error[%s]: %s\n" (Serve.Client.error_kind e)
+          (Serve.Client.error_to_string e)
+      | Error e ->
+        Serve.Client.close t;
+        client_error e
+    end
+  in
+  (match requests with
+  | [] -> (
+    try
+      while true do
+        run_line (input_line stdin)
+      done
+    with End_of_file -> ())
+  | lines -> List.iter run_line lines);
+  Serve.Client.close t
 
 let cmd_cache_stats args =
   match flag_value args "--cache" with
@@ -325,6 +440,7 @@ let rec dispatch = function
   | "qasm" :: path :: rest -> cmd_qasm path rest
   | [ "qasm" ] -> usage_error "qasm needs a file"
   | "serve" :: rest -> cmd_serve rest
+  | "client" :: rest -> cmd_client rest
   | "cache" :: "stats" :: rest -> cmd_cache_stats rest
   | "cache" :: _ -> usage_error "cache supports: stats --cache FILE"
   | "trace" :: rest -> cmd_trace rest

@@ -1,0 +1,239 @@
+type error =
+  | Connect_failed of { addr : string; attempts : int; detail : string }
+  | Overloaded of string
+  | Timed_out of string
+  | Disconnected
+  | Io_error of string
+  | Bad_response of string
+  | Server_error of { kind : string; stage : string; message : string; id : Json.t }
+
+let error_kind = function
+  | Connect_failed _ -> "connect_failed"
+  | Overloaded _ -> "overloaded"
+  | Timed_out _ -> "timeout"
+  | Disconnected -> "disconnected"
+  | Io_error _ -> "io_error"
+  | Bad_response _ -> "bad_response"
+  | Server_error { kind; _ } -> kind
+
+let error_to_string = function
+  | Connect_failed { addr; attempts; detail } ->
+    Printf.sprintf "connect to %s failed after %d attempt%s: %s" addr attempts
+      (if attempts = 1 then "" else "s")
+      detail
+  | Overloaded msg -> "server overloaded: " ^ msg
+  | Timed_out msg -> "server idled the connection out: " ^ msg
+  | Disconnected -> "connection closed by peer"
+  | Io_error msg -> "i/o error: " ^ msg
+  | Bad_response line -> "unparseable response line: " ^ line
+  | Server_error { kind; stage; message; _ } ->
+    Printf.sprintf "server error[%s] %s: %s" kind stage message
+
+type t = {
+  fd : Unix.file_descr;
+  ic : in_channel;
+  oc : out_channel;
+  mutable next_id : int;
+  (* pipelined responses that arrived while awaiting a different id,
+     keyed by the emitted form of their id *)
+  mutable stash : (string * Json.t) list;
+  mutable alive : bool;
+}
+
+(* --------------------------------------------------------------- connect *)
+
+let ( let* ) = Result.bind
+
+let connect_once ?recv_timeout sa =
+  let domain = Unix.domain_of_sockaddr sa in
+  let fd = Unix.socket ~cloexec:true domain Unix.SOCK_STREAM 0 in
+  try
+    Unix.connect fd sa;
+    (try Unix.setsockopt fd Unix.TCP_NODELAY true with Unix.Unix_error _ -> ());
+    (match recv_timeout with
+    | Some s when s > 0.0 -> (
+      try Unix.setsockopt_float fd Unix.SO_RCVTIMEO s with Unix.Unix_error _ -> ())
+    | _ -> ());
+    Ok
+      {
+        fd;
+        ic = Unix.in_channel_of_descr fd;
+        oc = Unix.out_channel_of_descr fd;
+        next_id = 0;
+        stash = [];
+        alive = true;
+      }
+  with Unix.Unix_error (e, _, _) ->
+    (try Unix.close fd with Unix.Unix_error _ -> ());
+    Error (Unix.error_message e)
+
+let backoff_sleep ~backoff attempt =
+  (* deterministic ladder: backoff * 2^attempt, no jitter *)
+  let d = backoff *. Float.pow 2.0 (float_of_int attempt) in
+  if d > 0.0 then Unix.sleepf d
+
+let connect ?(retries = 0) ?(backoff = 0.05) ?recv_timeout addr =
+  match Transport.sockaddr addr with
+  | Error e ->
+    Error (Connect_failed { addr = Transport.addr_to_string addr; attempts = 0; detail = e })
+  | Ok sa ->
+    let rec go attempt last_err =
+      if attempt > retries then
+        Error
+          (Connect_failed
+             {
+               addr = Transport.addr_to_string addr;
+               attempts = attempt;
+               detail = last_err;
+             })
+      else
+        match connect_once ?recv_timeout sa with
+        | Ok t -> Ok t
+        | Error detail ->
+          if attempt < retries then backoff_sleep ~backoff attempt;
+          go (attempt + 1) detail
+    in
+    go 0 "unreachable"
+
+let close t =
+  if t.alive then begin
+    t.alive <- false;
+    (try flush t.oc with Sys_error _ -> ());
+    try Unix.close t.fd with Unix.Unix_error _ -> ()
+  end
+
+(* ------------------------------------------------------------------ send *)
+
+let send t body =
+  if not t.alive then Error Disconnected
+  else
+    match body with
+    | Json.Obj members ->
+      let id, members =
+        match List.assoc_opt "id" members with
+        | Some id -> (id, members)
+        | None ->
+          t.next_id <- t.next_id + 1;
+          let id = Json.Num (float_of_int t.next_id) in
+          (id, ("id", id) :: members)
+      in
+      let members =
+        if List.mem_assoc "v" members then members
+        else ("v", Json.Num (float_of_int Protocol.version)) :: members
+      in
+      let line = Json.to_string (Json.Obj members) in
+      (try
+         output_string t.oc line;
+         output_char t.oc '\n';
+         flush t.oc;
+         Ok id
+       with Sys_error msg ->
+         t.alive <- false;
+         Error (Io_error msg))
+    | _ -> Error (Io_error "request body must be a JSON object")
+
+let send_line t line =
+  if not t.alive then Error Disconnected
+  else
+    try
+      output_string t.oc line;
+      output_char t.oc '\n';
+      flush t.oc;
+      Ok ()
+    with Sys_error msg ->
+      t.alive <- false;
+      Error (Io_error msg)
+
+(* ------------------------------------------------------------------ recv *)
+
+(* connection-fatal error lines surface as their typed variant no matter
+   what the caller was waiting for *)
+let fatal_of_response json =
+  match Json.member "error" json with
+  | Some err -> (
+    let message = Option.value ~default:"" (Json.mem_str "message" err) in
+    match Json.mem_str "kind" err with
+    | Some "overloaded" -> Some (Overloaded message)
+    | Some "timeout" -> Some (Timed_out message)
+    | _ -> None)
+  | None -> None
+
+let recv t =
+  if not t.alive then Error Disconnected
+  else
+    match input_line t.ic with
+    | line -> (
+      match Json.parse line with
+      | Error _ -> Error (Bad_response line)
+      | Ok json -> (
+        match fatal_of_response json with
+        | Some fatal ->
+          close t;
+          Error fatal
+        | None -> Ok json))
+    | exception End_of_file ->
+      close t;
+      Error Disconnected
+    | exception Sys_error msg ->
+      close t;
+      Error (Io_error msg)
+    | exception Sys_blocked_io ->
+      close t;
+      Error (Io_error "receive timed out")
+
+let id_key id = Json.to_string id
+
+let recv_id t id =
+  let key = id_key id in
+  match List.assoc_opt key t.stash with
+  | Some json ->
+    t.stash <- List.remove_assoc key t.stash;
+    Ok json
+  | None ->
+    let rec await () =
+      let* json = recv t in
+      let got = Option.value ~default:Json.Null (Json.member "id" json) in
+      if id_key got = key then Ok json
+      else begin
+        t.stash <- (id_key got, json) :: t.stash;
+        await ()
+      end
+    in
+    await ()
+
+let request t body =
+  let* id = send t body in
+  let* json = recv_id t id in
+  match Json.mem_bool "ok" json with
+  | Some true -> Ok json
+  | _ -> (
+    match Json.member "error" json with
+    | Some err ->
+      Error
+        (Server_error
+           {
+             kind = Option.value ~default:"unknown" (Json.mem_str "kind" err);
+             stage = Option.value ~default:"" (Json.mem_str "stage" err);
+             message = Option.value ~default:"" (Json.mem_str "message" err);
+             id;
+           })
+    | None -> Error (Bad_response (Json.to_string json)))
+
+let rpc ?(retries = 3) ?(backoff = 0.05) addr body =
+  let rec go attempt =
+    let attempt_left = retries - attempt in
+    let result =
+      match connect addr with
+      | Error e -> Error e
+      | Ok t ->
+        let r = request t body in
+        close t;
+        r
+    in
+    match result with
+    | Error (Connect_failed _ | Overloaded _) when attempt_left > 0 ->
+      backoff_sleep ~backoff attempt;
+      go (attempt + 1)
+    | other -> other
+  in
+  go 0

@@ -1,0 +1,74 @@
+(** Blocking client for the socket transport.
+
+    One {!t} is one connection speaking the line-delimited JSON protocol.
+    The client supports pipelining without threads: {!send} any number of
+    requests, then {!recv_id} each response — the server answers in
+    completion order, so responses for other outstanding ids are stashed
+    and handed back when their turn comes.
+
+    Errors are typed in the {!Robust} discipline: every failure is a
+    variant carrying what a retry policy needs, never an exception.
+    Retry/backoff is deterministic (exponential, no jitter): attempt [k]
+    sleeps [backoff * 2^k], so test runs and incident reproductions see
+    identical timing ladders. *)
+
+type error =
+  | Connect_failed of { addr : string; attempts : int; detail : string }
+  | Overloaded of string
+      (** the server refused the connection at its [max_connections]
+          backpressure threshold; reconnect after a backoff *)
+  | Timed_out of string  (** the server idled this connection out *)
+  | Disconnected  (** the peer closed; no further requests on this [t] *)
+  | Io_error of string
+  | Bad_response of string  (** a response line that is not valid JSON *)
+  | Server_error of { kind : string; stage : string; message : string; id : Json.t }
+      (** an [ok = false] response: the typed error the server reported *)
+
+(** Stable snake_case tag ("connect_failed", "overloaded", ...). *)
+val error_kind : error -> string
+
+val error_to_string : error -> string
+
+type t
+
+(** [connect ?retries ?backoff ?recv_timeout addr] — [retries] extra
+    attempts after the first (default 0) with deterministic exponential
+    [backoff] seconds (default 0.05); [recv_timeout] bounds every receive
+    (seconds; unset = block forever). *)
+val connect :
+  ?retries:int ->
+  ?backoff:float ->
+  ?recv_timeout:float ->
+  Transport.addr ->
+  (t, error) result
+
+val close : t -> unit
+
+(** [send t body] assigns the next request id, injects it and the
+    protocol version into [body] (an object; an existing ["id"] member is
+    kept), writes one line, and returns the id to {!recv_id} on. *)
+val send : t -> Json.t -> (Json.t, error) result
+
+(** [send_line t line] writes one raw frame verbatim — no id/version
+    injection, no JSON validation. For differential testing and
+    protocol-level debugging; pair with {!recv}. *)
+val send_line : t -> string -> (unit, error) result
+
+(** [recv t] — next response line, whatever its id. *)
+val recv : t -> (Json.t, error) result
+
+(** [recv_id t id] — the response whose ["id"] is [id], stashing any
+    other pipelined responses that arrive first. Connection-fatal error
+    lines ([overloaded], [timeout]) surface as their typed variant no
+    matter which id is awaited. *)
+val recv_id : t -> Json.t -> (Json.t, error) result
+
+(** [request t body] = {!send} + {!recv_id}; an [ok = false] response
+    comes back as [Error (Server_error _)]. *)
+val request : t -> Json.t -> (Json.t, error) result
+
+(** [rpc ?retries ?backoff addr body] — one-shot convenience: connect,
+    request, close, retrying [Connect_failed] and [Overloaded] on the
+    deterministic backoff ladder. *)
+val rpc :
+  ?retries:int -> ?backoff:float -> Transport.addr -> Json.t -> (Json.t, error) result

@@ -1,0 +1,318 @@
+let stage = "serve"
+
+type job = {
+  parsed : Protocol.parsed;
+  enqueued_ns : int;
+  respond : Json.t -> unit;
+}
+
+type t = {
+  seed : int64;
+  suite : Benchmarks.Suite.bench list;
+  cache : Cache.t option;
+  queue : job Jobq.t;
+  served : int Atomic.t;
+  errors : int Atomic.t;
+  t0 : float;
+  owned_recorder : Obs.Recorder.t option;
+  mutable domains : unit Domain.t array;
+}
+
+let xy = Microarch.Coupling.xy ~g:1.0
+
+let json_of_string s =
+  (* counters / cache stats are emitted by our own renderers; re-parse to
+     embed them structurally (fall back to a raw string, never fail) *)
+  match Json.parse s with Ok v -> v | Error _ -> Json.Str s
+
+let budget_of_spec = function
+  | None -> None
+  | Some { Protocol.max_iterations; max_seconds } ->
+    Some (Robust.Budget.make ?max_iterations ?max_seconds ())
+
+(* ------------------------------------------------------------- pulses *)
+
+let named_gate = function
+  | "cnot" -> Some Quantum.Gates.cnot
+  | "cz" -> Some Quantum.Gates.cz
+  | "iswap" -> Some Quantum.Gates.iswap
+  | "sqisw" -> Some Quantum.Gates.sqisw
+  | "b" -> Some Quantum.Gates.b_gate
+  | "swap" -> Some Quantum.Gates.swap
+  | _ -> None
+
+let pulse_json ?residual ?retries ?note ~verdict (p : Microarch.Genashn.pulse) =
+  let base =
+    [
+      ("verdict", Json.Str verdict);
+      ("mode", Json.Str (Microarch.Tau.subscheme_to_string p.subscheme));
+      ("tau", Json.Num p.tau);
+      ("a1", Json.Num (-2.0 *. p.drive_x1));
+      ("a2", Json.Num (-2.0 *. p.drive_x2));
+      ("delta", Json.Num p.delta);
+    ]
+  in
+  let extra =
+    (match residual with Some r -> [ ("residual", Json.Num r) ] | None -> [])
+    @ (match retries with Some r -> [ ("retries", Json.Num (float_of_int r)) ] | None -> [])
+    @ match note with Some n -> [ ("note", Json.Str n) ] | None -> []
+  in
+  Json.Obj (base @ extra)
+
+let exec_pulses ~budget ~target ~coupling =
+  let coupling =
+    match coupling with "xx" -> Microarch.Coupling.xx ~g:1.0 | _ -> xy
+  in
+  match target with
+  | Protocol.Gate name -> (
+    match named_gate name with
+    | None ->
+      Protocol.error_item ~kind:"bad_request" ~stage:"serve.pulses"
+        (Printf.sprintf "unknown gate %S (expected cnot|cz|iswap|sqisw|b|swap)" name)
+    | Some mat -> (
+      match Microarch.Genashn.solve_r ?budget coupling mat with
+      | Robust.Outcome.Failed e -> Protocol.err_item e
+      | Robust.Outcome.Solved r ->
+        Protocol.ok_item ~op:"pulses"
+          (Json.Obj
+             [
+               ("gate", Json.Str name);
+               ("class", Json.Str (Weyl.Coords.to_string r.Microarch.Genashn.coords));
+               ("pulse", pulse_json ~verdict:"ok" r.Microarch.Genashn.pulse);
+             ])
+      | Robust.Outcome.Degraded (r, i) ->
+        Protocol.ok_item ~op:"pulses"
+          (Json.Obj
+             [
+               ("gate", Json.Str name);
+               ("class", Json.Str (Weyl.Coords.to_string r.Microarch.Genashn.coords));
+               ( "pulse",
+                 pulse_json ~verdict:"degraded" ~residual:i.Robust.Outcome.residual
+                   ~retries:i.Robust.Outcome.retries ~note:i.Robust.Outcome.note
+                   r.Microarch.Genashn.pulse );
+             ])))
+  | Protocol.Coords (x, y, z) -> (
+    let c = Weyl.Coords.make x y z in
+    if not (Weyl.Coords.in_chamber ~tol:1e-9 c) then
+      Protocol.error_item ~kind:"bad_request" ~stage:"serve.pulses"
+        (Printf.sprintf "coords %s are outside the canonical Weyl chamber"
+           (Weyl.Coords.to_string c))
+    else
+      match Microarch.Genashn.solve_coords_r ?budget coupling c with
+      | Robust.Outcome.Failed e -> Protocol.err_item e
+      | Robust.Outcome.Solved p ->
+        Protocol.ok_item ~op:"pulses"
+          (Json.Obj
+             [
+               ("class", Json.Str (Weyl.Coords.to_string c));
+               ("pulse", pulse_json ~verdict:"ok" p);
+             ])
+      | Robust.Outcome.Degraded (p, i) ->
+        Protocol.ok_item ~op:"pulses"
+          (Json.Obj
+             [
+               ("class", Json.Str (Weyl.Coords.to_string c));
+               ( "pulse",
+                 pulse_json ~verdict:"degraded" ~residual:i.Robust.Outcome.residual
+                   ~retries:i.Robust.Outcome.retries ~note:i.Robust.Outcome.note p );
+             ]))
+
+(* ------------------------------------------------------------ compile *)
+
+let report_json (r : Compiler.Metrics.report) =
+  Json.Obj
+    [
+      ("count_2q", Json.Num (float_of_int r.count_2q));
+      ("depth_2q", Json.Num (float_of_int r.depth_2q));
+      ("duration", Json.Num r.duration);
+      ("distinct_2q", Json.Num (float_of_int r.distinct_2q));
+    ]
+
+let exec_compile t ~budget ~bench ~mode ~pulses =
+  match
+    List.find_opt (fun (b : Benchmarks.Suite.bench) -> b.name = bench) t.suite
+  with
+  | None ->
+    Protocol.error_item ~kind:"bad_request" ~stage:"serve.compile"
+      (Printf.sprintf "unknown benchmark %S" bench)
+  | Some b -> (
+    let mode_v =
+      match mode with
+      | "full" -> Compiler.Pipeline.Full
+      | "nc" -> Compiler.Pipeline.Nc
+      | _ -> Compiler.Pipeline.Eff
+    in
+    let rng = Numerics.Rng.create t.seed in
+    match Compiler.Pipeline.compile_r ~mode:mode_v rng b.program with
+    | Error e -> Protocol.err_item e
+    | Ok out ->
+      let input = Compiler.Pipeline.program_to_cnot_input b.program in
+      let base = Compiler.Metrics.report Compiler.Metrics.Cnot_isa input in
+      let opt =
+        Compiler.Metrics.report (Compiler.Metrics.Su4_isa xy)
+          out.Compiler.Pipeline.circuit
+      in
+      let fields =
+        [
+          ("bench", Json.Str b.name);
+          ("category", Json.Str b.category);
+          ("qubits", Json.Num (float_of_int input.Circuit.n));
+          ("mode", Json.Str mode);
+          ("input", report_json base);
+          ("compiled", report_json opt);
+          ("mirrored", Json.Num (float_of_int out.Compiler.Pipeline.mirrored));
+          ( "template_classes",
+            Json.Num (float_of_int out.Compiler.Pipeline.template_classes) );
+        ]
+      in
+      let fields =
+        if not pulses then fields
+        else begin
+          (* per-gate verdicts: a failing gate degrades the report, not
+             the request *)
+          let outcomes = Reqisc.pulse_outcomes ?budget xy out.Compiler.Pipeline.circuit in
+          let count k =
+            List.length
+              (List.filter
+                 (fun (o : Reqisc.gate_outcome) -> Robust.Outcome.kind o.outcome = k)
+                 outcomes)
+          in
+          fields
+          @ [
+              ( "pulses",
+                Json.Obj
+                  [
+                    ("gates", Json.Num (float_of_int (List.length outcomes)));
+                    ("solved", Json.Num (float_of_int (count "ok")));
+                    ("degraded", Json.Num (float_of_int (count "degraded")));
+                    ("failed", Json.Num (float_of_int (count "failed")));
+                  ] );
+            ]
+        end
+      in
+      Protocol.ok_item ~op:"compile" (Json.Obj fields))
+
+(* -------------------------------------------------------------- stats *)
+
+let exec_stats t =
+  let cache_json =
+    match t.cache with
+    | Some c -> json_of_string (Cache.stats_json c)
+    | None -> (
+      (* a cache installed by the embedding process (e.g. the bench
+         harness) still shows up here *)
+      match Microarch.Pulse_cache.installed () with
+      | Some c -> json_of_string (Cache.stats_json c)
+      | None -> Json.Null)
+  in
+  Protocol.ok_item ~op:"stats"
+    (Json.Obj
+       [
+         ("uptime_seconds", Json.Num (Unix.gettimeofday () -. t.t0));
+         ("served", Json.Num (float_of_int (Atomic.get t.served)));
+         ("queue_depth", Json.Num (float_of_int (Jobq.length t.queue)));
+         ("cache", cache_json);
+         ("counters", json_of_string (Robust.Counters.to_json ()));
+         ("obs", json_of_string (Obs.Export.snapshot_json ()));
+       ])
+
+(* ---------------------------------------------------------- dispatch *)
+
+let rec exec_body t (b : Protocol.body) =
+  let budget = budget_of_spec b.budget in
+  match b.op with
+  | Protocol.Stats -> exec_stats t
+  | Protocol.Shutdown ->
+    Protocol.ok_item ~op:"shutdown" (Json.Obj [ ("draining", Json.Bool true) ])
+  | Protocol.Pulses { target; coupling } -> exec_pulses ~budget ~target ~coupling
+  | Protocol.Compile { bench; mode; pulses } ->
+    exec_compile t ~budget ~bench ~mode ~pulses
+  | Protocol.Batch bodies ->
+    let results = List.map (exec_guarded t) bodies in
+    Protocol.ok_item ~op:"batch" (Json.Obj [ ("results", Json.Arr results) ])
+
+(* a worker must survive anything a job throws *)
+and exec_guarded t b =
+  match exec_body t b with
+  | r -> r
+  | exception e ->
+    Robust.Counters.incr ~stage "internal_error";
+    Protocol.error_item ~kind:"internal_error" ~stage
+      (Printf.sprintf "%s (op %s)" (Printexc.to_string e) (Protocol.op_name b.op))
+
+let respond_counted t (job : job) (response : Json.t) =
+  let is_error = Json.mem_bool "ok" response = Some false in
+  Atomic.incr t.served;
+  if is_error then Atomic.incr t.errors;
+  Robust.Counters.incr ~stage (if is_error then "response_error" else "response_ok");
+  (* a respond closure bound to a dead connection may fail; the worker
+     must survive that too (the response is simply undeliverable) *)
+  try job.respond response
+  with e ->
+    Robust.Counters.incr ~stage "response_undeliverable";
+    ignore (Printexc.to_string e)
+
+let worker t () =
+  let rec loop () =
+    match Jobq.pop t.queue with
+    | None -> ()
+    | Some job ->
+      Obs.Span.emit ~stage ~name:"queue_wait" ~t0:job.enqueued_ns;
+      Obs.Metric.set_gauge ~stage "queue_depth" (float_of_int (Jobq.length t.queue));
+      (match job.parsed.body with
+      | Error msg ->
+        respond_counted t job
+          (Protocol.error_response ~id:job.parsed.id ~kind:"bad_request"
+             ~stage:"serve.protocol" msg)
+      | Ok body -> (
+        let name = "exec." ^ Protocol.op_name body.op in
+        match Obs.Span.with_ ~stage ~name (fun () -> exec_guarded t body) with
+        | Json.Obj _ as item ->
+          respond_counted t job (Protocol.with_id ~id:job.parsed.id item)
+        | other -> respond_counted t job other));
+      loop ()
+  in
+  loop ()
+
+(* ---------------------------------------------------------- lifecycle *)
+
+let create ?(workers = 0) ?cache ~seed () =
+  (* the engine observes itself: if the embedding process has not
+     installed a sink, record into our own ring so the [stats] op (and
+     its "obs" block) always has live span/metric data to report *)
+  let owned_recorder =
+    if Obs.Sink.enabled () then None else Some (Obs.Recorder.start ())
+  in
+  Option.iter Microarch.Pulse_cache.install cache;
+  let t =
+    {
+      seed;
+      suite = Benchmarks.Suite.suite ~big:true ();
+      cache;
+      queue = Jobq.create ();
+      served = Atomic.make 0;
+      errors = Atomic.make 0;
+      t0 = Unix.gettimeofday ();
+      owned_recorder;
+      domains = [||];
+    }
+  in
+  let workers = if workers > 0 then workers else max 1 (Numerics.Par.default_domains ()) in
+  t.domains <- Array.init workers (fun _ -> Domain.spawn (worker t));
+  t
+
+let submit t parsed ~respond =
+  Jobq.push t.queue { parsed; enqueued_ns = Obs.Span.now_ns (); respond };
+  Obs.Metric.set_gauge ~stage "queue_depth" (float_of_int (Jobq.length t.queue))
+
+let drain t =
+  Jobq.close t.queue;
+  Array.iter Domain.join t.domains;
+  t.domains <- [||];
+  if Option.is_some t.cache then Microarch.Pulse_cache.uninstall ();
+  Option.iter Cache.close t.cache;
+  Option.iter Obs.Recorder.stop t.owned_recorder
+
+let served t = Atomic.get t.served
+let errors t = Atomic.get t.errors
+let queue_depth t = Jobq.length t.queue

@@ -1,0 +1,37 @@
+(** Request-execution engine shared by every server front-end.
+
+    The stdio server ({!Server}) and the socket transport ({!Transport})
+    both feed parsed protocol lines into one engine: a thread-safe job
+    queue drained by a Domain worker pool. Each job carries its own
+    [respond] closure, so responses are routed back to wherever the
+    request came from (the stdout lock, or the originating connection's
+    write lock) — the engine itself never owns an output channel.
+
+    The engine owns the process-global pulse cache for its lifetime (when
+    one is given) and a self-installed {!Obs.Recorder} when the embedding
+    process has no sink, so the [stats] op always reports live span
+    aggregates. Both are released by {!drain}. *)
+
+type t
+
+(** [create ?workers ?cache ~seed ()] spawns the worker domains
+    ([workers = 0] or omitted: {!Numerics.Par.default_domains}) and, when
+    [cache] is given, installs it as the process-global pulse-synthesis
+    cache shared by all workers (and hence all connections). *)
+val create : ?workers:int -> ?cache:Cache.t -> seed:int64 -> unit -> t
+
+(** [submit t parsed ~respond] enqueues one request. [respond] is called
+    exactly once from a worker domain with the complete response object
+    (id already attached); it must be thread-safe and must not raise. *)
+val submit : t -> Protocol.parsed -> respond:(Json.t -> unit) -> unit
+
+(** [drain t] closes the queue, executes everything already enqueued,
+    joins the workers, then releases the cache and any owned recorder.
+    Queued jobs still answer — shutdown is a drain, not a drop. *)
+val drain : t -> unit
+
+val served : t -> int  (** responses produced so far *)
+
+val errors : t -> int  (** responses with [ok = false] *)
+
+val queue_depth : t -> int

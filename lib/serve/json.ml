@@ -154,7 +154,14 @@ let parse_number st =
   | Some v -> v
   | None -> fail start "malformed number"
 
-let rec parse_value st =
+(* deep nesting must come back as a located error, not a stack overflow:
+   a hostile frame of 100k '['s would otherwise blow the parser's native
+   stack before any grammar rule gets a chance to object *)
+let max_depth = 512
+
+let rec parse_value st depth =
+  if depth > max_depth then
+    fail st.pos "nesting deeper than %d levels" max_depth;
   skip_ws st;
   match peek st with
   | None -> fail st.pos "unexpected end of input"
@@ -171,7 +178,7 @@ let rec parse_value st =
         let k = parse_string st in
         skip_ws st;
         expect st ':';
-        let v = parse_value st in
+        let v = parse_value st (depth + 1) in
         skip_ws st;
         match next st with
         | ',' -> members ((k, v) :: acc)
@@ -189,7 +196,7 @@ let rec parse_value st =
     end
     else begin
       let rec items acc =
-        let v = parse_value st in
+        let v = parse_value st (depth + 1) in
         skip_ws st;
         match next st with
         | ',' -> items (v :: acc)
@@ -207,7 +214,7 @@ let rec parse_value st =
 
 let parse s =
   let st = { s; pos = 0 } in
-  match parse_value st with
+  match parse_value st 0 with
   | v ->
     skip_ws st;
     if st.pos <> String.length s then

@@ -4,7 +4,8 @@
 
     Numbers are floats (ints round-trip exactly up to 2^53, far beyond any
     id or counter this protocol carries). Parse errors report the byte
-    offset. *)
+    offset; nesting beyond {!max_depth} is one of them (a located error,
+    never a stack overflow). *)
 
 type t =
   | Null
@@ -13,6 +14,9 @@ type t =
   | Str of string
   | Arr of t list
   | Obj of (string * t) list
+
+(** Container nesting accepted by {!parse} (512). *)
+val max_depth : int
 
 val parse : string -> (t, string) result
 

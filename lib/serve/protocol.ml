@@ -104,7 +104,17 @@ let rec parse_body ?(depth = 0) json =
   in
   Ok { op; budget }
 
-let parse_line line =
+let max_line_bytes = 1 lsl 20
+
+let oversize_message limit =
+  Printf.sprintf "request line exceeds the %d-byte frame limit" limit
+
+let parse_line ?(max_bytes = max_line_bytes) line =
+  if String.length line > max_bytes then
+    (* reject before parsing: the id is inside the oversized frame and is
+       deliberately not recovered (the whole point is not to chew on it) *)
+    { id = Json.Null; body = Error (oversize_message max_bytes) }
+  else
   match Json.parse line with
   | Error e -> { id = Json.Null; body = Error (Printf.sprintf "malformed JSON: %s" e) }
   | Ok (Json.Obj _ as json) -> (

@@ -45,9 +45,20 @@ and body = { op : op; budget : budget_spec option }
 
 type parsed = { id : Json.t; body : (body, string) result }
 
+(** Default request-frame cap accepted by {!parse_line} (1 MiB). A line
+    longer than this is a [bad_request] naming the limit — the parser
+    never even scans the payload, so a hostile frame costs O(1). *)
+val max_line_bytes : int
+
+(** The [bad_request] message an oversized frame yields (shared with
+    {!Transport}, which rejects while still reading). *)
+val oversize_message : int -> string
+
 (** [parse_line line] never raises; a malformed line yields
-    [body = Error _] with whatever ["id"] could still be recovered. *)
-val parse_line : string -> parsed
+    [body = Error _] with whatever ["id"] could still be recovered.
+    Lines longer than [max_bytes] (default {!max_line_bytes}) are
+    rejected unparsed. *)
+val parse_line : ?max_bytes:int -> string -> parsed
 
 (** Stable op tag (["compile"], ["pulses"], ...). *)
 val op_name : op -> string

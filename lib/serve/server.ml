@@ -9,315 +9,31 @@ let default_config = { workers = 0; cache_path = None; cache_capacity = 4096; se
 
 type summary = { served : int; errors : int; elapsed : float }
 
-let stage = "serve"
-
-type state = {
-  config : config;
-  suite : Benchmarks.Suite.bench list;
-  cache : Cache.t option;
-  (* each job carries its enqueue timestamp so the worker can account
-     queue-wait separately from execution time *)
-  queue : (Protocol.parsed * int) Jobq.t;
-  out_lock : Mutex.t;
-  oc : out_channel;
-  served : int Atomic.t;
-  errors : int Atomic.t;
-  t0 : float;
-}
-
-let xy = Microarch.Coupling.xy ~g:1.0
-
-let json_of_string s =
-  (* counters / cache stats are emitted by our own renderers; re-parse to
-     embed them structurally (fall back to a raw string, never fail) *)
-  match Json.parse s with Ok v -> v | Error _ -> Json.Str s
-
-let budget_of_spec = function
-  | None -> None
-  | Some { Protocol.max_iterations; max_seconds } ->
-    Some (Robust.Budget.make ?max_iterations ?max_seconds ())
-
-(* ------------------------------------------------------------- pulses *)
-
-let named_gate = function
-  | "cnot" -> Some Quantum.Gates.cnot
-  | "cz" -> Some Quantum.Gates.cz
-  | "iswap" -> Some Quantum.Gates.iswap
-  | "sqisw" -> Some Quantum.Gates.sqisw
-  | "b" -> Some Quantum.Gates.b_gate
-  | "swap" -> Some Quantum.Gates.swap
-  | _ -> None
-
-let pulse_json ?residual ?retries ?note ~verdict (p : Microarch.Genashn.pulse) =
-  let base =
-    [
-      ("verdict", Json.Str verdict);
-      ("mode", Json.Str (Microarch.Tau.subscheme_to_string p.subscheme));
-      ("tau", Json.Num p.tau);
-      ("a1", Json.Num (-2.0 *. p.drive_x1));
-      ("a2", Json.Num (-2.0 *. p.drive_x2));
-      ("delta", Json.Num p.delta);
-    ]
-  in
-  let extra =
-    (match residual with Some r -> [ ("residual", Json.Num r) ] | None -> [])
-    @ (match retries with Some r -> [ ("retries", Json.Num (float_of_int r)) ] | None -> [])
-    @ match note with Some n -> [ ("note", Json.Str n) ] | None -> []
-  in
-  Json.Obj (base @ extra)
-
-let exec_pulses ~budget ~target ~coupling =
-  let coupling =
-    match coupling with "xx" -> Microarch.Coupling.xx ~g:1.0 | _ -> xy
-  in
-  match target with
-  | Protocol.Gate name -> (
-    match named_gate name with
-    | None ->
-      Protocol.error_item ~kind:"bad_request" ~stage:"serve.pulses"
-        (Printf.sprintf "unknown gate %S (expected cnot|cz|iswap|sqisw|b|swap)" name)
-    | Some mat -> (
-      match Microarch.Genashn.solve_r ?budget coupling mat with
-      | Robust.Outcome.Failed e -> Protocol.err_item e
-      | Robust.Outcome.Solved r ->
-        Protocol.ok_item ~op:"pulses"
-          (Json.Obj
-             [
-               ("gate", Json.Str name);
-               ("class", Json.Str (Weyl.Coords.to_string r.Microarch.Genashn.coords));
-               ("pulse", pulse_json ~verdict:"ok" r.Microarch.Genashn.pulse);
-             ])
-      | Robust.Outcome.Degraded (r, i) ->
-        Protocol.ok_item ~op:"pulses"
-          (Json.Obj
-             [
-               ("gate", Json.Str name);
-               ("class", Json.Str (Weyl.Coords.to_string r.Microarch.Genashn.coords));
-               ( "pulse",
-                 pulse_json ~verdict:"degraded" ~residual:i.Robust.Outcome.residual
-                   ~retries:i.Robust.Outcome.retries ~note:i.Robust.Outcome.note
-                   r.Microarch.Genashn.pulse );
-             ])))
-  | Protocol.Coords (x, y, z) -> (
-    let c = Weyl.Coords.make x y z in
-    if not (Weyl.Coords.in_chamber ~tol:1e-9 c) then
-      Protocol.error_item ~kind:"bad_request" ~stage:"serve.pulses"
-        (Printf.sprintf "coords %s are outside the canonical Weyl chamber"
-           (Weyl.Coords.to_string c))
-    else
-      match Microarch.Genashn.solve_coords_r ?budget coupling c with
-      | Robust.Outcome.Failed e -> Protocol.err_item e
-      | Robust.Outcome.Solved p ->
-        Protocol.ok_item ~op:"pulses"
-          (Json.Obj
-             [
-               ("class", Json.Str (Weyl.Coords.to_string c));
-               ("pulse", pulse_json ~verdict:"ok" p);
-             ])
-      | Robust.Outcome.Degraded (p, i) ->
-        Protocol.ok_item ~op:"pulses"
-          (Json.Obj
-             [
-               ("class", Json.Str (Weyl.Coords.to_string c));
-               ( "pulse",
-                 pulse_json ~verdict:"degraded" ~residual:i.Robust.Outcome.residual
-                   ~retries:i.Robust.Outcome.retries ~note:i.Robust.Outcome.note p );
-             ]))
-
-(* ------------------------------------------------------------ compile *)
-
-let report_json (r : Compiler.Metrics.report) =
-  Json.Obj
-    [
-      ("count_2q", Json.Num (float_of_int r.count_2q));
-      ("depth_2q", Json.Num (float_of_int r.depth_2q));
-      ("duration", Json.Num r.duration);
-      ("distinct_2q", Json.Num (float_of_int r.distinct_2q));
-    ]
-
-let exec_compile st ~budget ~bench ~mode ~pulses =
-  match
-    List.find_opt (fun (b : Benchmarks.Suite.bench) -> b.name = bench) st.suite
-  with
-  | None ->
-    Protocol.error_item ~kind:"bad_request" ~stage:"serve.compile"
-      (Printf.sprintf "unknown benchmark %S" bench)
-  | Some b -> (
-    let mode_v =
-      match mode with
-      | "full" -> Compiler.Pipeline.Full
-      | "nc" -> Compiler.Pipeline.Nc
-      | _ -> Compiler.Pipeline.Eff
-    in
-    let rng = Numerics.Rng.create st.config.seed in
-    match Compiler.Pipeline.compile_r ~mode:mode_v rng b.program with
-    | Error e -> Protocol.err_item e
-    | Ok out ->
-      let input = Compiler.Pipeline.program_to_cnot_input b.program in
-      let base = Compiler.Metrics.report Compiler.Metrics.Cnot_isa input in
-      let opt =
-        Compiler.Metrics.report (Compiler.Metrics.Su4_isa xy)
-          out.Compiler.Pipeline.circuit
-      in
-      let fields =
-        [
-          ("bench", Json.Str b.name);
-          ("category", Json.Str b.category);
-          ("qubits", Json.Num (float_of_int input.Circuit.n));
-          ("mode", Json.Str mode);
-          ("input", report_json base);
-          ("compiled", report_json opt);
-          ("mirrored", Json.Num (float_of_int out.Compiler.Pipeline.mirrored));
-          ( "template_classes",
-            Json.Num (float_of_int out.Compiler.Pipeline.template_classes) );
-        ]
-      in
-      let fields =
-        if not pulses then fields
-        else begin
-          (* per-gate verdicts: a failing gate degrades the report, not
-             the request *)
-          let outcomes = Reqisc.pulse_outcomes ?budget xy out.Compiler.Pipeline.circuit in
-          let count k =
-            List.length
-              (List.filter
-                 (fun (o : Reqisc.gate_outcome) -> Robust.Outcome.kind o.outcome = k)
-                 outcomes)
-          in
-          fields
-          @ [
-              ( "pulses",
-                Json.Obj
-                  [
-                    ("gates", Json.Num (float_of_int (List.length outcomes)));
-                    ("solved", Json.Num (float_of_int (count "ok")));
-                    ("degraded", Json.Num (float_of_int (count "degraded")));
-                    ("failed", Json.Num (float_of_int (count "failed")));
-                  ] );
-            ]
-        end
-      in
-      Protocol.ok_item ~op:"compile" (Json.Obj fields))
-
-(* -------------------------------------------------------------- stats *)
-
-let exec_stats st =
-  let cache_json =
-    match st.cache with
-    | Some c -> json_of_string (Cache.stats_json c)
-    | None -> (
-      (* a cache installed by the embedding process (e.g. the bench
-         harness) still shows up here *)
-      match Microarch.Pulse_cache.installed () with
-      | Some c -> json_of_string (Cache.stats_json c)
-      | None -> Json.Null)
-  in
-  Protocol.ok_item ~op:"stats"
-    (Json.Obj
-       [
-         ("uptime_seconds", Json.Num (Unix.gettimeofday () -. st.t0));
-         ("served", Json.Num (float_of_int (Atomic.get st.served)));
-         ("queue_depth", Json.Num (float_of_int (Jobq.length st.queue)));
-         ("cache", cache_json);
-         ("counters", json_of_string (Robust.Counters.to_json ()));
-         ("obs", json_of_string (Obs.Export.snapshot_json ()));
-       ])
-
-(* ---------------------------------------------------------- dispatch *)
-
-let rec exec_body st (b : Protocol.body) =
-  let budget = budget_of_spec b.budget in
-  match b.op with
-  | Protocol.Stats -> exec_stats st
-  | Protocol.Shutdown ->
-    Protocol.ok_item ~op:"shutdown" (Json.Obj [ ("draining", Json.Bool true) ])
-  | Protocol.Pulses { target; coupling } -> exec_pulses ~budget ~target ~coupling
-  | Protocol.Compile { bench; mode; pulses } ->
-    exec_compile st ~budget ~bench ~mode ~pulses
-  | Protocol.Batch bodies ->
-    let results = List.map (exec_guarded st) bodies in
-    Protocol.ok_item ~op:"batch" (Json.Obj [ ("results", Json.Arr results) ])
-
-(* a worker must survive anything a job throws *)
-and exec_guarded st b =
-  match exec_body st b with
-  | r -> r
-  | exception e ->
-    Robust.Counters.incr ~stage "internal_error";
-    Protocol.error_item ~kind:"internal_error" ~stage
-      (Printf.sprintf "%s (op %s)" (Printexc.to_string e) (Protocol.op_name b.op))
-
-let respond st (response : Json.t) =
-  let is_error = Json.mem_bool "ok" response = Some false in
-  Atomic.incr st.served;
-  if is_error then Atomic.incr st.errors;
-  Robust.Counters.incr ~stage (if is_error then "response_error" else "response_ok");
-  let line = Json.to_string response in
-  Mutex.lock st.out_lock;
-  output_string st.oc line;
-  output_char st.oc '\n';
-  flush st.oc;
-  Mutex.unlock st.out_lock
-
-let worker st () =
-  let rec loop () =
-    match Jobq.pop st.queue with
-    | None -> ()
-    | Some ((p : Protocol.parsed), enqueued_ns) ->
-      Obs.Span.emit ~stage ~name:"queue_wait" ~t0:enqueued_ns;
-      Obs.Metric.set_gauge ~stage "queue_depth" (float_of_int (Jobq.length st.queue));
-      (match p.body with
-      | Error msg ->
-        respond st
-          (Protocol.error_response ~id:p.id ~kind:"bad_request" ~stage:"serve.protocol"
-             msg)
-      | Ok body -> (
-        let name = "exec." ^ Protocol.op_name body.op in
-        match Obs.Span.with_ ~stage ~name (fun () -> exec_guarded st body) with
-        | Json.Obj _ as item -> respond st (Protocol.with_id ~id:p.id item)
-        | other -> respond st other));
-      loop ()
-  in
-  loop ()
+let open_cache config =
+  match config.cache_path with
+  | None -> Ok None
+  | Some path -> (
+    match Cache.create ~capacity:config.cache_capacity ~path () with
+    | Ok c -> Ok (Some c)
+    | Error e -> Error e)
 
 let run ?(config = default_config) ic oc =
   let t0 = Unix.gettimeofday () in
-  let opened =
-    match config.cache_path with
-    | None -> Ok None
-    | Some path -> (
-      match Cache.create ~capacity:config.cache_capacity ~path () with
-      | Ok c -> Ok (Some c)
-      | Error e -> Error e)
-  in
-  match opened with
+  match open_cache config with
   | Error e -> Error e
   | Ok cache ->
-    (* the server observes itself: if the embedding process has not
-       installed a sink, record into our own ring so the [stats] op (and
-       its "obs" block) always has live span/metric data to report *)
-    let owned_recorder =
-      if Obs.Sink.enabled () then None else Some (Obs.Recorder.start ())
+    let engine =
+      Engine.create ~workers:config.workers ?cache ~seed:config.seed ()
     in
-    Option.iter Microarch.Pulse_cache.install cache;
-    let st =
-      {
-        config;
-        suite = Benchmarks.Suite.suite ~big:true ();
-        cache;
-        queue = Jobq.create ();
-        out_lock = Mutex.create ();
-        oc;
-        served = Atomic.make 0;
-        errors = Atomic.make 0;
-        t0;
-      }
+    let out_lock = Mutex.create () in
+    let respond response =
+      let line = Json.to_string response in
+      Mutex.lock out_lock;
+      output_string oc line;
+      output_char oc '\n';
+      flush oc;
+      Mutex.unlock out_lock
     in
-    let workers =
-      if config.workers > 0 then config.workers
-      else max 1 (Numerics.Par.default_domains ())
-    in
-    let domains = Array.init workers (fun _ -> Domain.spawn (worker st)) in
     let rec read_loop () =
       match input_line ic with
       | exception End_of_file -> ()
@@ -325,24 +41,18 @@ let run ?(config = default_config) ic oc =
         if String.trim line = "" then read_loop ()
         else begin
           let p = Protocol.parse_line line in
-          Jobq.push st.queue (p, Obs.Span.now_ns ());
-          Obs.Metric.set_gauge ~stage "queue_depth"
-            (float_of_int (Jobq.length st.queue));
+          Engine.submit engine p ~respond;
           match p.body with
           | Ok { op = Protocol.Shutdown; _ } -> () (* stop reading; drain *)
           | _ -> read_loop ()
         end
     in
     read_loop ();
-    Jobq.close st.queue;
-    Array.iter Domain.join domains;
+    Engine.drain engine;
     flush oc;
-    if Option.is_some cache then Microarch.Pulse_cache.uninstall ();
-    Option.iter Cache.close cache;
-    Option.iter Obs.Recorder.stop owned_recorder;
     Ok
       {
-        served = Atomic.get st.served;
-        errors = Atomic.get st.errors;
+        served = Engine.served engine;
+        errors = Engine.errors engine;
         elapsed = Unix.gettimeofday () -. t0;
       }

@@ -35,3 +35,8 @@ type summary = {
 (** [run ?config ic oc] serves until EOF/shutdown and reports the drain
     summary; [Error] only when the cache file cannot be opened. *)
 val run : ?config:config -> in_channel -> out_channel -> (summary, string) result
+
+(** [open_cache config] opens the configured cache store ([Ok None] when
+    [cache_path] is unset). Shared with {!Transport}, which reuses the
+    same config record for its execution engine. *)
+val open_cache : config -> (Cache.t option, string) result

@@ -1,0 +1,436 @@
+type addr = Tcp of string * int | Unix_path of string
+
+let addr_to_string = function
+  | Tcp (h, p) -> Printf.sprintf "tcp:%s:%d" h p
+  | Unix_path p -> "unix:" ^ p
+
+let parse_addr s =
+  match String.index_opt s ':' with
+  | None -> Error (Printf.sprintf "bad address %S (expected tcp:HOST:PORT or unix:PATH)" s)
+  | Some i -> (
+    let scheme = String.sub s 0 i in
+    let rest = String.sub s (i + 1) (String.length s - i - 1) in
+    match scheme with
+    | "unix" ->
+      if rest = "" then Error "unix: needs a socket path" else Ok (Unix_path rest)
+    | "tcp" -> (
+      match String.rindex_opt rest ':' with
+      | None -> Error (Printf.sprintf "bad tcp address %S (expected tcp:HOST:PORT)" s)
+      | Some j -> (
+        let host = String.sub rest 0 j in
+        let port = String.sub rest (j + 1) (String.length rest - j - 1) in
+        match int_of_string_opt port with
+        | Some p when p >= 0 && p < 65536 && host <> "" -> Ok (Tcp (host, p))
+        | _ -> Error (Printf.sprintf "bad tcp port %S" port)))
+    | other ->
+      Error (Printf.sprintf "unknown scheme %S (expected tcp: or unix:)" other))
+
+type config = {
+  server : Server.config;
+  max_connections : int;
+  idle_timeout : float;
+  max_line_bytes : int;
+}
+
+let default_config =
+  {
+    server = Server.default_config;
+    max_connections = 64;
+    idle_timeout = 300.0;
+    max_line_bytes = Protocol.max_line_bytes;
+  }
+
+type summary = {
+  served : int;
+  errors : int;
+  connections : int;
+  refused : int;
+  elapsed : float;
+}
+
+let stage = "serve.net"
+
+(* --------------------------------------------------------- connections *)
+
+(* One per admitted client. The write lock serialises response lines from
+   the worker domains; [pending] counts jobs submitted but not yet
+   answered, so the fd is only closed once the last response has been
+   routed back (or dropped on a dead peer) — closing earlier would risk
+   the fd number being reused by a fresh accept while a worker still
+   holds a response for it. *)
+type conn = {
+  fd : Unix.file_descr;
+  wlock : Mutex.t;
+  mutable writable : bool;  (* peer still accepting bytes *)
+  mutable fd_closed : bool;
+  mutable pending : int;
+  mutable want_close : bool;
+}
+
+type listener_state = {
+  config : config;
+  engine : Engine.t;
+  stopping : bool Atomic.t;
+  listen_fd : Unix.file_descr;
+  (* self-pipe waking the accept loop out of [select]: closing a
+     listener does not reliably interrupt a thread already blocked on
+     it, so drain writes one byte here instead *)
+  wake_r : Unix.file_descr;
+  wake_w : Unix.file_descr;
+  reg_lock : Mutex.t;
+  mutable conns : conn list;
+  mutable threads : Thread.t list;
+  active : int Atomic.t;
+  accepted : int Atomic.t;
+  refused : int Atomic.t;
+}
+
+let rec write_all fd b off len =
+  if len > 0 then begin
+    let n = try Unix.write fd b off len with Unix.Unix_error (Unix.EINTR, _, _) -> 0 in
+    write_all fd b (off + n) (len - n)
+  end
+
+let write_line_locked c (json : Json.t) =
+  if c.writable && not c.fd_closed then begin
+    let line = Json.to_string json ^ "\n" in
+    try write_all c.fd (Bytes.unsafe_of_string line) 0 (String.length line)
+    with Unix.Unix_error _ -> c.writable <- false
+  end
+
+let unregister st c =
+  Mutex.lock st.reg_lock;
+  st.conns <- List.filter (fun c' -> c' != c) st.conns;
+  Mutex.unlock st.reg_lock;
+  Atomic.decr st.active;
+  Obs.Metric.set_gauge ~stage "active_connections" (float_of_int (Atomic.get st.active))
+
+(* call with [c.wlock] held *)
+let maybe_close_locked st c =
+  if c.want_close && c.pending <= 0 && not c.fd_closed then begin
+    c.fd_closed <- true;
+    (try Unix.close c.fd with Unix.Unix_error _ -> ());
+    unregister st c
+  end
+
+(* the respond closure the engine calls from a worker domain: route the
+   response line back to the originating connection, then retire the job *)
+let conn_respond st c json =
+  Mutex.lock c.wlock;
+  write_line_locked c json;
+  c.pending <- c.pending - 1;
+  maybe_close_locked st c;
+  Mutex.unlock c.wlock
+
+let submit st c parsed =
+  Mutex.lock c.wlock;
+  c.pending <- c.pending + 1;
+  Mutex.unlock c.wlock;
+  Engine.submit st.engine parsed ~respond:(conn_respond st c)
+
+(* ---------------------------------------------------------------- drain *)
+
+(* idempotent; runnable from a reader thread (shutdown op) or a signal
+   handler (SIGINT). The self-pipe byte kicks the accept loop out of
+   [select]; half-closing each connection's read side kicks its reader
+   out of [Unix.read] with EOF while leaving the write side alive for
+   the responses still in flight. *)
+let initiate_drain st =
+  if Atomic.compare_and_set st.stopping false true then begin
+    (try ignore (Unix.write st.wake_w (Bytes.make 1 '!') 0 1)
+     with Unix.Unix_error _ -> ());
+    Mutex.lock st.reg_lock;
+    List.iter
+      (fun c ->
+        try Unix.shutdown c.fd Unix.SHUTDOWN_RECEIVE with Unix.Unix_error _ -> ())
+      st.conns;
+    Mutex.unlock st.reg_lock
+  end
+
+(* --------------------------------------------------------------- reader *)
+
+(* Bounded frame scanner: bytes accumulate into [cur] only up to the
+   frame cap; past it the reader flips into discard mode (the oversized
+   request costs O(1) memory, answers one typed bad_request, and the
+   connection stays usable for the next line). *)
+let reader st c () =
+  let max_bytes = st.config.max_line_bytes in
+  let chunk = Bytes.create 8192 in
+  let cur = Buffer.create 512 in
+  let discarding = ref false in
+  let stop = ref false in
+  let handle_line line =
+    if String.trim line <> "" then begin
+      let p = Protocol.parse_line ~max_bytes line in
+      submit st c p;
+      match p.body with
+      | Ok { op = Protocol.Shutdown; _ } ->
+        stop := true;
+        initiate_drain st
+      | _ -> ()
+    end
+  in
+  let oversize () =
+    Obs.Metric.incr ~stage "oversize_frame";
+    submit st c
+      { Protocol.id = Json.Null; body = Error (Protocol.oversize_message max_bytes) }
+  in
+  let feed n =
+    let i = ref 0 in
+    while !i < n && not !stop do
+      (match Bytes.get chunk !i with
+      | '\n' ->
+        if !discarding then discarding := false
+        else begin
+          let line = Buffer.contents cur in
+          Buffer.clear cur;
+          handle_line line
+        end;
+        Buffer.clear cur
+      | ch ->
+        if not !discarding then begin
+          Buffer.add_char cur ch;
+          if Buffer.length cur > max_bytes then begin
+            Buffer.clear cur;
+            discarding := true;
+            oversize ()
+          end
+        end);
+      incr i
+    done
+  in
+  let rec loop () =
+    if !stop || Atomic.get st.stopping then ()
+    else
+      match Unix.read c.fd chunk 0 (Bytes.length chunk) with
+      | 0 -> () (* peer closed (or drain half-closed us) *)
+      | n ->
+        feed n;
+        loop ()
+      | exception Unix.Unix_error (Unix.EINTR, _, _) -> loop ()
+      | exception Unix.Unix_error ((Unix.EAGAIN | Unix.EWOULDBLOCK), _, _) ->
+        (* SO_RCVTIMEO expired: the connection idled out *)
+        Obs.Metric.incr ~stage "idle_timeout";
+        Mutex.lock c.wlock;
+        write_line_locked c
+          (Protocol.error_item ~kind:"timeout" ~stage
+             (Printf.sprintf "connection idle for more than %gs; closing"
+                st.config.idle_timeout));
+        Mutex.unlock c.wlock
+      | exception Unix.Unix_error _ -> () (* reset / bad fd: treat as gone *)
+  in
+  loop ();
+  (* retire the connection: close now if nothing is in flight, else the
+     last [conn_respond] closes it *)
+  Mutex.lock c.wlock;
+  c.want_close <- true;
+  maybe_close_locked st c;
+  Mutex.unlock c.wlock
+
+(* --------------------------------------------------------------- accept *)
+
+let admit st fd =
+  (try Unix.setsockopt fd Unix.TCP_NODELAY true with Unix.Unix_error _ -> ());
+  if st.config.idle_timeout > 0.0 then (
+    try Unix.setsockopt_float fd Unix.SO_RCVTIMEO st.config.idle_timeout
+    with Unix.Unix_error _ -> ());
+  let c =
+    { fd; wlock = Mutex.create (); writable = true; fd_closed = false;
+      pending = 0; want_close = false }
+  in
+  Mutex.lock st.reg_lock;
+  st.conns <- c :: st.conns;
+  Mutex.unlock st.reg_lock;
+  Atomic.incr st.active;
+  Atomic.incr st.accepted;
+  Obs.Metric.incr ~stage "accept";
+  Obs.Metric.set_gauge ~stage "active_connections" (float_of_int (Atomic.get st.active));
+  let th = Thread.create (reader st c) () in
+  Mutex.lock st.reg_lock;
+  st.threads <- th :: st.threads;
+  Mutex.unlock st.reg_lock
+
+let refuse st fd =
+  Atomic.incr st.refused;
+  Obs.Metric.incr ~stage "refused";
+  let line =
+    Json.to_string
+      (Protocol.error_item ~kind:"overloaded" ~stage
+         (Printf.sprintf "server at capacity (%d connections); retry with backoff"
+            st.config.max_connections))
+    ^ "\n"
+  in
+  (try write_all fd (Bytes.unsafe_of_string line) 0 (String.length line)
+   with Unix.Unix_error _ -> ());
+  try Unix.close fd with Unix.Unix_error _ -> ()
+
+(* The listener is non-blocking: [select] watches it together with the
+   drain self-pipe, so a drain initiated from a reader thread wakes this
+   loop immediately instead of racing a close against a blocked
+   [accept]. The select timeout is a poll for SIGINT: the runtime only
+   runs signal handlers on the main domain once it re-enters OCaml code,
+   and the kernel may have delivered the signal to a worker thread, so
+   an infinite select could sleep through the handler forever. *)
+let accept_loop st =
+  let rec loop () =
+    if not (Atomic.get st.stopping) then begin
+      (match Unix.select [ st.listen_fd; st.wake_r ] [] [] 0.25 with
+      | readable, _, _ ->
+        if (not (Atomic.get st.stopping)) && List.mem st.listen_fd readable then (
+          match Unix.accept ~cloexec:true st.listen_fd with
+          | fd, _peer ->
+            if Atomic.get st.stopping then
+              (try Unix.close fd with Unix.Unix_error _ -> ())
+            else if Atomic.get st.active >= st.config.max_connections then
+              refuse st fd
+            else admit st fd
+          | exception
+              Unix.Unix_error
+                ( ( Unix.EINTR | Unix.ECONNABORTED | Unix.EAGAIN
+                  | Unix.EWOULDBLOCK ),
+                  _,
+                  _ ) ->
+            ())
+      | exception Unix.Unix_error (Unix.EINTR, _, _) -> ());
+      loop ()
+    end
+  in
+  loop ()
+
+(* ----------------------------------------------------------------- bind *)
+
+let resolve_host host =
+  match Unix.inet_addr_of_string host with
+  | ip -> Ok ip
+  | exception _ -> (
+    match (Unix.gethostbyname host).Unix.h_addr_list with
+    | [||] -> Error (Printf.sprintf "host %S resolves to no address" host)
+    | addrs -> Ok addrs.(0)
+    | exception Not_found -> Error (Printf.sprintf "cannot resolve host %S" host))
+
+let sockaddr = function
+  | Tcp (host, port) -> (
+    match resolve_host host with
+    | Error e -> Error e
+    | Ok ip -> Ok (Unix.ADDR_INET (ip, port)))
+  | Unix_path path -> Ok (Unix.ADDR_UNIX path)
+
+let bind_listener = function
+  | Tcp (host, port) -> (
+    match resolve_host host with
+    | Error e -> Error e
+    | Ok ip -> (
+      let fd = Unix.socket ~cloexec:true Unix.PF_INET Unix.SOCK_STREAM 0 in
+      try
+        Unix.setsockopt fd Unix.SO_REUSEADDR true;
+        Unix.bind fd (Unix.ADDR_INET (ip, port));
+        Unix.listen fd 128;
+        let actual =
+          match Unix.getsockname fd with
+          | Unix.ADDR_INET (a, p) -> Tcp (Unix.string_of_inet_addr a, p)
+          | _ -> Tcp (host, port)
+        in
+        Ok (fd, actual)
+      with Unix.Unix_error (e, _, _) ->
+        (try Unix.close fd with Unix.Unix_error _ -> ());
+        Error
+          (Printf.sprintf "bind tcp:%s:%d: %s" host port (Unix.error_message e))))
+  | Unix_path path -> (
+    let fd = Unix.socket ~cloexec:true Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+    try
+      (match Unix.stat path with
+      | { Unix.st_kind = Unix.S_SOCK; _ } -> Unix.unlink path (* stale socket *)
+      | _ -> failwith (Printf.sprintf "%s exists and is not a socket" path)
+      | exception Unix.Unix_error (Unix.ENOENT, _, _) -> ());
+      Unix.bind fd (Unix.ADDR_UNIX path);
+      Unix.listen fd 128;
+      Ok (fd, Unix_path path)
+    with
+    | Unix.Unix_error (e, _, _) ->
+      (try Unix.close fd with Unix.Unix_error _ -> ());
+      Error (Printf.sprintf "bind unix:%s: %s" path (Unix.error_message e))
+    | Failure msg ->
+      (try Unix.close fd with Unix.Unix_error _ -> ());
+      Error msg)
+
+(* ---------------------------------------------------------------- serve *)
+
+let serve ?(config = default_config) ?ready addr =
+  let t0 = Unix.gettimeofday () in
+  match bind_listener addr with
+  | Error e -> Error e
+  | Ok (listen_fd, actual) -> (
+    let cleanup_path () =
+      match addr with
+      | Unix_path p -> (try Unix.unlink p with Unix.Unix_error _ -> ())
+      | Tcp _ -> ()
+    in
+    match Server.open_cache config.server with
+    | Error e ->
+      (try Unix.close listen_fd with Unix.Unix_error _ -> ());
+      cleanup_path ();
+      Error e
+    | Ok cache ->
+      let engine =
+        Engine.create ~workers:config.server.Server.workers ?cache
+          ~seed:config.server.Server.seed ()
+      in
+      let wake_r, wake_w = Unix.pipe ~cloexec:true () in
+      Unix.set_nonblock listen_fd;
+      let st =
+        {
+          config;
+          engine;
+          stopping = Atomic.make false;
+          listen_fd;
+          wake_r;
+          wake_w;
+          reg_lock = Mutex.create ();
+          conns = [];
+          threads = [];
+          active = Atomic.make 0;
+          accepted = Atomic.make 0;
+          refused = Atomic.make 0;
+        }
+      in
+      (* a worker answering a vanished client must get EPIPE, not die *)
+      let old_sigpipe =
+        try Some (Sys.signal Sys.sigpipe Sys.Signal_ignore)
+        with Invalid_argument _ | Sys_error _ -> None
+      in
+      let old_sigint =
+        try Some (Sys.signal Sys.sigint (Sys.Signal_handle (fun _ -> initiate_drain st)))
+        with Invalid_argument _ | Sys_error _ -> None
+      in
+      Option.iter (fun f -> f actual) ready;
+      accept_loop st;
+      (try Unix.close st.listen_fd with Unix.Unix_error _ -> ());
+      (try Unix.close st.wake_r with Unix.Unix_error _ -> ());
+      (try Unix.close st.wake_w with Unix.Unix_error _ -> ());
+      (* drain: readers first (they stop feeding the queue), then the
+         engine (everything queued still answers), then the stragglers *)
+      let threads = Mutex.protect st.reg_lock (fun () -> st.threads) in
+      List.iter Thread.join threads;
+      Engine.drain engine;
+      Mutex.lock st.reg_lock;
+      let leftovers = st.conns in
+      Mutex.unlock st.reg_lock;
+      List.iter
+        (fun c ->
+          Mutex.lock c.wlock;
+          c.want_close <- true;
+          c.pending <- 0;
+          maybe_close_locked st c;
+          Mutex.unlock c.wlock)
+        leftovers;
+      (try Option.iter (Sys.set_signal Sys.sigpipe) old_sigpipe with _ -> ());
+      (try Option.iter (Sys.set_signal Sys.sigint) old_sigint with _ -> ());
+      cleanup_path ();
+      Ok
+        {
+          served = Engine.served engine;
+          errors = Engine.errors engine;
+          connections = Atomic.get st.accepted;
+          refused = Atomic.get st.refused;
+          elapsed = Unix.gettimeofday () -. t0;
+        })

@@ -1,0 +1,60 @@
+(** Socket transport for the compilation service.
+
+    [serve addr] binds a TCP or Unix-domain listener and speaks the same
+    line-delimited JSON protocol as {!Server}, one connection per client:
+    an accept loop admits connections, one reader {e thread} per
+    connection parses frames and feeds the shared {!Engine} worker pool,
+    and each job's response is routed back to the originating connection
+    (matched client-side by ["id"]; completion order may differ from send
+    order, exactly like the stdio server).
+
+    Lifecycle management (see DESIGN.md "Network transport"):
+
+    - {b backpressure} — at [max_connections] active connections a new
+      client is answered with one [kind = "overloaded"] error line and
+      closed instead of being buffered without bound;
+    - {b idle timeout} — a connection silent for [idle_timeout] seconds
+      is answered with [kind = "timeout"] and closed;
+    - {b frame cap} — a request line longer than [max_line_bytes] is
+      rejected as a [bad_request] naming the limit while the reader
+      discards (never buffers) the rest of the frame;
+    - {b graceful drain} — a [shutdown] request (from any connection) or
+      SIGINT stops the accept loop, half-closes every connection's read
+      side, executes everything already queued, joins the workers, and
+      only then closes the sockets. In-flight requests still answer. *)
+
+type addr = Tcp of string * int | Unix_path of string
+
+(** [parse_addr "tcp:HOST:PORT"] / [parse_addr "unix:PATH"]. *)
+val parse_addr : string -> (addr, string) result
+
+val addr_to_string : addr -> string
+
+(** Resolve to a connectable/bindable socket address (TCP hostnames go
+    through the resolver). Shared with {!Client}. *)
+val sockaddr : addr -> (Unix.sockaddr, string) result
+
+type config = {
+  server : Server.config;  (** engine config: workers, cache, seed *)
+  max_connections : int;  (** accept backpressure threshold (default 64) *)
+  idle_timeout : float;  (** seconds; [0.] disables (default 300.) *)
+  max_line_bytes : int;  (** request frame cap (default {!Protocol.max_line_bytes}) *)
+}
+
+val default_config : config
+
+type summary = {
+  served : int;  (** responses written across all connections *)
+  errors : int;  (** responses with [ok = false] *)
+  connections : int;  (** connections accepted (admitted, not refused) *)
+  refused : int;  (** connections turned away as [overloaded] *)
+  elapsed : float;
+}
+
+(** [serve ?config ?ready addr] blocks until drain. [ready] fires once
+    the listener is bound, with the actual address (a TCP request for
+    port [0] reports the kernel-assigned port) — the hook tests and the
+    in-process bench use to know when (and where) to connect. [Error] on
+    bind failure or when the cache file cannot be opened. *)
+val serve :
+  ?config:config -> ?ready:(addr -> unit) -> addr -> (summary, string) result

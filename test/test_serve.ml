@@ -106,6 +106,119 @@ let test_json_accessors () =
     Alcotest.(check (option int)) "shape mismatch" None (Serve.Json.mem_int "s" v);
     Alcotest.(check (option int)) "missing member" None (Serve.Json.mem_int "zz" v)
 
+(* --------------------------------------------- json property round-trip *)
+
+(* seeded random document generator: nesting, unicode escapes (raw UTF-8
+   and control bytes the emitter must \u-escape), and extreme floats —
+   parse (emit v) must reproduce v bit-for-bit *)
+
+let str_palette =
+  [|
+    "a"; "key"; " "; "\""; "\\"; "/"; "\n"; "\t"; "\r"; "\x01"; "\x1f";
+    "\xc3\xa9" (* é *); "\xe2\x86\x92" (* → *); "\xf0\x9f\x98\x80" (* 😀 *);
+    "{"; "}"; "[,]"; ":"; "0"; "e";
+  |]
+
+let gen_str rng =
+  let n = Random.State.int rng 5 in
+  let buf = Buffer.create 8 in
+  for _ = 1 to n do
+    Buffer.add_string buf str_palette.(Random.State.int rng (Array.length str_palette))
+  done;
+  Buffer.contents buf
+
+let gen_num rng =
+  match Random.State.int rng 6 with
+  | 0 -> float_of_int (Random.State.int rng 2001 - 1000)
+  | 1 -> Random.State.float rng 2.0 -. 1.0
+  | 2 -> (Random.State.float rng 2.0 -. 1.0) *. 1e300
+  | 3 -> (Random.State.float rng 2.0 -. 1.0) *. 1e-300 (* subnormal territory *)
+  | 4 ->
+    (* arbitrary finite bit patterns: the harshest emitter test *)
+    let rec finite () =
+      let f = Int64.float_of_bits (Random.State.int64 rng Int64.max_int) in
+      if Float.is_nan f then finite () else f
+    in
+    finite ()
+  | _ ->
+    [| 0.0; -0.0; Float.max_float; Float.min_float; epsilon_float; 5e-324;
+       9.007199254740993e15 |].(Random.State.int rng 7)
+
+let gen_json rng =
+  let key_id = ref 0 in
+  let rec go depth =
+    let cap = if depth >= 6 then 4 else 6 in
+    match Random.State.int rng cap with
+    | 0 -> Serve.Json.Null
+    | 1 -> Serve.Json.Bool (Random.State.bool rng)
+    | 2 -> Serve.Json.Num (gen_num rng)
+    | 3 -> Serve.Json.Str (gen_str rng)
+    | 4 -> Serve.Json.Arr (List.init (Random.State.int rng 5) (fun _ -> go (depth + 1)))
+    | _ ->
+      Serve.Json.Obj
+        (List.init (Random.State.int rng 5) (fun _ ->
+             (* counter suffix keeps keys distinct within one object *)
+             incr key_id;
+             (Printf.sprintf "%s#%d" (gen_str rng) !key_id, go (depth + 1))))
+  in
+  go 0
+
+let test_json_property_roundtrip () =
+  let rng = Random.State.make [| 0x5eed; 2026 |] in
+  for case = 1 to 512 do
+    let v = gen_json rng in
+    let s = Serve.Json.to_string v in
+    match Serve.Json.parse s with
+    | Error e -> Alcotest.failf "case %d: reparse of %s failed: %s" case s e
+    | Ok v' ->
+      if not (json_eq v v') then
+        Alcotest.failf "case %d: round trip mismatch\nemitted:  %s\nreparsed: %s" case s
+          (Serve.Json.to_string v')
+  done;
+  (* infinities have a parseable spelling; NaN collapses to null by design *)
+  List.iter
+    (fun f ->
+      match Serve.Json.parse (Serve.Json.to_string (Serve.Json.Num f)) with
+      | Ok (Serve.Json.Num f') ->
+        Alcotest.(check bool) "infinity round trips" true
+          (Int64.bits_of_float f = Int64.bits_of_float f')
+      | _ -> Alcotest.fail "infinity did not round trip")
+    [ Float.infinity; Float.neg_infinity ];
+  match Serve.Json.parse (Serve.Json.to_string (Serve.Json.Num Float.nan)) with
+  | Ok Serve.Json.Null -> ()
+  | _ -> Alcotest.fail "NaN must emit as null"
+
+let test_json_rejection_corpus () =
+  let deep n = String.concat "" (List.init n (fun _ -> "[")) ^ "0" in
+  let reject s label =
+    match Serve.Json.parse s with
+    | Ok _ -> Alcotest.failf "accepted %s" label
+    | Error msg ->
+      (* every rejection is a located error (never an exception) *)
+      Alcotest.(check bool)
+        (Printf.sprintf "%s error is located: %s" label msg)
+        true (contains msg "offset")
+  in
+  (* truncations *)
+  List.iter
+    (fun s -> reject s ("truncated " ^ s))
+    [ "{\"a\":"; "[1,"; "\"half"; "{\"a\":1"; "[{\"b\":[" ; "12e"; "-" ];
+  (* trailing garbage *)
+  List.iter
+    (fun s -> reject s ("trailing " ^ s))
+    [ "1 2"; "{} {}"; "null,"; "[1]]" ];
+  (* NaN / Infinity have no JSON spelling on the way in *)
+  List.iter (fun s -> reject s s) [ "NaN"; "Infinity"; "-Infinity"; "nan"; "inf" ];
+  (* nesting: the cap admits max_depth levels and rejects one more *)
+  (match Serve.Json.parse (deep Serve.Json.max_depth ^ String.make Serve.Json.max_depth ']') with
+  | Ok _ -> ()
+  | Error e -> Alcotest.failf "depth %d should parse: %s" Serve.Json.max_depth e);
+  (match Serve.Json.parse (deep (Serve.Json.max_depth + 1)) with
+  | Ok _ -> Alcotest.fail "past-cap nesting accepted"
+  | Error msg ->
+    Alcotest.(check bool) "names the nesting cap" true (contains msg "nesting");
+    Alcotest.(check bool) "located" true (contains msg "offset"))
+
 (* ------------------------------------------------------------- protocol *)
 
 let parse_body line =
@@ -179,6 +292,35 @@ let test_protocol_version () =
   match parse_body (Printf.sprintf "{\"v\":%d,\"op\":\"stats\"}" Serve.Protocol.version) with
   | Ok { Serve.Protocol.op = Serve.Protocol.Stats; _ } -> ()
   | _ -> Alcotest.fail "current version rejected"
+
+let test_protocol_frame_cap () =
+  (* an oversized line is refused before any JSON work, as a typed
+     bad_request naming the limit — and the id is NOT recovered (scanning
+     an arbitrarily long line for it would defeat the cap) *)
+  let limit = 256 in
+  let long = "{\"v\":1,\"id\":1,\"op\":\"stats\",\"pad\":\"" ^ String.make 300 'x' ^ "\"}" in
+  (let p = Serve.Protocol.parse_line ~max_bytes:limit long in
+   match p.Serve.Protocol.body with
+   | Ok _ -> Alcotest.fail "oversized frame accepted"
+   | Error msg ->
+     Alcotest.(check bool) "names the byte limit" true (contains msg "256-byte");
+     Alcotest.(check bool) "says frame limit" true (contains msg "frame limit");
+     Alcotest.(check bool) "id not recovered" true (p.Serve.Protocol.id = Serve.Json.Null));
+  (* at the limit exactly, the frame is processed normally *)
+  let pad = String.make (limit - String.length "{\"v\":1,\"op\":\"stats\",\"pad\":\"\"}") 'y' in
+  let exact = "{\"v\":1,\"op\":\"stats\",\"pad\":\"" ^ pad ^ "\"}" in
+  Alcotest.(check int) "exact-limit frame length" limit (String.length exact);
+  (match (Serve.Protocol.parse_line ~max_bytes:limit exact).Serve.Protocol.body with
+  | Ok { Serve.Protocol.op = Serve.Protocol.Stats; _ } -> ()
+  | Ok _ -> Alcotest.fail "wrong op"
+  | Error e -> Alcotest.failf "exact-limit frame rejected: %s" e);
+  (* the default cap is the documented constant *)
+  Alcotest.(check int) "default cap" (1 lsl 20) Serve.Protocol.max_line_bytes;
+  let over_default = String.make (Serve.Protocol.max_line_bytes + 1) 'z' in
+  match (Serve.Protocol.parse_line over_default).Serve.Protocol.body with
+  | Error msg ->
+    Alcotest.(check bool) "default cap enforced" true (contains msg "frame limit")
+  | Ok _ -> Alcotest.fail "default cap not enforced"
 
 let test_response_carries_version () =
   let item = Serve.Protocol.ok_item ~op:"stats" Serve.Json.Null in
@@ -394,12 +536,15 @@ let () =
           Alcotest.test_case "unicode" `Quick test_json_unicode;
           Alcotest.test_case "malformed" `Quick test_json_malformed;
           Alcotest.test_case "accessors" `Quick test_json_accessors;
+          Alcotest.test_case "property round trip" `Quick test_json_property_roundtrip;
+          Alcotest.test_case "rejection corpus" `Quick test_json_rejection_corpus;
         ] );
       ( "protocol",
         [
           Alcotest.test_case "parse ok" `Quick test_protocol_parse_ok;
           Alcotest.test_case "parse errors" `Quick test_protocol_parse_errors;
           Alcotest.test_case "version negotiation" `Quick test_protocol_version;
+          Alcotest.test_case "frame cap" `Quick test_protocol_frame_cap;
           Alcotest.test_case "response version" `Quick test_response_carries_version;
         ] );
       ( "server",

@@ -1,0 +1,425 @@
+(* Socket transport: the network front-end must be observationally
+   equivalent to the stdio server (differential test over the same
+   request stream), survive concurrent pipelined clients and mid-stream
+   disconnects with an exact id bijection, and enforce the connection
+   lifecycle guards — overload refusal, idle timeout, frame cap — as
+   typed JSON errors followed by a graceful drain. *)
+
+module J = Serve.Json
+module T = Serve.Transport
+module C = Serve.Client
+
+let () = Robust.Fault.configure None
+
+let contains s sub =
+  let n = String.length s and m = String.length sub in
+  let rec go i = i + m <= n && (String.sub s i m = sub || go (i + 1)) in
+  m = 0 || go 0
+
+let rec json_eq a b =
+  match (a, b) with
+  | J.Num x, J.Num y -> Int64.bits_of_float x = Int64.bits_of_float y
+  | J.Arr xs, J.Arr ys -> List.length xs = List.length ys && List.for_all2 json_eq xs ys
+  | J.Obj xs, J.Obj ys ->
+    List.length xs = List.length ys
+    && List.for_all2 (fun (k, v) (k', v') -> k = k' && json_eq v v') xs ys
+  | _ -> a = b
+
+let net_config ?(workers = 2) ?(max_connections = 64) ?(idle_timeout = 300.0)
+    ?(max_line_bytes = Serve.Protocol.max_line_bytes) () =
+  {
+    T.server = { Serve.Server.default_config with Serve.Server.workers };
+    max_connections;
+    idle_timeout;
+    max_line_bytes;
+  }
+
+(* ------------------------------------------------------------- harness *)
+
+let temp_unix_addr () =
+  let path = Filename.temp_file "rqnet" ".sock" in
+  Sys.remove path;
+  T.Unix_path path
+
+let shutdown_body = J.Obj [ ("op", J.Str "shutdown") ]
+
+(* run [Transport.serve] in a thread, hand [f] the actual bound address
+   (kernel-assigned port for tcp:...:0), and require f to have triggered
+   the drain (shutdown request) before returning *)
+let with_server ?(config = net_config ()) listen f =
+  let ready = Atomic.make false in
+  let actual = ref listen in
+  let result = ref (Error "server did not return") in
+  let th =
+    Thread.create
+      (fun () ->
+        result :=
+          T.serve ~config
+            ~ready:(fun a ->
+              actual := a;
+              Atomic.set ready true)
+            listen)
+      ()
+  in
+  let rec wait n =
+    if not (Atomic.get ready) then
+      if n > 2000 then Alcotest.fail "server did not become ready"
+      else begin
+        Thread.delay 0.005;
+        wait (n + 1)
+      end
+  in
+  wait 0;
+  let fin =
+    try f !actual
+    with e ->
+      (* last-ditch drain so the join below cannot hang the suite *)
+      ignore (C.rpc ~retries:0 !actual shutdown_body);
+      raise e
+  in
+  Thread.join th;
+  match !result with
+  | Error e -> Alcotest.failf "server failed: %s" e
+  | Ok summary -> (summary, fin)
+
+let ok_or_fail what = function
+  | Ok v -> v
+  | Error e -> Alcotest.failf "%s: %s" what (C.error_to_string e)
+
+(* ---------------------------------------------------------------- addr *)
+
+let test_addr_parsing () =
+  (match T.parse_addr "tcp:127.0.0.1:8080" with
+  | Ok (T.Tcp ("127.0.0.1", 8080)) -> ()
+  | _ -> Alcotest.fail "tcp:127.0.0.1:8080");
+  (match T.parse_addr "tcp:localhost:0" with
+  | Ok (T.Tcp ("localhost", 0)) -> ()
+  | _ -> Alcotest.fail "tcp:localhost:0");
+  (match T.parse_addr "unix:/tmp/x.sock" with
+  | Ok (T.Unix_path "/tmp/x.sock") -> ()
+  | _ -> Alcotest.fail "unix:/tmp/x.sock");
+  List.iter
+    (fun s ->
+      match T.parse_addr s with
+      | Error _ -> ()
+      | Ok _ -> Alcotest.failf "accepted bad address %S" s)
+    [ ""; "bogus"; "tcp:"; "tcp:localhost"; "tcp:host:70000"; "tcp::123"; "unix:"; "http:x:1" ];
+  (* to_string round trips through parse *)
+  List.iter
+    (fun a ->
+      match T.parse_addr (T.addr_to_string a) with
+      | Ok a' when a = a' -> ()
+      | _ -> Alcotest.failf "addr %s did not round trip" (T.addr_to_string a))
+    [ T.Tcp ("127.0.0.1", 9999); T.Unix_path "/tmp/y.sock" ]
+
+(* ---------------------------------------------------------- happy path *)
+
+let socket_session addr =
+  let c = ok_or_fail "connect" (C.connect addr) in
+  let stats = ok_or_fail "stats" (C.request c (J.Obj [ ("op", J.Str "stats") ])) in
+  Alcotest.(check (option bool)) "stats ok" (Some true) (J.mem_bool "ok" stats);
+  let pulses =
+    ok_or_fail "pulses" (C.request c (J.Obj [ ("op", J.Str "pulses"); ("gate", J.Str "cnot") ]))
+  in
+  Alcotest.(check bool) "pulse payload" true (contains (J.to_string pulses) "\"tau\"");
+  Alcotest.(check (option int)) "response carries v" (Some Serve.Protocol.version)
+    (J.mem_int "v" pulses);
+  let bye = ok_or_fail "shutdown" (C.request c shutdown_body) in
+  Alcotest.(check (option bool)) "shutdown ok" (Some true) (J.mem_bool "ok" bye);
+  C.close c
+
+let check_happy_summary (summary : T.summary) =
+  Alcotest.(check int) "served" 3 summary.T.served;
+  Alcotest.(check int) "errors" 0 summary.T.errors;
+  Alcotest.(check int) "connections" 1 summary.T.connections;
+  Alcotest.(check int) "refused" 0 summary.T.refused
+
+let test_unix_happy_path () =
+  let summary, () = with_server (temp_unix_addr ()) socket_session in
+  check_happy_summary summary
+
+let test_tcp_happy_path () =
+  (* port 0: the kernel picks; [ready] must report the real port *)
+  let summary, () =
+    with_server (T.Tcp ("127.0.0.1", 0)) (fun actual ->
+        (match actual with
+        | T.Tcp ("127.0.0.1", p) when p > 0 -> ()
+        | a -> Alcotest.failf "ready reported %s" (T.addr_to_string a));
+        socket_session actual)
+  in
+  check_happy_summary summary
+
+(* --------------------------------------------------------- differential *)
+
+(* identical request stream through the in-process stdio server and
+   through a loopback socket: the response SETS must match keyed by "id"
+   (completion order may differ). Only op=stats results are volatile
+   (uptime, queue depth, live counters) — normalize them to null,
+   recursively so batch items are covered too. *)
+
+let rec normalize j =
+  match j with
+  | J.Obj ms ->
+    let is_stats = List.assoc_opt "op" ms = Some (J.Str "stats") in
+    J.Obj
+      (List.map
+         (fun (k, v) -> if is_stats && k = "result" then (k, J.Null) else (k, normalize v))
+         ms)
+  | J.Arr xs -> J.Arr (List.map normalize xs)
+  | _ -> j
+
+let differential_stream =
+  [
+    "{\"v\":1,\"id\":1,\"op\":\"stats\"}";
+    "{\"v\":1,\"id\":2,\"op\":\"pulses\",\"gate\":\"cnot\"}";
+    "{\"v\":1,\"id\":3,\"op\":\"pulses\",\"coords\":[0.5,0.3,0.1]}";
+    "this is not json";
+    "{\"v\":1,\"id\":4,\"op\":\"nope\"}";
+    "{\"id\":5,\"op\":\"stats\"}";
+    "{\"v\":1,\"id\":6,\"op\":\"batch\",\"requests\":[{\"op\":\"pulses\",\"gate\":\"cz\"},{\"op\":\"stats\"}]}";
+    "{\"v\":1,\"id\":7,\"op\":\"compile\",\"bench\":\"qaoa_8\",\"mode\":\"eff\"}";
+    "{\"v\":1,\"id\":8,\"op\":\"pulses\",\"gate\":\"bogus\"}";
+  ]
+
+let run_stdio_server lines =
+  let req = Filename.temp_file "rqnet" ".in" in
+  let resp = Filename.temp_file "rqnet" ".out" in
+  let oc = open_out req in
+  List.iter (fun l -> output_string oc (l ^ "\n")) lines;
+  close_out oc;
+  let ic = open_in req in
+  let out = open_out resp in
+  let summary =
+    Serve.Server.run
+      ~config:{ Serve.Server.default_config with Serve.Server.workers = 2 }
+      ic out
+  in
+  close_in ic;
+  close_out out;
+  let acc = ref [] in
+  let ic = open_in resp in
+  (try
+     while true do
+       acc := input_line ic :: !acc
+     done
+   with End_of_file -> ());
+  close_in ic;
+  Sys.remove req;
+  Sys.remove resp;
+  match summary with
+  | Error e -> Alcotest.failf "stdio server failed: %s" e
+  | Ok _ -> List.rev !acc
+
+let id_key j = J.to_string (Option.value ~default:J.Null (J.member "id" j))
+
+let keyed lines =
+  List.map
+    (fun l ->
+      match J.parse l with
+      | Error e -> Alcotest.failf "response not JSON (%s): %s" e l
+      | Ok j -> (id_key j, normalize j))
+    lines
+
+let test_differential () =
+  let stdio = keyed (run_stdio_server differential_stream) in
+  let socket_lines =
+    let _, lines =
+      with_server (temp_unix_addr ()) (fun addr ->
+          let c = ok_or_fail "connect" (C.connect addr) in
+          List.iter
+            (fun l -> ok_or_fail "send_line" (C.send_line c l))
+            differential_stream;
+          let got =
+            List.map (fun _ -> ok_or_fail "recv" (C.recv c)) differential_stream
+          in
+          ignore (ok_or_fail "shutdown" (C.request c shutdown_body));
+          C.close c;
+          List.map J.to_string got)
+    in
+    lines
+  in
+  let socket = keyed socket_lines in
+  Alcotest.(check int) "same cardinality" (List.length stdio) (List.length socket);
+  List.iter
+    (fun (k, sj) ->
+      match List.assoc_opt k socket with
+      | None -> Alcotest.failf "socket run missing response id %s" k
+      | Some nj ->
+        if not (json_eq sj nj) then
+          Alcotest.failf "responses for id %s differ\nstdio:  %s\nsocket: %s" k
+            (J.to_string sj) (J.to_string nj))
+    stdio
+
+(* --------------------------------------------------------------- stress *)
+
+let stress_clients = 8
+let stress_requests = 64
+
+let stress_worker addr tid =
+  let c = ok_or_fail "connect" (C.connect addr) in
+  (* pipeline everything first ... *)
+  let ids =
+    List.init stress_requests (fun j ->
+        let id = J.Str (Printf.sprintf "c%d-%d" tid j) in
+        let body =
+          if j mod 8 = 0 then
+            J.Obj [ ("id", id); ("op", J.Str "pulses"); ("gate", J.Str "cnot") ]
+          else J.Obj [ ("id", id); ("op", J.Str "stats") ]
+        in
+        ok_or_fail "send" (C.send c body))
+  in
+  (* ... then collect in REVERSE order, forcing the stash to demux
+     out-of-order arrivals; recv_id consuming each id exactly once is the
+     bijection check *)
+  List.iter
+    (fun id ->
+      let r = ok_or_fail "recv_id" (C.recv_id c id) in
+      Alcotest.(check (option bool))
+        (Printf.sprintf "ok for %s" (J.to_string id))
+        (Some true) (J.mem_bool "ok" r))
+    (List.rev ids);
+  (* wire-level duplicate probe: the very next line must be the final
+     request's response — any stray duplicate would arrive first *)
+  let fin = J.Str (Printf.sprintf "c%d-fin" tid) in
+  ignore (ok_or_fail "send fin" (C.send c (J.Obj [ ("id", fin); ("op", J.Str "stats") ])));
+  let last = ok_or_fail "recv fin" (C.recv c) in
+  Alcotest.(check string) "no duplicates on the wire" (J.to_string fin)
+    (J.to_string (Option.value ~default:J.Null (J.member "id" last)));
+  C.close c
+
+let test_stress () =
+  let summary, () =
+    with_server (temp_unix_addr ()) (fun addr ->
+        (* a rude client: queue work, vanish without reading — the engine
+           keeps running and everyone else still gets exact answers *)
+        let rude = ok_or_fail "rude connect" (C.connect addr) in
+        for _ = 1 to 8 do
+          ignore
+            (ok_or_fail "rude send"
+               (C.send rude (J.Obj [ ("op", J.Str "pulses"); ("gate", J.Str "cz") ])))
+        done;
+        C.close rude;
+        let threads =
+          List.init stress_clients (fun tid -> Thread.create (stress_worker addr) tid)
+        in
+        List.iter Thread.join threads;
+        ignore (ok_or_fail "shutdown" (C.rpc addr shutdown_body)))
+  in
+  (* 8 clients x (64 + 1 final probe) + 8 rude + 1 shutdown, all served *)
+  Alcotest.(check int) "served"
+    ((stress_clients * (stress_requests + 1)) + 8 + 1)
+    summary.T.served;
+  Alcotest.(check int) "errors" 0 summary.T.errors;
+  Alcotest.(check int) "connections" (stress_clients + 2) summary.T.connections;
+  Alcotest.(check int) "refused" 0 summary.T.refused
+
+(* ------------------------------------------------------------ lifecycle *)
+
+let test_overload_refusal () =
+  let config = net_config ~max_connections:1 () in
+  let summary, () =
+    with_server ~config (temp_unix_addr ()) (fun addr ->
+        let c1 = ok_or_fail "c1 connect" (C.connect addr) in
+        ignore (ok_or_fail "c1 stats" (C.request c1 (J.Obj [ ("op", J.Str "stats") ])));
+        (* the slot is held: a second client is answered [overloaded]
+           naming the threshold, then closed *)
+        let c2 = ok_or_fail "c2 connect" (C.connect addr) in
+        (match C.request c2 (J.Obj [ ("op", J.Str "stats") ]) with
+        | Error (C.Overloaded msg) ->
+          Alcotest.(check bool) "names the threshold" true (contains msg "1")
+        | Ok _ -> Alcotest.fail "second client admitted past max_connections"
+        | Error e -> Alcotest.failf "expected overloaded, got %s" (C.error_to_string e));
+        C.close c2;
+        C.close c1;
+        (* once the slot frees, the retry ladder gets through *)
+        ignore (ok_or_fail "rpc after drain" (C.rpc ~retries:5 addr shutdown_body)))
+  in
+  Alcotest.(check bool) "refusals counted" true (summary.T.refused >= 1);
+  Alcotest.(check int) "no response errors" 0 summary.T.errors
+
+let test_idle_timeout () =
+  let config = net_config ~idle_timeout:0.3 () in
+  let summary, () =
+    with_server ~config (temp_unix_addr ()) (fun addr ->
+        let c = ok_or_fail "connect" (C.connect addr) in
+        ignore (ok_or_fail "stats" (C.request c (J.Obj [ ("op", J.Str "stats") ])));
+        (* go silent: the server answers [timeout] and closes *)
+        (match C.recv c with
+        | Error (C.Timed_out msg) ->
+          Alcotest.(check bool) "timeout names the idle window" true (contains msg "idle")
+        | Error C.Disconnected -> Alcotest.fail "closed without the typed timeout line"
+        | Error e -> Alcotest.failf "expected timeout, got %s" (C.error_to_string e)
+        | Ok j -> Alcotest.failf "unexpected response %s" (J.to_string j));
+        ignore (ok_or_fail "shutdown" (C.rpc addr shutdown_body)))
+  in
+  Alcotest.(check int) "no response errors" 0 summary.T.errors
+
+let test_frame_cap () =
+  let config = net_config ~max_line_bytes:1024 () in
+  let summary, () =
+    with_server ~config (temp_unix_addr ()) (fun addr ->
+        let c = ok_or_fail "connect" (C.connect addr) in
+        (* one oversized frame: rejected with the limit named, id null,
+           and the connection survives for the next request *)
+        ok_or_fail "send oversize" (C.send_line c (String.make 5000 'x'));
+        (match C.recv c with
+        | Ok j ->
+          Alcotest.(check (option bool)) "rejected" (Some false) (J.mem_bool "ok" j);
+          let s = J.to_string j in
+          Alcotest.(check bool) "bad_request" true (contains s "bad_request");
+          Alcotest.(check bool) "names the limit" true (contains s "1024-byte");
+          Alcotest.(check bool) "id is null" true
+            (J.member "id" j = Some J.Null)
+        | Error e -> Alcotest.failf "recv oversize reply: %s" (C.error_to_string e));
+        let again = ok_or_fail "still serving" (C.request c (J.Obj [ ("op", J.Str "stats") ])) in
+        Alcotest.(check (option bool)) "connection survives" (Some true)
+          (J.mem_bool "ok" again);
+        ignore (ok_or_fail "shutdown" (C.request c shutdown_body));
+        C.close c)
+  in
+  Alcotest.(check int) "the rejection is counted" 1 summary.T.errors
+
+let test_shutdown_drains_queued () =
+  (* queue several slow-ish jobs then shut down from the same pipeline:
+     everything already accepted must still answer *)
+  let summary, () =
+    with_server (temp_unix_addr ()) (fun addr ->
+        let c = ok_or_fail "connect" (C.connect addr) in
+        let ids =
+          List.map
+            (fun gate ->
+              ok_or_fail "send"
+                (C.send c (J.Obj [ ("op", J.Str "pulses"); ("gate", J.Str gate) ])))
+            [ "cnot"; "iswap"; "swap" ]
+        in
+        let bye = ok_or_fail "send shutdown" (C.send c shutdown_body) in
+        List.iter
+          (fun id ->
+            let r = ok_or_fail "drain recv" (C.recv_id c id) in
+            Alcotest.(check (option bool)) "queued job answered" (Some true)
+              (J.mem_bool "ok" r))
+          (ids @ [ bye ]);
+        C.close c)
+  in
+  Alcotest.(check int) "all four served" 4 summary.T.served;
+  Alcotest.(check int) "errors" 0 summary.T.errors
+
+let () =
+  Alcotest.run "serve_net"
+    [
+      ("addr", [ Alcotest.test_case "parsing" `Quick test_addr_parsing ]);
+      ( "transport",
+        [
+          Alcotest.test_case "unix happy path" `Quick test_unix_happy_path;
+          Alcotest.test_case "tcp happy path" `Quick test_tcp_happy_path;
+          Alcotest.test_case "differential vs stdio" `Quick test_differential;
+          Alcotest.test_case "shutdown drains queued" `Quick test_shutdown_drains_queued;
+        ] );
+      ( "lifecycle",
+        [
+          Alcotest.test_case "overload refusal" `Quick test_overload_refusal;
+          Alcotest.test_case "idle timeout" `Quick test_idle_timeout;
+          Alcotest.test_case "frame cap" `Quick test_frame_cap;
+        ] );
+      ("stress", [ Alcotest.test_case "8x64 pipelined + disconnect" `Quick test_stress ]);
+    ]
