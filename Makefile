@@ -28,9 +28,10 @@ bench-smoke: build
 bench-obs: build
 	dune exec bench/main.exe -- obs
 
-# socket transport load bench: 8 clients over a unix socket vs the
-# in-process server on the same warm-cache stream; writes
-# BENCH_serve_net.json
+# socket transport load bench: 8 pipelined clients over a unix socket
+# (JSON-lines and binary-frame passes) vs direct in-process execution of
+# the same warm-cache stream, plus the duplicate-storm coalescing check;
+# writes BENCH_serve_net.json (gates: meets_1x, p99_halved, single_run)
 bench-net: build
 	dune exec bench/main.exe -- serve-net
 

@@ -2,12 +2,15 @@
    paper's evaluation section. Usage:
 
      dune exec bench/main.exe [-- TARGET ...] [--big] [--haar-n N]
-                              [--trajectories N] [--limit N] [--csv-dir D]
+                              [--trajectories N] [--limit N] [--clients N]
+                              [--pipeline N] [--csv-dir D]
 
    Targets: table1 table2 table3 fig4 fig5 fig6 fig12 fig13 fig14 fig15
    fig16 templates variational calibration decoherence calibrate leakage
    serve serve-net obs all (default: all). For serve-net, --limit is the
-   per-client request count.
+   per-client request count, --clients the load-generator count, and
+   --pipeline the per-client pipelining window (0 = the whole stream at
+   once).
 
    Unknown targets and malformed flag values are hard errors (exit 2), so a
    typo can't silently run the wrong benchmark set.
@@ -20,7 +23,8 @@ let known_targets =
     "fig14"; "fig15"; "fig16"; "templates"; "variational"; "calibration";
     "decoherence"; "calibrate"; "leakage"; "serve"; "serve-net"; "obs"; "all" ]
 
-let value_flags = [ "--haar-n"; "--trajectories"; "--limit"; "--csv-dir" ]
+let value_flags =
+  [ "--haar-n"; "--trajectories"; "--limit"; "--clients"; "--pipeline"; "--csv-dir" ]
 
 let usage () =
   Printf.eprintf "targets: %s\nflags:   --big, %s N\n"
@@ -93,6 +97,10 @@ let () =
   (match limit with
   | Some v when v <= 0 -> fail "--limit expects a positive integer, got %d" v
   | _ -> ());
+  let clients = get_int "--clients" 8 in
+  if clients <= 0 then fail "--clients expects a positive integer, got %d" clients;
+  let pipeline = get_int "--pipeline" 0 in
+  if pipeline < 0 then fail "--pipeline expects a non-negative integer, got %d" pipeline;
   let targets = if targets = [] then [ "all" ] else targets in
   let want t = List.mem t targets || List.mem "all" targets in
   let total_t0 = Unix.gettimeofday () in
@@ -114,7 +122,7 @@ let () =
   if want "calibrate" then Extras.calibrate ();
   if want "leakage" then Extras.leakage_study ();
   if want "serve" then Serve_bench.serve ?limit ~big ();
-  if want "serve-net" then Serve_net_bench.serve_net ?requests:limit ();
+  if want "serve-net" then Serve_net_bench.serve_net ~clients ~pipeline ?requests:limit ();
   if want "obs" then Obs_bench.obs ?limit ~big ();
   Util.write_robust_json "BENCH_robust.json";
   Printf.printf "\ntotal bench time: %.1fs\n" (Unix.gettimeofday () -. total_t0)

@@ -7,9 +7,10 @@
      reqisc_cli qasm FILE [--pulses]
      reqisc_cli serve [--listen tcp:HOST:PORT|unix:PATH] [--cache FILE]
                       [--workers N] [--capacity N] [--max-conns N]
-                      [--idle-timeout S] [--max-line BYTES]
+                      [--idle-timeout S] [--max-line BYTES] [--no-coalesce]
      reqisc_cli client --connect tcp:HOST:PORT|unix:PATH [--retries N]
-                       [--backoff S] [--timeout S] [REQUEST...]
+                       [--backoff S] [--jitter J] [--frames json|binary]
+                       [--timeout S] [REQUEST...]
      reqisc_cli cache stats --cache FILE
      reqisc_cli trace [--out FILE] [--prom FILE] SUBCOMMAND [ARGS...]
 
@@ -46,10 +47,10 @@ let subcommands =
       "synthesize one pulse (GATE in cnot|cz|iswap|sqisw|b|swap)" );
     ("qasm", "qasm FILE [--pulses]", "parse a REQASM file and report metrics");
     ( "serve",
-      "serve [--listen tcp:HOST:PORT|unix:PATH] [--cache FILE] [--workers N] [--capacity N] [--max-conns N] [--idle-timeout S] [--max-line BYTES]",
+      "serve [--listen tcp:HOST:PORT|unix:PATH] [--cache FILE] [--workers N] [--capacity N] [--max-conns N] [--idle-timeout S] [--max-line BYTES] [--no-coalesce]",
       "serve the JSON protocol on stdin/stdout, or on a socket with --listen" );
     ( "client",
-      "client --connect tcp:HOST:PORT|unix:PATH [--retries N] [--backoff S] [--timeout S] [REQUEST...]",
+      "client --connect tcp:HOST:PORT|unix:PATH [--retries N] [--backoff S] [--jitter J] [--frames json|binary] [--timeout S] [REQUEST...]",
       "send request lines (args, or stdin when none) to a serve --listen instance" );
     ("cache", "cache stats --cache FILE", "print cache statistics as JSON");
     ( "trace",
@@ -309,6 +310,7 @@ let cmd_serve args =
       Serve.Server.cache_path = flag_value args "--cache";
       workers = int_flag args "--workers" 0;
       cache_capacity = int_flag args "--capacity" 4096;
+      coalesce = not (List.mem "--no-coalesce" args);
     }
   in
   let workers_str =
@@ -336,6 +338,7 @@ let cmd_serve args =
         max_connections = int_flag args "--max-conns" 64;
         idle_timeout = float_flag args "--idle-timeout" 300.0;
         max_line_bytes = int_flag args "--max-line" Serve.Protocol.max_line_bytes;
+        max_write_buffer = Serve.Transport.default_config.Serve.Transport.max_write_buffer;
       }
     in
     let ready a =
@@ -365,6 +368,13 @@ let cmd_client args =
   in
   let retries = int_flag args "--retries" 3 in
   let backoff = float_flag args "--backoff" 0.05 in
+  let jitter = float_flag args "--jitter" 0.0 in
+  let frames =
+    match flag_value args "--frames" with
+    | None | Some "json" -> Serve.Client.Json_lines
+    | Some "binary" -> Serve.Client.Binary
+    | Some other -> usage_error "--frames expects json|binary, got %S" other
+  in
   let recv_timeout =
     match float_flag args "--timeout" 0.0 with 0.0 -> None | s -> Some s
   in
@@ -374,7 +384,9 @@ let cmd_client args =
     exit 4
   in
   (* positional args are request lines; skip flag/value pairs *)
-  let value_flags = [ "--connect"; "--retries"; "--backoff"; "--timeout" ] in
+  let value_flags =
+    [ "--connect"; "--retries"; "--backoff"; "--jitter"; "--frames"; "--timeout" ]
+  in
   let requests =
     let rec go acc = function
       | f :: _ :: rest when List.mem f value_flags -> go acc rest
@@ -384,7 +396,7 @@ let cmd_client args =
     go [] args
   in
   let t =
-    match Serve.Client.connect ~retries ~backoff ?recv_timeout addr with
+    match Serve.Client.connect ~retries ~backoff ~jitter ~frames ?recv_timeout addr with
     | Ok t -> t
     | Error e -> client_error e
   in

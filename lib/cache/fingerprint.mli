@@ -22,6 +22,13 @@ val create : string -> t
 
 val int : t -> int -> t
 val str : t -> string -> t
+val bool : t -> bool -> t
+
+(** [opt field fp v] appends a presence marker, then [field fp x] when
+    [v = Some x] — so [None] can never alias [Some default]. Used by the
+    serve layer to key optional request fields (budgets) for single-flight
+    coalescing. *)
+val opt : (t -> 'a -> t) -> t -> 'a option -> t
 
 (** [float fp v] appends [round (v / quantum)]. Non-finite values get
     distinct symbolic encodings (never an exception). *)

@@ -29,10 +29,15 @@ let error_to_string = function
   | Server_error { kind; stage; message; _ } ->
     Printf.sprintf "server error[%s] %s: %s" kind stage message
 
+let stage = "serve.client"
+
+type frames = Json_lines | Binary
+
 type t = {
   fd : Unix.file_descr;
   ic : in_channel;
   oc : out_channel;
+  frames : frames;
   mutable next_id : int;
   (* pipelined responses that arrived while awaiting a different id,
      keyed by the emitted form of their id *)
@@ -44,7 +49,7 @@ type t = {
 
 let ( let* ) = Result.bind
 
-let connect_once ?recv_timeout sa =
+let connect_once ?(frames = Json_lines) ?recv_timeout sa =
   let domain = Unix.domain_of_sockaddr sa in
   let fd = Unix.socket ~cloexec:true domain Unix.SOCK_STREAM 0 in
   try
@@ -59,6 +64,7 @@ let connect_once ?recv_timeout sa =
         fd;
         ic = Unix.in_channel_of_descr fd;
         oc = Unix.out_channel_of_descr fd;
+        frames;
         next_id = 0;
         stash = [];
         alive = true;
@@ -67,12 +73,26 @@ let connect_once ?recv_timeout sa =
     (try Unix.close fd with Unix.Unix_error _ -> ());
     Error (Unix.error_message e)
 
-let backoff_sleep ~backoff attempt =
-  (* deterministic ladder: backoff * 2^attempt, no jitter *)
+(* jitter is opt-in: the default ladder stays deterministic so test runs
+   and incident reproductions see identical timing; [jitter = j] spreads
+   each sleep uniformly over [d*(1-j), d*(1+j)] to decorrelate clients
+   retrying in lockstep after a refusal storm *)
+let jitter_rng = lazy (Random.State.make_self_init ())
+
+let backoff_sleep ?(jitter = 0.0) ~backoff attempt =
   let d = backoff *. Float.pow 2.0 (float_of_int attempt) in
+  let d =
+    if jitter > 0.0 then begin
+      let j = Float.min jitter 1.0 in
+      let u = Random.State.float (Lazy.force jitter_rng) 2.0 -. 1.0 in
+      Float.max 0.0 (d *. (1.0 +. (j *. u)))
+    end
+    else d
+  in
   if d > 0.0 then Unix.sleepf d
 
-let connect ?(retries = 0) ?(backoff = 0.05) ?recv_timeout addr =
+let connect ?(retries = 0) ?(backoff = 0.05) ?(jitter = 0.0) ?frames ?recv_timeout
+    addr =
   match Transport.sockaddr addr with
   | Error e ->
     Error (Connect_failed { addr = Transport.addr_to_string addr; attempts = 0; detail = e })
@@ -87,10 +107,16 @@ let connect ?(retries = 0) ?(backoff = 0.05) ?recv_timeout addr =
                detail = last_err;
              })
       else
-        match connect_once ?recv_timeout sa with
-        | Ok t -> Ok t
+        match connect_once ?frames ?recv_timeout sa with
+        | Ok t ->
+          Obs.Metric.incr ~stage "connect";
+          Ok t
         | Error detail ->
-          if attempt < retries then backoff_sleep ~backoff attempt;
+          Obs.Metric.incr ~stage "connect_failed";
+          if attempt < retries then begin
+            Obs.Metric.incr ~stage "reconnect";
+            backoff_sleep ~jitter ~backoff attempt
+          end;
           go (attempt + 1) detail
     in
     go 0 "unreachable"
@@ -104,7 +130,22 @@ let close t =
 
 (* ------------------------------------------------------------------ send *)
 
-let send t body =
+let flush t =
+  if not t.alive then Error Disconnected
+  else
+    try
+      Stdlib.flush t.oc;
+      Ok ()
+    with Sys_error msg -> Error (Io_error msg)
+
+let write_frame t payload =
+  match t.frames with
+  | Json_lines ->
+    output_string t.oc payload;
+    output_char t.oc '\n'
+  | Binary -> output_string t.oc (Frame.encode payload)
+
+let send ?(flush = true) t body =
   if not t.alive then Error Disconnected
   else
     match body with
@@ -121,33 +162,26 @@ let send t body =
         if List.mem_assoc "v" members then members
         else ("v", Json.Num (float_of_int Protocol.version)) :: members
       in
-      let line = Json.to_string (Json.Obj members) in
       (try
-         output_string t.oc line;
-         output_char t.oc '\n';
-         flush t.oc;
+         write_frame t (Json.to_string (Json.Obj members));
+         if flush then Stdlib.flush t.oc;
          Ok id
-       with Sys_error msg ->
-         t.alive <- false;
-         Error (Io_error msg))
+       with Sys_error msg -> Error (Io_error msg))
     | _ -> Error (Io_error "request body must be a JSON object")
 
-let send_line t line =
+let send_line ?(flush = true) t line =
   if not t.alive then Error Disconnected
   else
     try
-      output_string t.oc line;
-      output_char t.oc '\n';
-      flush t.oc;
+      write_frame t line;
+      if flush then Stdlib.flush t.oc;
       Ok ()
-    with Sys_error msg ->
-      t.alive <- false;
-      Error (Io_error msg)
+    with Sys_error msg -> Error (Io_error msg)
 
 (* ------------------------------------------------------------------ recv *)
 
-(* connection-fatal error lines surface as their typed variant no matter
-   what the caller was waiting for *)
+(* connection-fatal error responses surface as their typed variant no
+   matter what the caller was waiting for *)
 let fatal_of_response json =
   match Json.member "error" json with
   | Some err -> (
@@ -158,19 +192,39 @@ let fatal_of_response json =
     | _ -> None)
   | None -> None
 
-let recv t =
+(* max payload a client will buffer from a response frame; a declared
+   length past this means a desynced or hostile stream *)
+let max_recv_frame = 1 lsl 26
+
+let recv_binary_payload t =
+  let hdr = Bytes.create Frame.header_bytes in
+  really_input t.ic hdr 0 Frame.header_bytes;
+  let hdr = Bytes.to_string hdr in
+  match Frame.decode_header hdr 0 with
+  | Ok len ->
+    if len > max_recv_frame then
+      Error (Io_error (Printf.sprintf "response frame declares %d bytes" len))
+    else begin
+      let payload = Bytes.create len in
+      really_input t.ic payload 0 len;
+      Ok (Bytes.to_string payload)
+    end
+  | Error _ -> (
+    (* not a frame: the server spoke a JSON line at us — an overload
+       refusal precedes framing negotiation — surface that line *)
+    match String.index_opt hdr '\n' with
+    | Some i -> Ok (String.sub hdr 0 i)
+    | None -> Ok (hdr ^ input_line t.ic))
+
+let recv_raw t =
   if not t.alive then Error Disconnected
   else
-    match input_line t.ic with
-    | line -> (
-      match Json.parse line with
-      | Error _ -> Error (Bad_response line)
-      | Ok json -> (
-        match fatal_of_response json with
-        | Some fatal ->
-          close t;
-          Error fatal
-        | None -> Ok json))
+    match
+      match t.frames with
+      | Json_lines -> Ok (input_line t.ic)
+      | Binary -> recv_binary_payload t
+    with
+    | result -> result
     | exception End_of_file ->
       close t;
       Error Disconnected
@@ -180,6 +234,17 @@ let recv t =
     | exception Sys_blocked_io ->
       close t;
       Error (Io_error "receive timed out")
+
+let recv t =
+  let* payload = recv_raw t in
+  match Json.parse payload with
+  | Error _ -> Error (Bad_response payload)
+  | Ok json -> (
+    match fatal_of_response json with
+    | Some fatal ->
+      close t;
+      Error fatal
+    | None -> Ok json)
 
 let id_key id = Json.to_string id
 
@@ -201,29 +266,46 @@ let recv_id t id =
     in
     await ()
 
-let request t body =
-  let* id = send t body in
-  let* json = recv_id t id in
-  match Json.mem_bool "ok" json with
-  | Some true -> Ok json
-  | _ -> (
-    match Json.member "error" json with
-    | Some err ->
-      Error
-        (Server_error
-           {
-             kind = Option.value ~default:"unknown" (Json.mem_str "kind" err);
-             stage = Option.value ~default:"" (Json.mem_str "stage" err);
-             message = Option.value ~default:"" (Json.mem_str "message" err);
-             id;
-           })
-    | None -> Error (Bad_response (Json.to_string json)))
+(* a send that hit EPIPE may have crossed a refusal in flight: the server
+   answered (e.g. [overloaded]) and closed before our bytes landed. Read
+   the response it left so the caller gets the typed error, not EPIPE. *)
+let rescue_fatal t =
+  match input_line t.ic with
+  | line -> (
+    match Json.parse line with
+    | Ok json -> fatal_of_response json
+    | Error _ -> None)
+  | exception (End_of_file | Sys_error _ | Sys_blocked_io) -> None
 
-let rpc ?(retries = 3) ?(backoff = 0.05) addr body =
+let request t body =
+  match send t body with
+  | Error ((Io_error _ | Disconnected) as e) ->
+    let rescued = rescue_fatal t in
+    close t;
+    Error (Option.value ~default:e rescued)
+  | Error e -> Error e
+  | Ok id -> (
+    let* json = recv_id t id in
+    match Json.mem_bool "ok" json with
+    | Some true -> Ok json
+    | _ -> (
+      match Json.member "error" json with
+      | Some err ->
+        Error
+          (Server_error
+             {
+               kind = Option.value ~default:"unknown" (Json.mem_str "kind" err);
+               stage = Option.value ~default:"" (Json.mem_str "stage" err);
+               message = Option.value ~default:"" (Json.mem_str "message" err);
+               id;
+             })
+      | None -> Error (Bad_response (Json.to_string json))))
+
+let rpc ?(retries = 3) ?(backoff = 0.05) ?(jitter = 0.0) ?frames addr body =
   let rec go attempt =
     let attempt_left = retries - attempt in
     let result =
-      match connect addr with
+      match connect ?frames addr with
       | Error e -> Error e
       | Ok t ->
         let r = request t body in
@@ -232,7 +314,8 @@ let rpc ?(retries = 3) ?(backoff = 0.05) addr body =
     in
     match result with
     | Error (Connect_failed _ | Overloaded _) when attempt_left > 0 ->
-      backoff_sleep ~backoff attempt;
+      Obs.Metric.incr ~stage "retry";
+      backoff_sleep ~jitter ~backoff attempt;
       go (attempt + 1)
     | other -> other
   in

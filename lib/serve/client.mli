@@ -1,16 +1,28 @@
 (** Blocking client for the socket transport.
 
-    One {!t} is one connection speaking the line-delimited JSON protocol.
-    The client supports pipelining without threads: {!send} any number of
-    requests, then {!recv_id} each response — the server answers in
-    completion order, so responses for other outstanding ids are stashed
-    and handed back when their turn comes.
+    One {!t} is one connection. The client supports pipelining without
+    threads: {!send} any number of requests (optionally holding the
+    [flush] so a burst goes out in one write), then {!recv_id} each
+    response — the server answers in completion order, so responses for
+    other outstanding ids are stashed and handed back when their turn
+    comes.
+
+    {b Framing}: [~frames:Binary] speaks the length-prefixed binary
+    frame format ({!Frame}) instead of JSON lines; the server
+    autodetects from the first bytes sent, so no handshake round-trip is
+    needed. Server messages that precede negotiation (an overload
+    refusal) are JSON lines even then — the binary receive path detects
+    and surfaces them as their typed variant.
 
     Errors are typed in the {!Robust} discipline: every failure is a
-    variant carrying what a retry policy needs, never an exception.
-    Retry/backoff is deterministic (exponential, no jitter): attempt [k]
-    sleeps [backoff * 2^k], so test runs and incident reproductions see
-    identical timing ladders. *)
+    variant carrying what a retry policy needs, never an exception. The
+    default retry ladder is deterministic (attempt [k] sleeps
+    [backoff * 2^k]) so test runs and incident reproductions see
+    identical timing; pass [jitter] (0..1) to spread each sleep over
+    [±jitter] of its nominal value and decorrelate clients retrying in
+    lockstep. Connect/retry activity is observable under the Obs stage
+    ["serve.client"] ([connect], [connect_failed], [reconnect],
+    [retry]). *)
 
 type error =
   | Connect_failed of { addr : string; attempts : int; detail : string }
@@ -20,7 +32,7 @@ type error =
   | Timed_out of string  (** the server idled this connection out *)
   | Disconnected  (** the peer closed; no further requests on this [t] *)
   | Io_error of string
-  | Bad_response of string  (** a response line that is not valid JSON *)
+  | Bad_response of string  (** a response frame that is not valid JSON *)
   | Server_error of { kind : string; stage : string; message : string; id : Json.t }
       (** an [ok = false] response: the typed error the server reported *)
 
@@ -29,15 +41,21 @@ val error_kind : error -> string
 
 val error_to_string : error -> string
 
+type frames = Json_lines | Binary
+
 type t
 
-(** [connect ?retries ?backoff ?recv_timeout addr] — [retries] extra
-    attempts after the first (default 0) with deterministic exponential
-    [backoff] seconds (default 0.05); [recv_timeout] bounds every receive
-    (seconds; unset = block forever). *)
+(** [connect ?retries ?backoff ?jitter ?frames ?recv_timeout addr] —
+    [retries] extra attempts after the first (default 0) on the
+    exponential [backoff] ladder (default 0.05s base; [jitter] as per the
+    module doc); [frames] selects the wire format (default
+    [Json_lines]); [recv_timeout] bounds every receive (seconds; unset =
+    block forever). *)
 val connect :
   ?retries:int ->
   ?backoff:float ->
+  ?jitter:float ->
+  ?frames:frames ->
   ?recv_timeout:float ->
   Transport.addr ->
   (t, error) result
@@ -46,29 +64,46 @@ val close : t -> unit
 
 (** [send t body] assigns the next request id, injects it and the
     protocol version into [body] (an object; an existing ["id"] member is
-    kept), writes one line, and returns the id to {!recv_id} on. *)
-val send : t -> Json.t -> (Json.t, error) result
+    kept), writes one frame, and returns the id to {!recv_id} on.
+    [~flush:false] keeps the frame in the output buffer — batch a
+    pipelined burst, then {!flush} once. *)
+val send : ?flush:bool -> t -> Json.t -> (Json.t, error) result
 
-(** [send_line t line] writes one raw frame verbatim — no id/version
-    injection, no JSON validation. For differential testing and
-    protocol-level debugging; pair with {!recv}. *)
-val send_line : t -> string -> (unit, error) result
+(** [send_line t line] writes one raw payload verbatim (as a line or a
+    binary frame per the connection's mode) — no id/version injection,
+    no JSON validation. For differential testing and protocol-level
+    debugging; pair with {!recv}. *)
+val send_line : ?flush:bool -> t -> string -> (unit, error) result
 
-(** [recv t] — next response line, whatever its id. *)
+(** Flush frames held back by [send ~flush:false]. *)
+val flush : t -> (unit, error) result
+
+(** [recv_raw t] — next response payload as its raw JSON text, whatever
+    its id. For measurement loops that match ids without a full parse. *)
+val recv_raw : t -> (string, error) result
+
+(** [recv t] — next response, whatever its id. *)
 val recv : t -> (Json.t, error) result
 
 (** [recv_id t id] — the response whose ["id"] is [id], stashing any
     other pipelined responses that arrive first. Connection-fatal error
-    lines ([overloaded], [timeout]) surface as their typed variant no
+    responses ([overloaded], [timeout]) surface as their typed variant no
     matter which id is awaited. *)
 val recv_id : t -> Json.t -> (Json.t, error) result
 
 (** [request t body] = {!send} + {!recv_id}; an [ok = false] response
-    comes back as [Error (Server_error _)]. *)
+    comes back as [Error (Server_error _)]. A send that dies on a closed
+    socket first drains any typed refusal the server left behind. *)
 val request : t -> Json.t -> (Json.t, error) result
 
-(** [rpc ?retries ?backoff addr body] — one-shot convenience: connect,
-    request, close, retrying [Connect_failed] and [Overloaded] on the
-    deterministic backoff ladder. *)
+(** [rpc ?retries ?backoff ?jitter ?frames addr body] — one-shot
+    convenience: connect, request, close, retrying [Connect_failed] and
+    [Overloaded] on the backoff ladder. *)
 val rpc :
-  ?retries:int -> ?backoff:float -> Transport.addr -> Json.t -> (Json.t, error) result
+  ?retries:int ->
+  ?backoff:float ->
+  ?jitter:float ->
+  ?frames:frames ->
+  Transport.addr ->
+  Json.t ->
+  (Json.t, error) result

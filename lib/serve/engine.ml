@@ -1,16 +1,25 @@
 let stage = "serve"
+let coalesce_stage = "serve.coalesce"
 
-type job = {
-  parsed : Protocol.parsed;
-  enqueued_ns : int;
-  respond : Json.t -> unit;
-}
+(* one requester awaiting a response: the id to attach and the closure
+   routing it back to wherever the request came from *)
+type waiter = { id : Json.t; respond : Json.t -> unit }
+
+type job =
+  (* executed for exactly one requester (parse errors, stats, batch, ...) *)
+  | Direct of { parsed : Protocol.parsed; enqueued_ns : int; respond : Json.t -> unit }
+  (* single-flight leader: executed once, fanned out to every waiter
+     registered under [key] by the time the result is ready *)
+  | Flight of { key : string; body : Protocol.body; enqueued_ns : int }
 
 type t = {
   seed : int64;
   suite : Benchmarks.Suite.bench list;
   cache : Cache.t option;
   queue : job Jobq.t;
+  coalesce : bool;
+  flight_lock : Mutex.t;
+  flights : (string, waiter list ref) Hashtbl.t;
   served : int Atomic.t;
   errors : int Atomic.t;
   t0 : float;
@@ -240,43 +249,72 @@ and exec_guarded t b =
     Protocol.error_item ~kind:"internal_error" ~stage
       (Printf.sprintf "%s (op %s)" (Printexc.to_string e) (Protocol.op_name b.op))
 
-let respond_counted t (job : job) (response : Json.t) =
+let respond_counted t ~respond (response : Json.t) =
   let is_error = Json.mem_bool "ok" response = Some false in
   Atomic.incr t.served;
   if is_error then Atomic.incr t.errors;
   Robust.Counters.incr ~stage (if is_error then "response_error" else "response_ok");
   (* a respond closure bound to a dead connection may fail; the worker
      must survive that too (the response is simply undeliverable) *)
-  try job.respond response
+  try respond response
   with e ->
     Robust.Counters.incr ~stage "response_undeliverable";
     ignore (Printexc.to_string e)
+
+let exec_item t body =
+  let name = "exec." ^ Protocol.op_name body.Protocol.op in
+  Obs.Span.with_ ~stage ~name (fun () -> exec_guarded t body)
+
+(* retire a flight: unregister the key first (a duplicate arriving after
+   this point starts a fresh flight — the result is not cached here, only
+   shared among concurrent requesters), then fan the one id-less item out
+   to every waiter, each under its own id. Failures fan out identically:
+   every waiter sees the same typed error item. *)
+let finish_flight t key item =
+  Mutex.lock t.flight_lock;
+  let waiters =
+    match Hashtbl.find_opt t.flights key with
+    | Some ws ->
+      Hashtbl.remove t.flights key;
+      List.rev !ws
+    | None -> []
+  in
+  let inflight = Hashtbl.length t.flights in
+  Mutex.unlock t.flight_lock;
+  Obs.Metric.set_gauge ~stage:coalesce_stage "inflight" (float_of_int inflight);
+  List.iter
+    (fun w -> respond_counted t ~respond:w.respond (Protocol.with_id ~id:w.id item))
+    waiters
 
 let worker t () =
   let rec loop () =
     match Jobq.pop t.queue with
     | None -> ()
     | Some job ->
-      Obs.Span.emit ~stage ~name:"queue_wait" ~t0:job.enqueued_ns;
       Obs.Metric.set_gauge ~stage "queue_depth" (float_of_int (Jobq.length t.queue));
-      (match job.parsed.body with
-      | Error msg ->
-        respond_counted t job
-          (Protocol.error_response ~id:job.parsed.id ~kind:"bad_request"
-             ~stage:"serve.protocol" msg)
-      | Ok body -> (
-        let name = "exec." ^ Protocol.op_name body.op in
-        match Obs.Span.with_ ~stage ~name (fun () -> exec_guarded t body) with
-        | Json.Obj _ as item ->
-          respond_counted t job (Protocol.with_id ~id:job.parsed.id item)
-        | other -> respond_counted t job other));
+      (match job with
+      | Direct { parsed; enqueued_ns; respond } -> (
+        Obs.Span.emit ~stage ~name:"queue_wait" ~t0:enqueued_ns;
+        match parsed.body with
+        | Error msg ->
+          respond_counted t ~respond
+            (Protocol.error_response ~id:parsed.id ~kind:"bad_request"
+               ~stage:"serve.protocol" msg)
+        | Ok body -> (
+          match exec_item t body with
+          | Json.Obj _ as item ->
+            respond_counted t ~respond (Protocol.with_id ~id:parsed.id item)
+          | other -> respond_counted t ~respond other))
+      | Flight { key; body; enqueued_ns } ->
+        Obs.Span.emit ~stage ~name:"queue_wait" ~t0:enqueued_ns;
+        finish_flight t key (exec_item t body));
       loop ()
   in
   loop ()
 
 (* ---------------------------------------------------------- lifecycle *)
 
-let create ?(workers = 0) ?cache ~seed () =
+let create ?(workers = 0) ?(coalesce = true) ?cache ~seed () =
   (* the engine observes itself: if the embedding process has not
      installed a sink, record into our own ring so the [stats] op (and
      its "obs" block) always has live span/metric data to report *)
@@ -290,6 +328,9 @@ let create ?(workers = 0) ?cache ~seed () =
       suite = Benchmarks.Suite.suite ~big:true ();
       cache;
       queue = Jobq.create ();
+      coalesce;
+      flight_lock = Mutex.create ();
+      flights = Hashtbl.create 64;
       served = Atomic.make 0;
       errors = Atomic.make 0;
       t0 = Unix.gettimeofday ();
@@ -301,9 +342,63 @@ let create ?(workers = 0) ?cache ~seed () =
   t.domains <- Array.init workers (fun _ -> Domain.spawn (worker t));
   t
 
-let submit t parsed ~respond =
-  Jobq.push t.queue { parsed; enqueued_ns = Obs.Span.now_ns (); respond };
+(* Single-flight admission: a coalescable request whose key is already
+   in flight (queued or executing) registers as a waiter on the existing
+   flight instead of enqueueing a duplicate computation; the leader's
+   fan-out answers everyone. Requests attach at submit time, so K
+   identical requests racing into a busy engine cost one solver run. *)
+let submit t (parsed : Protocol.parsed) ~respond =
+  let enqueued_ns = Obs.Span.now_ns () in
+  let direct () =
+    ignore (Jobq.push t.queue (Direct { parsed; enqueued_ns; respond }))
+  in
+  (match parsed.body with
+  | Ok body when t.coalesce -> (
+    match Protocol.body_key body with
+    | None -> direct ()
+    | Some key -> (
+      let w = { id = parsed.id; respond } in
+      Mutex.lock t.flight_lock;
+      match Hashtbl.find_opt t.flights key with
+      | Some ws ->
+        ws := w :: !ws;
+        Mutex.unlock t.flight_lock;
+        Obs.Metric.incr ~stage:coalesce_stage "hit";
+        Robust.Counters.incr ~stage "coalesce_hit"
+      | None ->
+        Hashtbl.add t.flights key (ref [ w ]);
+        let inflight = Hashtbl.length t.flights in
+        Mutex.unlock t.flight_lock;
+        Obs.Metric.incr ~stage:coalesce_stage "leader";
+        Obs.Metric.set_gauge ~stage:coalesce_stage "inflight" (float_of_int inflight);
+        if not (Jobq.push t.queue (Flight { key; body; enqueued_ns })) then begin
+          (* lost the race with shutdown: nothing must execute, so the
+             flight is unregistered (same drop semantics as a direct job
+             behind a closed queue) *)
+          Mutex.lock t.flight_lock;
+          Hashtbl.remove t.flights key;
+          Mutex.unlock t.flight_lock
+        end))
+  | _ -> direct ());
   Obs.Metric.set_gauge ~stage "queue_depth" (float_of_int (Jobq.length t.queue))
+
+(* synchronous execution for embedders: the calling thread computes the
+   response itself — no queue, no workers, no coalescing. Counted in
+   [served]/[errors] exactly like a worker-produced response. *)
+let exec_once t (parsed : Protocol.parsed) =
+  let out = ref Json.Null in
+  let respond r = out := r in
+  (match parsed.body with
+  | Error msg ->
+    respond_counted t ~respond
+      (Protocol.error_response ~id:parsed.id ~kind:"bad_request"
+         ~stage:"serve.protocol" msg)
+  | Ok body -> (
+    match exec_item t body with
+    | Json.Obj _ as item ->
+      respond_counted t ~respond (Protocol.with_id ~id:parsed.id item)
+    | other -> respond_counted t ~respond other));
+  !out
 
 let drain t =
   Jobq.close t.queue;

@@ -10,20 +10,43 @@
     The engine owns the process-global pulse cache for its lifetime (when
     one is given) and a self-installed {!Obs.Recorder} when the embedding
     process has no sink, so the [stats] op always reports live span
-    aggregates. Both are released by {!drain}. *)
+    aggregates. Both are released by {!drain}.
+
+    {b Single-flight coalescing} (on by default): when K in-flight
+    requests share a {!Protocol.body_key} — same pure op, same quantized
+    parameters — the engine executes the body once and fans the one
+    result (or the one typed error) out to all K waiters, each under its
+    own request id. Requests attach at submit time and detach when the
+    leader's result is ready, so a storm of identical cold-cache solves
+    costs one solver run. Coalescing shares only concurrent work; it
+    caches nothing (the pulse cache does that). Observability: Obs stage
+    ["serve.coalesce"] counters [leader]/[hit] and gauge [inflight], plus
+    the always-on {!Robust.Counters} ["serve"]/[coalesce_hit]. *)
 
 type t
 
-(** [create ?workers ?cache ~seed ()] spawns the worker domains
+(** [create ?workers ?coalesce ?cache ~seed ()] spawns the worker domains
     ([workers = 0] or omitted: {!Numerics.Par.default_domains}) and, when
     [cache] is given, installs it as the process-global pulse-synthesis
-    cache shared by all workers (and hence all connections). *)
-val create : ?workers:int -> ?cache:Cache.t -> seed:int64 -> unit -> t
+    cache shared by all workers (and hence all connections).
+    [coalesce = false] disables single-flight admission (every request
+    executes independently — the differential baseline). *)
+val create :
+  ?workers:int -> ?coalesce:bool -> ?cache:Cache.t -> seed:int64 -> unit -> t
 
 (** [submit t parsed ~respond] enqueues one request. [respond] is called
     exactly once from a worker domain with the complete response object
-    (id already attached); it must be thread-safe and must not raise. *)
+    (id already attached); it must be thread-safe and must not raise.
+    Coalesced requests share one execution but still get one [respond]
+    call each. *)
 val submit : t -> Protocol.parsed -> respond:(Json.t -> unit) -> unit
+
+(** [exec_once t parsed] executes one request synchronously on the
+    calling thread and returns the complete response (id attached):
+    no queue, no workers, no coalescing. The direct path for embedders
+    (one-shot tools, tests, benchmark baselines) that want the engine's
+    dispatch and accounting without the serving machinery. *)
+val exec_once : t -> Protocol.parsed -> Json.t
 
 (** [drain t] closes the queue, executes everything already enqueued,
     joins the workers, then releases the cache and any owned recorder.

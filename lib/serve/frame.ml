@@ -1,0 +1,29 @@
+let magic = "RQF1"
+let header_bytes = 8
+
+let encode payload =
+  let n = String.length payload in
+  let b = Bytes.create (header_bytes + n) in
+  Bytes.blit_string magic 0 b 0 4;
+  Bytes.set_uint8 b 4 (n land 0xff);
+  Bytes.set_uint8 b 5 ((n lsr 8) land 0xff);
+  Bytes.set_uint8 b 6 ((n lsr 16) land 0xff);
+  Bytes.set_uint8 b 7 ((n lsr 24) land 0xff);
+  Bytes.blit_string payload 0 b header_bytes n;
+  Bytes.unsafe_to_string b
+
+let matches_magic_prefix s off len =
+  let n = min len 4 in
+  let rec go i = i >= n || (s.[off + i] = magic.[i] && go (i + 1)) in
+  go 0
+
+let decode_header s off =
+  if not (matches_magic_prefix s off 4) then
+    Error
+      (Printf.sprintf "bad frame magic %S (expected %S)"
+         (String.sub s off (min 4 (String.length s - off)))
+         magic)
+  else
+    let b i = Char.code s.[off + 4 + i] in
+    (* u32le; an OCaml int comfortably holds 2^32 - 1 on 64-bit *)
+    Ok (b 0 lor (b 1 lsl 8) lor (b 2 lsl 16) lor (b 3 lsl 24))

@@ -1,0 +1,33 @@
+(** Length-prefixed binary framing for the wire protocol.
+
+    A binary frame is [magic ^ u32le length ^ payload], where the payload
+    is the same JSON text a line-delimited frame would carry (without the
+    trailing newline). Framing removes the per-byte newline scan and lets
+    a receiver size its buffer before reading the payload; oversized
+    frames can be skipped in O(1) memory because the length is declared
+    up front.
+
+    Negotiation is first-bytes autodetection, per connection: a client
+    whose very first bytes are {!magic} speaks binary frames for the rest
+    of the connection (and is answered in kind); anything else is JSON
+    lines. The two modes never mix on one connection. *)
+
+val magic : string
+(** ["RQF1"] — 4 bytes. *)
+
+val header_bytes : int
+(** Frame header size: 4 magic bytes + 4 length bytes. *)
+
+val encode : string -> string
+(** [encode payload] renders one complete frame. *)
+
+val decode_header : string -> int -> (int, string) result
+(** [decode_header s off] validates the magic at [off] and returns the
+    declared payload length. [s] must hold at least {!header_bytes} bytes
+    at [off]. *)
+
+val matches_magic_prefix : string -> int -> int -> bool
+(** [matches_magic_prefix s off len] — do the (up to 4) bytes at [off]
+    agree with {!magic}? With [len < 4] this is a prefix check: true
+    means "could still become a binary frame", used during negotiation
+    when fewer than 4 bytes have arrived. *)

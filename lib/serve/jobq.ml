@@ -10,11 +10,13 @@ let create () =
 
 let push q x =
   Mutex.lock q.lock;
-  if not q.closed then begin
+  let accepted = not q.closed in
+  if accepted then begin
     Queue.push x q.items;
     Condition.signal q.nonempty
   end;
-  Mutex.unlock q.lock
+  Mutex.unlock q.lock;
+  accepted
 
 let pop q =
   Mutex.lock q.lock;

@@ -9,9 +9,10 @@ type 'a t
 
 val create : unit -> 'a t
 
-(** [push q x] — silently ignored after [close] (the producer lost the
-    race with shutdown; nothing should enqueue behind a drain). *)
-val push : 'a t -> 'a -> unit
+(** [push q x] is [false] after [close] (the producer lost the race with
+    shutdown; nothing enqueues behind a drain — the caller decides what a
+    dropped job means). *)
+val push : 'a t -> 'a -> bool
 
 (** [pop q] is [None] only when the queue is closed and fully drained. *)
 val pop : 'a t -> 'a option

@@ -104,6 +104,41 @@ let rec parse_body ?(depth = 0) json =
   in
   Ok { op; budget }
 
+(* ------------------------------------------------------- coalescing key *)
+
+(* Single-flight coalescing key: two requests with the same key are the
+   same deterministic computation on the same engine (the engine seed and
+   suite are engine-wide constants, so they are not part of the key), or
+   a read-only snapshot that concurrent requesters may share — [stats]
+   coalesces because every waiter was in flight when the snapshot was
+   taken, so handing all of them the same answer is linearizable.
+   [shutdown] is a control action and [batch] items execute inline under
+   their envelope, so neither coalesces. Floats are quantized at the
+   solver cache's 1e-9 quantum, so requests that the pulse cache would
+   treat as identical coalesce identically. *)
+let body_key (b : body) =
+  let module F = Cache.Fingerprint in
+  let budget fp =
+    match b.budget with
+    | None -> F.opt F.int fp None
+    | Some { max_iterations; max_seconds } ->
+      F.opt F.int (F.opt F.float fp max_seconds) max_iterations
+  in
+  match b.op with
+  | Shutdown | Batch _ -> None
+  | Stats -> Some (F.key (budget (F.create "serve.stats.v1")))
+  | Pulses { target; coupling } ->
+    let fp = F.create "serve.pulses.v1" in
+    let fp =
+      match target with
+      | Gate name -> F.str (F.str fp "gate") name
+      | Coords (x, y, z) -> F.floats (F.str fp "coords") [| x; y; z |]
+    in
+    Some (F.key (budget (F.str fp coupling)))
+  | Compile { bench; mode; pulses } ->
+    let fp = F.create "serve.compile.v1" in
+    Some (F.key (budget (F.bool (F.str (F.str fp bench) mode) pulses)))
+
 let max_line_bytes = 1 lsl 20
 
 let oversize_message limit =

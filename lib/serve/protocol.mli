@@ -63,6 +63,14 @@ val parse_line : ?max_bytes:int -> string -> parsed
 (** Stable op tag (["compile"], ["pulses"], ...). *)
 val op_name : op -> string
 
+(** [body_key b] — the single-flight coalescing key: [Some key] iff [b]
+    is a pure, deterministic op ([pulses], [compile]); two bodies with
+    the same key are interchangeable computations whose results (and
+    typed errors) can be fanned out to every concurrent requester. Built
+    on {!Cache.Fingerprint}, floats quantized at the pulse cache's
+    quantum. [stats]/[shutdown]/[batch] return [None]. *)
+val body_key : body -> string option
+
 (** {1 Response builders} *)
 
 val ok_response : id:Json.t -> op:string -> Json.t -> Json.t

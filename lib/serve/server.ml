@@ -3,9 +3,11 @@ type config = {
   cache_path : string option;
   cache_capacity : int;
   seed : int64;
+  coalesce : bool;
 }
 
-let default_config = { workers = 0; cache_path = None; cache_capacity = 4096; seed = 1L }
+let default_config =
+  { workers = 0; cache_path = None; cache_capacity = 4096; seed = 1L; coalesce = true }
 
 type summary = { served : int; errors : int; elapsed : float }
 
@@ -23,7 +25,8 @@ let run ?(config = default_config) ic oc =
   | Error e -> Error e
   | Ok cache ->
     let engine =
-      Engine.create ~workers:config.workers ?cache ~seed:config.seed ()
+      Engine.create ~workers:config.workers ~coalesce:config.coalesce ?cache
+        ~seed:config.seed ()
     in
     let out_lock = Mutex.create () in
     let respond response =

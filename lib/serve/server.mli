@@ -22,6 +22,9 @@ type config = {
   cache_path : string option;
   cache_capacity : int;  (** LRU-tier entries (default 4096) *)
   seed : int64;  (** rng seed for compilation jobs (deterministic per request) *)
+  coalesce : bool;
+      (** single-flight coalescing of identical in-flight requests
+          (default [true]; see {!Engine}) *)
 }
 
 val default_config : config

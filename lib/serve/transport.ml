@@ -30,6 +30,7 @@ type config = {
   max_connections : int;
   idle_timeout : float;
   max_line_bytes : int;
+  max_write_buffer : int;
 }
 
 let default_config =
@@ -38,6 +39,7 @@ let default_config =
     max_connections = 64;
     idle_timeout = 300.0;
     max_line_bytes = Protocol.max_line_bytes;
+    max_write_buffer = 8 * Protocol.max_line_bytes;
   }
 
 type summary = {
@@ -52,38 +54,409 @@ let stage = "serve.net"
 
 (* --------------------------------------------------------- connections *)
 
-(* One per admitted client. The write lock serialises response lines from
-   the worker domains; [pending] counts jobs submitted but not yet
-   answered, so the fd is only closed once the last response has been
-   routed back (or dropped on a dead peer) — closing earlier would risk
-   the fd number being reused by a fresh accept while a worker still
-   holds a response for it. *)
+(* Per-connection frame mode, negotiated by first-bytes autodetection:
+   a connection whose very first 4 bytes are {!Frame.magic} speaks
+   length-prefixed binary frames for its whole lifetime and is answered
+   in kind; anything else is JSON lines. *)
+type frame_mode = Detect | Json_lines | Binary
+
+(* One per admitted client. Read-side state ([mode], [rbuf], scanners,
+   [last_rx], [read_open]) belongs to the event-loop thread alone.
+   Write-side state is shared with the worker domains under [wlock]:
+   workers render a response and append it to the bounded [wbuf]; the
+   event loop moves [wbuf] into [sending] and writes it out when the fd
+   is ready. The fd itself is touched only by the event loop, so there
+   is no close/reuse race with workers by construction. *)
 type conn = {
   fd : Unix.file_descr;
+  mutable mode : frame_mode;
+  rbuf : Buffer.t;  (* partial frame; bounded by the frame cap *)
+  mutable discard_line : bool;  (* JSON mode: dropping an oversized line *)
+  mutable discard_bytes : int;  (* binary mode: payload bytes left to skip *)
+  mutable frame_len : int;  (* binary mode: declared length; -1 = awaiting header *)
+  mutable last_rx : float;
+  mutable read_open : bool;
   wlock : Mutex.t;
-  mutable writable : bool;  (* peer still accepting bytes *)
+  wbuf : Buffer.t;  (* bytes queued by workers, bounded by [max_write_buffer] *)
+  mutable sending : string;  (* chunk in flight to the fd *)
+  mutable sent_off : int;
+  mutable writable : bool;  (* peer still accepting bytes, queue not overflowed *)
   mutable fd_closed : bool;
-  mutable pending : int;
-  mutable want_close : bool;
+  mutable pending : int;  (* jobs submitted, responses not yet enqueued *)
+  mutable want_close : bool;  (* no more requests will arrive *)
 }
 
-type listener_state = {
+type state = {
   config : config;
   engine : Engine.t;
   stopping : bool Atomic.t;
+  drained : bool Atomic.t;
   listen_fd : Unix.file_descr;
-  (* self-pipe waking the accept loop out of [select]: closing a
-     listener does not reliably interrupt a thread already blocked on
-     it, so drain writes one byte here instead *)
+  (* self-pipe: workers (and the SIGINT handler) wake the event loop out
+     of [select] — after enqueueing response bytes, or to start a drain *)
   wake_r : Unix.file_descr;
   wake_w : Unix.file_descr;
-  reg_lock : Mutex.t;
-  mutable conns : conn list;
-  mutable threads : Thread.t list;
-  active : int Atomic.t;
-  accepted : int Atomic.t;
-  refused : int Atomic.t;
+  mutable conns : conn list;  (* event-loop thread only *)
+  mutable accepted : int;
+  mutable refused : int;
 }
+
+let wake st =
+  try ignore (Unix.write st.wake_w (Bytes.make 1 '!') 0 1)
+  with Unix.Unix_error _ -> () (* pipe full: the loop is waking anyway *)
+
+let initiate_drain st =
+  (* minimal on purpose: callable from the SIGINT handler. The event
+     loop notices [stopping] and does the actual teardown. *)
+  if Atomic.compare_and_set st.stopping false true then wake st
+
+(* ------------------------------------------------------------ out path *)
+
+(* call with [c.wlock] held *)
+let queued_bytes_locked c = String.length c.sending - c.sent_off + Buffer.length c.wbuf
+
+let has_output c =
+  Mutex.lock c.wlock;
+  let b = c.writable && (not c.fd_closed) && queued_bytes_locked c > 0 in
+  Mutex.unlock c.wlock;
+  b
+
+(* deliverable bytes the fd refused to take (a partial or would-block
+   write). Only these make the event loop watch the fd for writability:
+   bytes parked in [wbuf] for batching have a guaranteed future flush
+   (their burst's last response), and watching an always-writable fd for
+   them would turn every parked batch into an instant select wakeup —
+   a busy loop that defeats the batching *)
+let write_stalled c =
+  Mutex.lock c.wlock;
+  let b =
+    c.writable && (not c.fd_closed) && String.length c.sending - c.sent_off > 0
+  in
+  Mutex.unlock c.wlock;
+  b
+
+(* call with [c.wlock] held: push queued bytes at the fd until it would
+   block. Returns [true] when deliverable output remains (the event loop
+   must watch the fd for writability). *)
+let flush_locked c =
+  if c.sent_off >= String.length c.sending && Buffer.length c.wbuf > 0 then begin
+    (* swap the queued bytes in as one chunk: every response enqueued
+       since the last flush goes out in a single write *)
+    c.sending <- Buffer.contents c.wbuf;
+    Buffer.clear c.wbuf;
+    c.sent_off <- 0
+  end;
+  let len = String.length c.sending in
+  if c.writable && (not c.fd_closed) && c.sent_off < len then begin
+    match
+      Unix.write c.fd (Bytes.unsafe_of_string c.sending) c.sent_off (len - c.sent_off)
+    with
+    | n -> c.sent_off <- c.sent_off + n
+    | exception Unix.Unix_error ((Unix.EAGAIN | Unix.EWOULDBLOCK | Unix.EINTR), _, _)
+      ->
+      ()
+    | exception Unix.Unix_error _ ->
+      c.writable <- false;
+      Buffer.clear c.wbuf;
+      c.sending <- "";
+      c.sent_off <- 0
+  end;
+  c.writable && (not c.fd_closed) && queued_bytes_locked c > 0
+
+(* append rendered bytes to the connection's bounded write queue and
+   optimistically write them out right here (the fd is nonblocking and
+   the lock excludes the event loop) — the common case costs one [write]
+   from the responding worker, no wakeup round-trip; anything already
+   queued (a previous partial write, a concurrent worker's response)
+   rides along in the same [write]. Only when the socket would block
+   does the event loop take over. A peer that stops draining its
+   responses forfeits the connection instead of growing the server
+   without bound. *)
+let enqueue_out st c data =
+  Mutex.lock c.wlock;
+  let need_wake =
+    if c.fd_closed || not c.writable then false
+    else if queued_bytes_locked c + String.length data > st.config.max_write_buffer
+    then begin
+      c.writable <- false;
+      c.want_close <- true;
+      Buffer.clear c.wbuf;
+      c.sending <- "";
+      c.sent_off <- 0;
+      Obs.Metric.incr ~stage "write_overflow";
+      true (* wake so the sweep retires the connection promptly *)
+    end
+    else begin
+      Buffer.add_string c.wbuf data;
+      flush_locked c
+    end
+  in
+  Mutex.unlock c.wlock;
+  if need_wake then wake st
+
+let render c (json : Json.t) =
+  match c.mode with
+  | Binary -> Frame.encode (Json.to_string json)
+  | Json_lines | Detect -> Json.to_string json ^ "\n"
+
+(* batch ceiling for pipelined responses: below this, a response whose
+   connection still has requests in flight parks in [wbuf] and rides out
+   with a successor's write — one syscall covers a burst *)
+let batch_bytes = 16384
+
+(* the respond closure the engine calls from a worker domain. Like
+   [enqueue_out], but pipelining-aware: while this connection still has
+   [pending] requests, more responses are guaranteed to follow (every
+   submitted job responds exactly once), so small responses accumulate
+   and the final response of the burst — or the one that crosses
+   [batch_bytes] — flushes them all in one write *)
+let conn_respond st c json =
+  let data = render c json in
+  Mutex.lock c.wlock;
+  c.pending <- c.pending - 1;
+  let need_wake =
+    if c.fd_closed || not c.writable then false
+    else if queued_bytes_locked c + String.length data > st.config.max_write_buffer
+    then begin
+      c.writable <- false;
+      c.want_close <- true;
+      Buffer.clear c.wbuf;
+      c.sending <- "";
+      c.sent_off <- 0;
+      Obs.Metric.incr ~stage "write_overflow";
+      true
+    end
+    else begin
+      Buffer.add_string c.wbuf data;
+      if c.pending > 0 && Buffer.length c.wbuf < batch_bytes then false
+      else flush_locked c
+    end
+  in
+  Mutex.unlock c.wlock;
+  if need_wake then wake st
+
+let submit_conn st c parsed =
+  Mutex.lock c.wlock;
+  c.pending <- c.pending + 1;
+  Mutex.unlock c.wlock;
+  Engine.submit st.engine parsed ~respond:(conn_respond st c)
+
+(* ------------------------------------------------------ frame scanning *)
+
+let oversize st c =
+  Obs.Metric.incr ~stage "oversize_frame";
+  submit_conn st c
+    {
+      Protocol.id = Json.Null;
+      body = Error (Protocol.oversize_message st.config.max_line_bytes);
+    }
+
+let handle_payload st c payload =
+  if String.trim payload <> "" then begin
+    let p = Protocol.parse_line ~max_bytes:st.config.max_line_bytes payload in
+    submit_conn st c p;
+    match p.body with
+    | Ok { op = Protocol.Shutdown; _ } -> initiate_drain st
+    | _ -> ()
+  end
+
+(* JSON-lines scanner: newline search over the fresh chunk (no per-byte
+   buffering), partial lines accumulate in [rbuf] up to the frame cap;
+   past it the oversized line answers one typed bad_request and is
+   discarded in O(1) memory. *)
+let feed_json st c s =
+  let max_bytes = st.config.max_line_bytes in
+  let len = String.length s in
+  let rec go pos =
+    if pos < len then
+      match String.index_from_opt s pos '\n' with
+      | None ->
+        if not c.discard_line then begin
+          let seg = len - pos in
+          if Buffer.length c.rbuf + seg > max_bytes then begin
+            Buffer.clear c.rbuf;
+            c.discard_line <- true;
+            oversize st c
+          end
+          else Buffer.add_substring c.rbuf s pos seg
+        end
+      | Some nl ->
+        (if c.discard_line then c.discard_line <- false
+         else begin
+           let seg = nl - pos in
+           if Buffer.length c.rbuf + seg > max_bytes then begin
+             Buffer.clear c.rbuf;
+             oversize st c
+           end
+           else begin
+             Buffer.add_substring c.rbuf s pos seg;
+             let line = Buffer.contents c.rbuf in
+             Buffer.clear c.rbuf;
+             handle_payload st c line
+           end
+         end);
+        go (nl + 1)
+  in
+  go 0
+
+(* Binary scanner: 8-byte header (magic + u32le payload length), then
+   exactly that many payload bytes. An over-cap declared length answers
+   one typed bad_request and skips the payload by counting (never
+   buffering); a bad magic means the stream is desynced beyond recovery —
+   answer a typed error and stop reading. *)
+let feed_binary st c s =
+  let max_bytes = st.config.max_line_bytes in
+  let len = String.length s in
+  let rec go pos =
+    if pos < len && c.read_open then
+      if c.discard_bytes > 0 then begin
+        let k = min c.discard_bytes (len - pos) in
+        c.discard_bytes <- c.discard_bytes - k;
+        go (pos + k)
+      end
+      else if c.frame_len < 0 then begin
+        let need = Frame.header_bytes - Buffer.length c.rbuf in
+        let k = min need (len - pos) in
+        Buffer.add_substring c.rbuf s pos k;
+        if Buffer.length c.rbuf = Frame.header_bytes then begin
+          let hdr = Buffer.contents c.rbuf in
+          Buffer.clear c.rbuf;
+          match Frame.decode_header hdr 0 with
+          | Error msg ->
+            Obs.Metric.incr ~stage "frame_desync";
+            submit_conn st c
+              {
+                Protocol.id = Json.Null;
+                body = Error (Printf.sprintf "binary frame desync: %s" msg);
+              };
+            c.read_open <- false;
+            c.want_close <- true;
+            (try Unix.shutdown c.fd Unix.SHUTDOWN_RECEIVE with Unix.Unix_error _ -> ())
+          | Ok n when n > max_bytes ->
+            oversize st c;
+            c.discard_bytes <- n;
+            go (pos + k)
+          | Ok n ->
+            c.frame_len <- n;
+            go (pos + k)
+        end
+      end
+      else begin
+        let need = c.frame_len - Buffer.length c.rbuf in
+        let k = min need (len - pos) in
+        Buffer.add_substring c.rbuf s pos k;
+        if Buffer.length c.rbuf = c.frame_len then begin
+          let payload = Buffer.contents c.rbuf in
+          Buffer.clear c.rbuf;
+          c.frame_len <- -1;
+          handle_payload st c payload
+        end;
+        go (pos + k)
+      end
+  in
+  go 0
+
+let feed st c s =
+  match c.mode with
+  | Json_lines -> feed_json st c s
+  | Binary -> feed_binary st c s
+  | Detect ->
+    (* at most 3 bytes ever wait here, so the concatenation is O(1) *)
+    let pre = Buffer.contents c.rbuf in
+    Buffer.clear c.rbuf;
+    let all = if pre = "" then s else pre ^ s in
+    let n = String.length all in
+    if n < 4 && Frame.matches_magic_prefix all 0 n then Buffer.add_string c.rbuf all
+    else if Frame.matches_magic_prefix all 0 n then begin
+      c.mode <- Binary;
+      Obs.Metric.incr ~stage "binary_conn";
+      feed_binary st c all
+    end
+    else begin
+      c.mode <- Json_lines;
+      feed_json st c all
+    end
+
+(* ------------------------------------------------------------ readers *)
+
+let read_chunk = Bytes.create 65536 (* event-loop thread only *)
+
+let handle_read st c =
+  match Unix.read c.fd read_chunk 0 (Bytes.length read_chunk) with
+  | 0 ->
+    (* peer closed (or the drain half-closed us): flush what is queued,
+       answer what is pending, then retire *)
+    c.read_open <- false;
+    c.want_close <- true
+  | n ->
+    c.last_rx <- Unix.gettimeofday ();
+    feed st c (Bytes.sub_string read_chunk 0 n)
+  | exception Unix.Unix_error ((Unix.EAGAIN | Unix.EWOULDBLOCK | Unix.EINTR), _, _) -> ()
+  | exception Unix.Unix_error _ ->
+    (* reset / bad fd: nothing further to deliver *)
+    c.read_open <- false;
+    c.writable <- false;
+    c.want_close <- true
+
+(* ------------------------------------------------------------- writers *)
+
+let flush_out c =
+  Mutex.lock c.wlock;
+  ignore (flush_locked c);
+  Mutex.unlock c.wlock
+
+(* -------------------------------------------------------------- sweeps *)
+
+(* the wlock makes the close atomic with respect to a worker's
+   optimistic write: no fd is ever closed (and its number reused by a
+   fresh accept) while another thread is mid-write on it *)
+let close_conn st c =
+  Mutex.lock c.wlock;
+  let do_close = not c.fd_closed in
+  if do_close then c.fd_closed <- true;
+  Mutex.unlock c.wlock;
+  if do_close then begin
+    (try Unix.close c.fd with Unix.Unix_error _ -> ());
+    st.conns <- List.filter (fun c' -> c' != c) st.conns;
+    Obs.Metric.set_gauge ~stage "active_connections" (float_of_int (List.length st.conns))
+  end
+
+let idle_sweep st =
+  let timeout = st.config.idle_timeout in
+  if timeout > 0.0 then begin
+    let now = Unix.gettimeofday () in
+    List.iter
+      (fun c ->
+        if c.read_open && now -. c.last_rx > timeout then begin
+          Obs.Metric.incr ~stage "idle_timeout";
+          enqueue_out st c
+            (render c
+               (Protocol.error_item ~kind:"timeout" ~stage
+                  (Printf.sprintf "connection idle for more than %gs; closing" timeout)));
+          c.read_open <- false;
+          c.want_close <- true;
+          try Unix.shutdown c.fd Unix.SHUTDOWN_RECEIVE with Unix.Unix_error _ -> ()
+        end)
+      st.conns
+  end
+
+let retire_sweep st =
+  List.iter
+    (fun c ->
+      let ready =
+        Mutex.lock c.wlock;
+        let r =
+          c.want_close && c.pending <= 0
+          && ((not c.writable) || queued_bytes_locked c = 0)
+        in
+        Mutex.unlock c.wlock;
+        r
+      in
+      if ready then close_conn st c)
+    (* snapshot: close_conn rewrites the list *)
+    st.conns
+
+(* -------------------------------------------------------------- accept *)
 
 let rec write_all fd b off len =
   if len > 0 then begin
@@ -91,167 +464,38 @@ let rec write_all fd b off len =
     write_all fd b (off + n) (len - n)
   end
 
-let write_line_locked c (json : Json.t) =
-  if c.writable && not c.fd_closed then begin
-    let line = Json.to_string json ^ "\n" in
-    try write_all c.fd (Bytes.unsafe_of_string line) 0 (String.length line)
-    with Unix.Unix_error _ -> c.writable <- false
-  end
-
-let unregister st c =
-  Mutex.lock st.reg_lock;
-  st.conns <- List.filter (fun c' -> c' != c) st.conns;
-  Mutex.unlock st.reg_lock;
-  Atomic.decr st.active;
-  Obs.Metric.set_gauge ~stage "active_connections" (float_of_int (Atomic.get st.active))
-
-(* call with [c.wlock] held *)
-let maybe_close_locked st c =
-  if c.want_close && c.pending <= 0 && not c.fd_closed then begin
-    c.fd_closed <- true;
-    (try Unix.close c.fd with Unix.Unix_error _ -> ());
-    unregister st c
-  end
-
-(* the respond closure the engine calls from a worker domain: route the
-   response line back to the originating connection, then retire the job *)
-let conn_respond st c json =
-  Mutex.lock c.wlock;
-  write_line_locked c json;
-  c.pending <- c.pending - 1;
-  maybe_close_locked st c;
-  Mutex.unlock c.wlock
-
-let submit st c parsed =
-  Mutex.lock c.wlock;
-  c.pending <- c.pending + 1;
-  Mutex.unlock c.wlock;
-  Engine.submit st.engine parsed ~respond:(conn_respond st c)
-
-(* ---------------------------------------------------------------- drain *)
-
-(* idempotent; runnable from a reader thread (shutdown op) or a signal
-   handler (SIGINT). The self-pipe byte kicks the accept loop out of
-   [select]; half-closing each connection's read side kicks its reader
-   out of [Unix.read] with EOF while leaving the write side alive for
-   the responses still in flight. *)
-let initiate_drain st =
-  if Atomic.compare_and_set st.stopping false true then begin
-    (try ignore (Unix.write st.wake_w (Bytes.make 1 '!') 0 1)
-     with Unix.Unix_error _ -> ());
-    Mutex.lock st.reg_lock;
-    List.iter
-      (fun c ->
-        try Unix.shutdown c.fd Unix.SHUTDOWN_RECEIVE with Unix.Unix_error _ -> ())
-      st.conns;
-    Mutex.unlock st.reg_lock
-  end
-
-(* --------------------------------------------------------------- reader *)
-
-(* Bounded frame scanner: bytes accumulate into [cur] only up to the
-   frame cap; past it the reader flips into discard mode (the oversized
-   request costs O(1) memory, answers one typed bad_request, and the
-   connection stays usable for the next line). *)
-let reader st c () =
-  let max_bytes = st.config.max_line_bytes in
-  let chunk = Bytes.create 8192 in
-  let cur = Buffer.create 512 in
-  let discarding = ref false in
-  let stop = ref false in
-  let handle_line line =
-    if String.trim line <> "" then begin
-      let p = Protocol.parse_line ~max_bytes line in
-      submit st c p;
-      match p.body with
-      | Ok { op = Protocol.Shutdown; _ } ->
-        stop := true;
-        initiate_drain st
-      | _ -> ()
-    end
-  in
-  let oversize () =
-    Obs.Metric.incr ~stage "oversize_frame";
-    submit st c
-      { Protocol.id = Json.Null; body = Error (Protocol.oversize_message max_bytes) }
-  in
-  let feed n =
-    let i = ref 0 in
-    while !i < n && not !stop do
-      (match Bytes.get chunk !i with
-      | '\n' ->
-        if !discarding then discarding := false
-        else begin
-          let line = Buffer.contents cur in
-          Buffer.clear cur;
-          handle_line line
-        end;
-        Buffer.clear cur
-      | ch ->
-        if not !discarding then begin
-          Buffer.add_char cur ch;
-          if Buffer.length cur > max_bytes then begin
-            Buffer.clear cur;
-            discarding := true;
-            oversize ()
-          end
-        end);
-      incr i
-    done
-  in
-  let rec loop () =
-    if !stop || Atomic.get st.stopping then ()
-    else
-      match Unix.read c.fd chunk 0 (Bytes.length chunk) with
-      | 0 -> () (* peer closed (or drain half-closed us) *)
-      | n ->
-        feed n;
-        loop ()
-      | exception Unix.Unix_error (Unix.EINTR, _, _) -> loop ()
-      | exception Unix.Unix_error ((Unix.EAGAIN | Unix.EWOULDBLOCK), _, _) ->
-        (* SO_RCVTIMEO expired: the connection idled out *)
-        Obs.Metric.incr ~stage "idle_timeout";
-        Mutex.lock c.wlock;
-        write_line_locked c
-          (Protocol.error_item ~kind:"timeout" ~stage
-             (Printf.sprintf "connection idle for more than %gs; closing"
-                st.config.idle_timeout));
-        Mutex.unlock c.wlock
-      | exception Unix.Unix_error _ -> () (* reset / bad fd: treat as gone *)
-  in
-  loop ();
-  (* retire the connection: close now if nothing is in flight, else the
-     last [conn_respond] closes it *)
-  Mutex.lock c.wlock;
-  c.want_close <- true;
-  maybe_close_locked st c;
-  Mutex.unlock c.wlock
-
-(* --------------------------------------------------------------- accept *)
-
 let admit st fd =
   (try Unix.setsockopt fd Unix.TCP_NODELAY true with Unix.Unix_error _ -> ());
-  if st.config.idle_timeout > 0.0 then (
-    try Unix.setsockopt_float fd Unix.SO_RCVTIMEO st.config.idle_timeout
-    with Unix.Unix_error _ -> ());
+  Unix.set_nonblock fd;
   let c =
-    { fd; wlock = Mutex.create (); writable = true; fd_closed = false;
-      pending = 0; want_close = false }
+    {
+      fd;
+      mode = Detect;
+      rbuf = Buffer.create 512;
+      discard_line = false;
+      discard_bytes = 0;
+      frame_len = -1;
+      last_rx = Unix.gettimeofday ();
+      read_open = true;
+      wlock = Mutex.create ();
+      wbuf = Buffer.create 512;
+      sending = "";
+      sent_off = 0;
+      writable = true;
+      fd_closed = false;
+      pending = 0;
+      want_close = false;
+    }
   in
-  Mutex.lock st.reg_lock;
   st.conns <- c :: st.conns;
-  Mutex.unlock st.reg_lock;
-  Atomic.incr st.active;
-  Atomic.incr st.accepted;
+  st.accepted <- st.accepted + 1;
   Obs.Metric.incr ~stage "accept";
-  Obs.Metric.set_gauge ~stage "active_connections" (float_of_int (Atomic.get st.active));
-  let th = Thread.create (reader st c) () in
-  Mutex.lock st.reg_lock;
-  st.threads <- th :: st.threads;
-  Mutex.unlock st.reg_lock
+  Obs.Metric.set_gauge ~stage "active_connections" (float_of_int (List.length st.conns))
 
+(* refusal happens before negotiation, so it is always a JSON line (a
+   binary client surfaces it through its line fallback) *)
 let refuse st fd =
-  Atomic.incr st.refused;
+  st.refused <- st.refused + 1;
   Obs.Metric.incr ~stage "refused";
   let line =
     Json.to_string
@@ -264,38 +508,97 @@ let refuse st fd =
    with Unix.Unix_error _ -> ());
   try Unix.close fd with Unix.Unix_error _ -> ()
 
-(* The listener is non-blocking: [select] watches it together with the
-   drain self-pipe, so a drain initiated from a reader thread wakes this
-   loop immediately instead of racing a close against a blocked
-   [accept]. The select timeout is a poll for SIGINT: the runtime only
-   runs signal handlers on the main domain once it re-enters OCaml code,
-   and the kernel may have delivered the signal to a worker thread, so
-   an infinite select could sleep through the handler forever. *)
-let accept_loop st =
+let accept_burst st =
+  let continue = ref true in
+  while !continue do
+    match Unix.accept ~cloexec:true st.listen_fd with
+    | fd, _peer ->
+      if Atomic.get st.stopping then (try Unix.close fd with Unix.Unix_error _ -> ())
+      else if List.length st.conns >= st.config.max_connections then refuse st fd
+      else admit st fd
+    | exception
+        Unix.Unix_error
+          ((Unix.EAGAIN | Unix.EWOULDBLOCK | Unix.EINTR | Unix.ECONNABORTED), _, _) ->
+      continue := false
+  done
+
+(* ---------------------------------------------------------- event loop *)
+
+let drain_wake_pipe st =
+  let b = Bytes.create 512 in
+  match Unix.read st.wake_r b 0 512 with
+  | _ -> ()
+  | exception Unix.Unix_error _ -> ()
+
+(* One thread owns every fd: [select] watches the listener, the wake
+   pipe, every open connection for readability, and connections with
+   queued response bytes for writability. The 0.25s timeout doubles as
+   the idle-timeout sweep tick and the SIGINT poll (the runtime delivers
+   signal handlers on the main domain once it re-enters OCaml code). *)
+let event_loop st =
+  while not (Atomic.get st.stopping) do
+    let rfds =
+      st.listen_fd :: st.wake_r
+      :: List.filter_map
+           (fun c -> if c.read_open && not c.fd_closed then Some c.fd else None)
+           st.conns
+    in
+    let wconns = List.filter write_stalled st.conns in
+    (match Unix.select rfds (List.map (fun c -> c.fd) wconns) [] 0.25 with
+    | readable, writable, _ ->
+      if List.mem st.wake_r readable then begin
+        (* a worker's optimistic write would have blocked: retry every
+           stalled connection now — everything enqueued since the wake
+           goes out in this one batch *)
+        drain_wake_pipe st;
+        List.iter (fun c -> if write_stalled c then flush_out c) st.conns
+      end;
+      List.iter (fun c -> if List.mem c.fd writable then flush_out c) wconns;
+      List.iter
+        (fun c ->
+          if c.read_open && (not c.fd_closed) && List.mem c.fd readable then
+            handle_read st c)
+        st.conns;
+      if (not (Atomic.get st.stopping)) && List.mem st.listen_fd readable then
+        accept_burst st
+    | exception Unix.Unix_error (Unix.EINTR, _, _) -> ());
+    idle_sweep st;
+    retire_sweep st
+  done
+
+(* drain: stop reading everywhere, let the engine finish everything
+   already queued (responses keep landing in the write queues), and keep
+   flushing until the engine is drained and every deliverable byte is
+   out. The engine drains on a helper thread so this loop can keep
+   writing concurrently — a full write queue never deadlocks the drain. *)
+let flush_until_drained st =
+  List.iter
+    (fun c ->
+      c.read_open <- false;
+      try Unix.shutdown c.fd Unix.SHUTDOWN_RECEIVE with Unix.Unix_error _ -> ())
+    st.conns;
+  let drainer =
+    Thread.create
+      (fun () ->
+        Engine.drain st.engine;
+        Atomic.set st.drained true;
+        wake st)
+      ()
+  in
   let rec loop () =
-    if not (Atomic.get st.stopping) then begin
-      (match Unix.select [ st.listen_fd; st.wake_r ] [] [] 0.25 with
-      | readable, _, _ ->
-        if (not (Atomic.get st.stopping)) && List.mem st.listen_fd readable then (
-          match Unix.accept ~cloexec:true st.listen_fd with
-          | fd, _peer ->
-            if Atomic.get st.stopping then
-              (try Unix.close fd with Unix.Unix_error _ -> ())
-            else if Atomic.get st.active >= st.config.max_connections then
-              refuse st fd
-            else admit st fd
-          | exception
-              Unix.Unix_error
-                ( ( Unix.EINTR | Unix.ECONNABORTED | Unix.EAGAIN
-                  | Unix.EWOULDBLOCK ),
-                  _,
-                  _ ) ->
-            ())
+    let pending_out = List.filter has_output st.conns in
+    if (not (Atomic.get st.drained)) || pending_out <> [] then begin
+      (match Unix.select [ st.wake_r ] (List.map (fun c -> c.fd) pending_out) [] 0.05 with
+      | readable, writable, _ ->
+        if List.mem st.wake_r readable then drain_wake_pipe st;
+        List.iter (fun c -> if List.mem c.fd writable then flush_out c) pending_out
       | exception Unix.Unix_error (Unix.EINTR, _, _) -> ());
       loop ()
     end
   in
-  loop ()
+  loop ();
+  Thread.join drainer;
+  List.iter (fun c -> close_conn st c) st.conns
 
 (* ----------------------------------------------------------------- bind *)
 
@@ -372,28 +675,29 @@ let serve ?(config = default_config) ?ready addr =
       Error e
     | Ok cache ->
       let engine =
-        Engine.create ~workers:config.server.Server.workers ?cache
+        Engine.create ~workers:config.server.Server.workers
+          ~coalesce:config.server.Server.coalesce ?cache
           ~seed:config.server.Server.seed ()
       in
       let wake_r, wake_w = Unix.pipe ~cloexec:true () in
       Unix.set_nonblock listen_fd;
+      Unix.set_nonblock wake_r;
+      Unix.set_nonblock wake_w;
       let st =
         {
           config;
           engine;
           stopping = Atomic.make false;
+          drained = Atomic.make false;
           listen_fd;
           wake_r;
           wake_w;
-          reg_lock = Mutex.create ();
           conns = [];
-          threads = [];
-          active = Atomic.make 0;
-          accepted = Atomic.make 0;
-          refused = Atomic.make 0;
+          accepted = 0;
+          refused = 0;
         }
       in
-      (* a worker answering a vanished client must get EPIPE, not die *)
+      (* a write to a vanished client must yield EPIPE, not kill us *)
       let old_sigpipe =
         try Some (Sys.signal Sys.sigpipe Sys.Signal_ignore)
         with Invalid_argument _ | Sys_error _ -> None
@@ -403,26 +707,11 @@ let serve ?(config = default_config) ?ready addr =
         with Invalid_argument _ | Sys_error _ -> None
       in
       Option.iter (fun f -> f actual) ready;
-      accept_loop st;
+      event_loop st;
       (try Unix.close st.listen_fd with Unix.Unix_error _ -> ());
+      flush_until_drained st;
       (try Unix.close st.wake_r with Unix.Unix_error _ -> ());
       (try Unix.close st.wake_w with Unix.Unix_error _ -> ());
-      (* drain: readers first (they stop feeding the queue), then the
-         engine (everything queued still answers), then the stragglers *)
-      let threads = Mutex.protect st.reg_lock (fun () -> st.threads) in
-      List.iter Thread.join threads;
-      Engine.drain engine;
-      Mutex.lock st.reg_lock;
-      let leftovers = st.conns in
-      Mutex.unlock st.reg_lock;
-      List.iter
-        (fun c ->
-          Mutex.lock c.wlock;
-          c.want_close <- true;
-          c.pending <- 0;
-          maybe_close_locked st c;
-          Mutex.unlock c.wlock)
-        leftovers;
       (try Option.iter (Sys.set_signal Sys.sigpipe) old_sigpipe with _ -> ());
       (try Option.iter (Sys.set_signal Sys.sigint) old_sigint with _ -> ());
       cleanup_path ();
@@ -430,7 +719,7 @@ let serve ?(config = default_config) ?ready addr =
         {
           served = Engine.served engine;
           errors = Engine.errors engine;
-          connections = Atomic.get st.accepted;
-          refused = Atomic.get st.refused;
+          connections = st.accepted;
+          refused = st.refused;
           elapsed = Unix.gettimeofday () -. t0;
         })

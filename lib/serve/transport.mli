@@ -1,27 +1,43 @@
 (** Socket transport for the compilation service.
 
-    [serve addr] binds a TCP or Unix-domain listener and speaks the same
-    line-delimited JSON protocol as {!Server}, one connection per client:
-    an accept loop admits connections, one reader {e thread} per
-    connection parses frames and feeds the shared {!Engine} worker pool,
-    and each job's response is routed back to the originating connection
-    (matched client-side by ["id"]; completion order may differ from send
-    order, exactly like the stdio server).
+    [serve addr] binds a TCP or Unix-domain listener and serves the same
+    protocol as {!Server} over sockets. A {e single event-loop thread}
+    owns every fd: it [select]s over the listener, a self-pipe, and all
+    open connections, runs a per-connection incremental frame scanner,
+    and feeds complete requests to the shared {!Engine} worker pool.
+    Workers never touch sockets — each job's response is rendered and
+    appended to the originating connection's bounded write queue (under
+    that connection's lock), and the event loop writes queued bytes out
+    when the fd is ready, so many responses coalesce into one [write].
+    Responses are matched client-side by ["id"]; completion order may
+    differ from send order, exactly like the stdio server.
 
-    Lifecycle management (see DESIGN.md "Network transport"):
+    {b Framing} is negotiated per connection by its first four bytes:
+    [{!Frame.magic}] ("RQF1") selects length-prefixed binary frames
+    (8-byte header, JSON payload — see {!Frame}); anything else is
+    line-delimited JSON. Responses mirror the request framing. Overload
+    refusals happen before negotiation and are always JSON lines.
+
+    Lifecycle management (see DESIGN.md "Event loop, framing, and
+    coalescing"):
 
     - {b backpressure} — at [max_connections] active connections a new
       client is answered with one [kind = "overloaded"] error line and
-      closed instead of being buffered without bound;
+      closed instead of being buffered without bound; a connection whose
+      write queue exceeds [max_write_buffer] (a peer not reading its
+      responses) is dropped;
     - {b idle timeout} — a connection silent for [idle_timeout] seconds
       is answered with [kind = "timeout"] and closed;
-    - {b frame cap} — a request line longer than [max_line_bytes] is
-      rejected as a [bad_request] naming the limit while the reader
-      discards (never buffers) the rest of the frame;
+    - {b frame cap} — a JSON line longer than [max_line_bytes], or a
+      binary frame declaring a longer payload, is rejected as a
+      [bad_request] naming the limit while the scanner discards (never
+      buffers) the rest of the frame; a binary frame with a bad magic
+      means the stream is desynced — one typed error, then close;
     - {b graceful drain} — a [shutdown] request (from any connection) or
-      SIGINT stops the accept loop, half-closes every connection's read
-      side, executes everything already queued, joins the workers, and
-      only then closes the sockets. In-flight requests still answer. *)
+      SIGINT stops accepting and reading, executes everything already
+      queued, keeps flushing response bytes until every connection's
+      queue is empty, and only then closes the sockets. In-flight
+      requests still answer. *)
 
 type addr = Tcp of string * int | Unix_path of string
 
@@ -35,10 +51,14 @@ val addr_to_string : addr -> string
 val sockaddr : addr -> (Unix.sockaddr, string) result
 
 type config = {
-  server : Server.config;  (** engine config: workers, cache, seed *)
+  server : Server.config;  (** engine config: workers, cache, seed, coalescing *)
   max_connections : int;  (** accept backpressure threshold (default 64) *)
   idle_timeout : float;  (** seconds; [0.] disables (default 300.) *)
   max_line_bytes : int;  (** request frame cap (default {!Protocol.max_line_bytes}) *)
+  max_write_buffer : int;
+      (** per-connection response queue cap in bytes (default
+          [8 * max_line_bytes]); an unread queue past this forfeits the
+          connection *)
 }
 
 val default_config : config

@@ -526,6 +526,159 @@ let test_server_shutdown_drains () =
     (List.for_all (fun l -> not (contains l "\"id\":99")) lines);
   Alcotest.(check int) "summary served" 3 summary.Serve.Server.served
 
+(* ----------------------------------------------------------- coalescing *)
+
+(* Engine-level single-flight tests drive {!Serve.Engine} directly: the
+   engine is created with one worker and first fed [plug] cold solves, so
+   every storm request is submitted (and its waiter attached) while the
+   worker is still busy — the flight cannot complete early, making the
+   coalescing count deterministic on any scheduler. *)
+
+let storm_line id =
+  Printf.sprintf "{\"v\":1,\"id\":%d,\"op\":\"pulses\",\"coords\":[0.6,0.5,0.4]}" id
+
+(* the plugs are compile requests, for two reasons: they never touch the
+   pulse solver (so the storm's solve_run delta is exactly the storm's),
+   and their cost is immune to the "ea_noconv" fault site — an armed EA
+   fault makes a pulses plug fail in microseconds, which would unplug
+   the fault-fan-out storm *)
+let plug_lines =
+  [
+    "{\"v\":1,\"op\":\"compile\",\"bench\":\"qaoa_8\",\"mode\":\"eff\"}";
+    "{\"v\":1,\"op\":\"compile\",\"bench\":\"alu_2\",\"mode\":\"eff\"}";
+  ]
+
+let strip_id = function
+  | Serve.Json.Obj ms -> Serve.Json.Obj (List.filter (fun (k, _) -> k <> "id") ms)
+  | v -> v
+
+(* run a K-request storm behind the plugs and hand back the storm
+   responses (the plug responses are dropped) *)
+let run_storm ?(storm_line = storm_line) ~stormers () =
+  let eng = Serve.Engine.create ~workers:1 ~seed:7L () in
+  let lock = Mutex.create () in
+  let storm_resps = ref [] in
+  (* parse everything up front so the submissions themselves are a tight
+     loop of queue pushes — the whole storm must be in flight before the
+     worker can reach its leader *)
+  let plugs = List.map Serve.Protocol.parse_line plug_lines in
+  let storms =
+    List.init stormers (fun i -> Serve.Protocol.parse_line (storm_line (i + 1)))
+  in
+  List.iter (fun p -> Serve.Engine.submit eng p ~respond:(fun _ -> ())) plugs;
+  List.iter
+    (fun p ->
+      Serve.Engine.submit eng p
+        ~respond:(fun r ->
+          Mutex.lock lock;
+          storm_resps := r :: !storm_resps;
+          Mutex.unlock lock))
+    storms;
+  Serve.Engine.drain eng;
+  !storm_resps
+
+let check_storm_fanout ~stormers resps =
+  Alcotest.(check int) "every waiter answered" stormers (List.length resps);
+  let ids =
+    List.sort compare
+      (List.filter_map (fun r -> Serve.Json.mem_int "id" r) resps)
+  in
+  Alcotest.(check (list int)) "each waiter got its own id"
+    (List.init stormers (fun i -> i + 1))
+    ids;
+  match List.map (fun r -> Serve.Json.to_string (strip_id r)) resps with
+  | [] -> Alcotest.fail "no storm responses"
+  | first :: rest ->
+    List.iter
+      (fun s ->
+        Alcotest.(check string) "one result fanned out to every waiter" first s)
+      rest;
+    first
+
+let test_coalesce_storm () =
+  disarm ();
+  let stormers = 8 in
+  let runs0 = Robust.Counters.get ~stage:"genashn" "solve_run" in
+  let hits0 = Robust.Counters.get ~stage:"serve" "coalesce_hit" in
+  let resps = run_storm ~stormers () in
+  let runs = Robust.Counters.get ~stage:"genashn" "solve_run" - runs0 in
+  Alcotest.(check int) "one solver run for the whole storm" 1 runs;
+  Alcotest.(check int) "the other waiters coalesced" (stormers - 1)
+    (Robust.Counters.get ~stage:"serve" "coalesce_hit" - hits0);
+  let body = check_storm_fanout ~stormers resps in
+  Alcotest.(check bool) "shared result is a success" true
+    (contains body "\"ok\":true")
+
+let test_coalesce_fault_fanout () =
+  (* the leader's solve fails (unlimited injected non-convergence): every
+     waiter must get the same typed error, and the engine must still
+     drain — a failed flight may not strand its waiters *)
+  let stormers = 6 in
+  with_faults "ea_noconv" (fun () ->
+      let x, y, z = ea_xyz in
+      let storm_line id =
+        Printf.sprintf
+          "{\"v\":1,\"id\":%d,\"op\":\"pulses\",\"coords\":[%.17g,%.17g,%.17g]}" id x y
+          z
+      in
+      let hits0 = Robust.Counters.get ~stage:"serve" "coalesce_hit" in
+      let resps = run_storm ~storm_line ~stormers () in
+      Alcotest.(check int) "waiters coalesced onto the failing flight"
+        (stormers - 1)
+        (Robust.Counters.get ~stage:"serve" "coalesce_hit" - hits0);
+      let body = check_storm_fanout ~stormers resps in
+      Alcotest.(check bool) "shared result is the typed failure" true
+        (contains body "\"ok\":false");
+      Alcotest.(check bool) "typed non_convergence" true
+        (contains body "non_convergence"))
+
+let test_coalesce_differential () =
+  (* the same deterministic stream through a coalescing engine and a
+     coalescing-disabled engine: responses must be bit-identical keyed by
+     id — single-flight shares work, it must never change answers. The
+     stream is all pulses/compile (deterministic payloads); stats is
+     excluded because its live-counter snapshot is legitimately volatile. *)
+  disarm ();
+  let lines =
+    List.concat_map
+      (fun g ->
+        List.init 3 (fun i ->
+            Printf.sprintf "{\"v\":1,\"id\":\"%s-%d\",\"op\":\"pulses\",\"gate\":\"%s\"}" g i g))
+      [ "cnot"; "cz"; "iswap"; "swap" ]
+    @ List.init 4 (fun i ->
+          Printf.sprintf
+            "{\"v\":1,\"id\":\"c-%d\",\"op\":\"pulses\",\"coords\":[0.5,0.3,0.1]}" i)
+    @ [ "{\"v\":1,\"id\":\"k-1\",\"op\":\"compile\",\"bench\":\"qaoa_8\",\"mode\":\"eff\"}" ]
+  in
+  let run coalesce =
+    let eng = Serve.Engine.create ~workers:2 ~coalesce ~seed:1L () in
+    let lock = Mutex.create () in
+    let out = ref [] in
+    List.iter
+      (fun l ->
+        Serve.Engine.submit eng (Serve.Protocol.parse_line l)
+          ~respond:(fun r ->
+            Mutex.lock lock;
+            out :=
+              ( Serve.Json.to_string
+                  (Option.value ~default:Serve.Json.Null (Serve.Json.member "id" r)),
+                Serve.Json.to_string r )
+              :: !out;
+            Mutex.unlock lock))
+      lines;
+    Serve.Engine.drain eng;
+    List.sort compare !out
+  in
+  let on = run true and off = run false in
+  Alcotest.(check int) "same cardinality" (List.length off) (List.length on);
+  List.iter2
+    (fun (k_off, r_off) (k_on, r_on) ->
+      Alcotest.(check string) "same id set" k_off k_on;
+      Alcotest.(check string)
+        (Printf.sprintf "bit-identical response for id %s" k_off)
+        r_off r_on)
+    off on
+
 let () =
   disarm ();
   Alcotest.run "serve"
@@ -556,5 +709,12 @@ let () =
           Alcotest.test_case "over budget" `Quick test_server_over_budget;
           Alcotest.test_case "solver fault" `Quick test_server_solver_fault;
           Alcotest.test_case "shutdown drains" `Quick test_server_shutdown_drains;
+        ] );
+      ( "coalescing",
+        [
+          Alcotest.test_case "duplicate storm" `Quick test_coalesce_storm;
+          Alcotest.test_case "fault fan-out" `Quick test_coalesce_fault_fanout;
+          Alcotest.test_case "differential vs uncoalesced" `Quick
+            test_coalesce_differential;
         ] );
     ]

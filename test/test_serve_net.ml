@@ -32,6 +32,7 @@ let net_config ?(workers = 2) ?(max_connections = 64) ?(idle_timeout = 300.0)
     max_connections;
     idle_timeout;
     max_line_bytes;
+    max_write_buffer = T.default_config.T.max_write_buffer;
   }
 
 (* ------------------------------------------------------------- harness *)
@@ -313,6 +314,135 @@ let test_stress () =
   Alcotest.(check int) "connections" (stress_clients + 2) summary.T.connections;
   Alcotest.(check int) "refused" 0 summary.T.refused
 
+(* --------------------------------------------------------------- binary *)
+
+let test_binary_happy_path () =
+  let summary, () =
+    with_server (temp_unix_addr ()) (fun addr ->
+        let c = ok_or_fail "connect" (C.connect ~frames:C.Binary addr) in
+        let stats = ok_or_fail "stats" (C.request c (J.Obj [ ("op", J.Str "stats") ])) in
+        Alcotest.(check (option bool)) "stats ok" (Some true) (J.mem_bool "ok" stats);
+        let pulses =
+          ok_or_fail "pulses"
+            (C.request c (J.Obj [ ("op", J.Str "pulses"); ("gate", J.Str "cnot") ]))
+        in
+        Alcotest.(check bool) "pulse payload" true
+          (contains (J.to_string pulses) "\"tau\"");
+        ignore (ok_or_fail "shutdown" (C.request c shutdown_body));
+        C.close c)
+  in
+  check_happy_summary summary
+
+let test_binary_oversize_frame () =
+  let config = net_config ~max_line_bytes:1024 () in
+  let summary, () =
+    with_server ~config (temp_unix_addr ()) (fun addr ->
+        let c = ok_or_fail "connect" (C.connect ~frames:C.Binary addr) in
+        (* a frame whose declared length is over the cap: one typed
+           rejection, the payload is skipped by counting, and the
+           connection keeps serving *)
+        ok_or_fail "send oversize" (C.send_line c (String.make 5000 'x'));
+        (match C.recv c with
+        | Ok j ->
+          Alcotest.(check (option bool)) "rejected" (Some false) (J.mem_bool "ok" j);
+          let s = J.to_string j in
+          Alcotest.(check bool) "bad_request" true (contains s "bad_request");
+          Alcotest.(check bool) "names the limit" true (contains s "1024-byte")
+        | Error e -> Alcotest.failf "recv oversize reply: %s" (C.error_to_string e));
+        let again =
+          ok_or_fail "still serving" (C.request c (J.Obj [ ("op", J.Str "stats") ]))
+        in
+        Alcotest.(check (option bool)) "connection survives" (Some true)
+          (J.mem_bool "ok" again);
+        ignore (ok_or_fail "shutdown" (C.request c shutdown_body));
+        C.close c)
+  in
+  Alcotest.(check int) "the rejection is counted" 1 summary.T.errors
+
+(* raw byte-level driver for the desync test: the client library can only
+   emit well-formed frames, and desync is precisely a malformed one *)
+let raw_unix_connect = function
+  | T.Unix_path p ->
+    let fd = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+    Unix.connect fd (Unix.ADDR_UNIX p);
+    fd
+  | a -> Alcotest.failf "raw connect wants a unix path, got %s" (T.addr_to_string a)
+
+let write_all fd s =
+  let n = String.length s in
+  let rec go off = if off < n then go (off + Unix.write_substring fd s off (n - off)) in
+  go 0
+
+let read_to_eof fd =
+  let buf = Buffer.create 256 in
+  let chunk = Bytes.create 4096 in
+  let rec go () =
+    match Unix.read fd chunk 0 (Bytes.length chunk) with
+    | 0 -> ()
+    | n ->
+      Buffer.add_subbytes buf chunk 0 n;
+      go ()
+  in
+  go ();
+  Buffer.contents buf
+
+(* split a byte stream of binary frames into payloads *)
+let rec decode_frames s off acc =
+  if off >= String.length s then List.rev acc
+  else
+    match Serve.Frame.decode_header s off with
+    | Error e -> Alcotest.failf "response stream desynced at %d: %s" off e
+    | Ok n ->
+      let payload = String.sub s (off + Serve.Frame.header_bytes) n in
+      decode_frames s (off + Serve.Frame.header_bytes + n) (payload :: acc)
+
+let test_binary_desync () =
+  let summary, () =
+    with_server (temp_unix_addr ()) (fun addr ->
+        let fd = raw_unix_connect addr in
+        (* one good frame negotiates binary mode; the bad-magic bytes
+           after it are unrecoverable — the server must answer a typed
+           desync error and stop reading this connection *)
+        write_all fd (Serve.Frame.encode "{\"v\":1,\"id\":1,\"op\":\"stats\"}");
+        write_all fd "XXXXXXXX";
+        (match decode_frames (read_to_eof fd) 0 [] with
+        | [ first; second ] ->
+          Alcotest.(check bool) "good frame answered" true
+            (contains first "\"ok\":true");
+          Alcotest.(check bool) "desync is typed" true
+            (contains second "\"ok\":false" && contains second "desync")
+        | frames -> Alcotest.failf "expected 2 response frames, got %d" (List.length frames));
+        Unix.close fd;
+        ignore (ok_or_fail "shutdown" (C.rpc addr shutdown_body)))
+  in
+  Alcotest.(check int) "the desync is counted" 1 summary.T.errors
+
+let test_mixed_frame_clients () =
+  (* one JSON-lines client and one binary client interleaved on the same
+     server: negotiation is per connection, so neither leaks into the
+     other's framing *)
+  let summary, () =
+    with_server (temp_unix_addr ()) (fun addr ->
+        let cj = ok_or_fail "json connect" (C.connect addr) in
+        let cb = ok_or_fail "binary connect" (C.connect ~frames:C.Binary addr) in
+        for _ = 1 to 4 do
+          let rj = ok_or_fail "json stats" (C.request cj (J.Obj [ ("op", J.Str "stats") ])) in
+          Alcotest.(check (option bool)) "json ok" (Some true) (J.mem_bool "ok" rj);
+          let rb =
+            ok_or_fail "binary pulses"
+              (C.request cb (J.Obj [ ("op", J.Str "pulses"); ("gate", J.Str "cz") ]))
+          in
+          Alcotest.(check bool) "binary payload" true
+            (contains (J.to_string rb) "\"tau\"")
+        done;
+        ignore (ok_or_fail "shutdown" (C.request cj shutdown_body));
+        C.close cj;
+        C.close cb)
+  in
+  Alcotest.(check int) "both clients served" 9 summary.T.served;
+  Alcotest.(check int) "no errors" 0 summary.T.errors;
+  Alcotest.(check int) "two connections" 2 summary.T.connections
+
 (* ------------------------------------------------------------ lifecycle *)
 
 let test_overload_refusal () =
@@ -414,6 +544,13 @@ let () =
           Alcotest.test_case "tcp happy path" `Quick test_tcp_happy_path;
           Alcotest.test_case "differential vs stdio" `Quick test_differential;
           Alcotest.test_case "shutdown drains queued" `Quick test_shutdown_drains_queued;
+        ] );
+      ( "binary",
+        [
+          Alcotest.test_case "happy path" `Quick test_binary_happy_path;
+          Alcotest.test_case "oversize frame" `Quick test_binary_oversize_frame;
+          Alcotest.test_case "desync" `Quick test_binary_desync;
+          Alcotest.test_case "mixed clients" `Quick test_mixed_frame_clients;
         ] );
       ( "lifecycle",
         [
