@@ -3,7 +3,7 @@
 
 RESULTS ?= results
 
-.PHONY: all build test check bench-smoke bench-obs bench-net demo bench microbench tables figures csv clean
+.PHONY: all build test check bench-smoke bench-obs bench-net bench-chaos demo bench microbench tables figures csv clean
 
 all: build
 
@@ -34,6 +34,15 @@ bench-obs: build
 # writes BENCH_serve_net.json (gates: meets_1x, p99_halved, single_run)
 bench-net: build
 	dune exec bench/main.exe -- serve-net
+
+# chaos harness: replays the serve-net workload with seeded transport /
+# worker / store faults armed and gates on availability (every request
+# answered), >=3 worker crashes survived, deadline + shed + breaker
+# enforcement, and bit-identical cache replay after a mid-write kill;
+# writes BENCH_chaos.json. Never part of `bench` (it arms process-global
+# fault state), always run explicitly.
+bench-chaos: build
+	dune exec bench/main.exe -- chaos
 
 # full microbenchmark run; writes BENCH_numerics.json at the repo root
 microbench: build

@@ -7,10 +7,14 @@
 
    Targets: table1 table2 table3 fig4 fig5 fig6 fig12 fig13 fig14 fig15
    fig16 templates variational calibration decoherence calibrate leakage
-   serve serve-net obs all (default: all). For serve-net, --limit is the
-   per-client request count, --clients the load-generator count, and
+   serve serve-net chaos obs all (default: all). For serve-net, --limit
+   is the per-client request count, --clients the load-generator count,
    --pipeline the per-client pipelining window (0 = the whole stream at
-   once).
+   once), and --seed pins client-side jitter for reproducible latency
+   percentiles. For chaos, --limit is the per-client request count,
+   --clients the client count, and --seed the fault-schedule seed.
+   chaos is opt-in: it runs only when named explicitly, not under
+   "all" (it rebinds process-global fault state).
 
    Unknown targets and malformed flag values are hard errors (exit 2), so a
    typo can't silently run the wrong benchmark set.
@@ -21,10 +25,12 @@
 let known_targets =
   [ "table1"; "table2"; "table3"; "fig4"; "fig5"; "fig6"; "fig12"; "fig13";
     "fig14"; "fig15"; "fig16"; "templates"; "variational"; "calibration";
-    "decoherence"; "calibrate"; "leakage"; "serve"; "serve-net"; "obs"; "all" ]
+    "decoherence"; "calibrate"; "leakage"; "serve"; "serve-net"; "chaos";
+    "obs"; "all" ]
 
 let value_flags =
-  [ "--haar-n"; "--trajectories"; "--limit"; "--clients"; "--pipeline"; "--csv-dir" ]
+  [ "--haar-n"; "--trajectories"; "--limit"; "--clients"; "--pipeline";
+    "--seed"; "--csv-dir" ]
 
 let usage () =
   Printf.eprintf "targets: %s\nflags:   --big, %s N\n"
@@ -101,6 +107,7 @@ let () =
   if clients <= 0 then fail "--clients expects a positive integer, got %d" clients;
   let pipeline = get_int "--pipeline" 0 in
   if pipeline < 0 then fail "--pipeline expects a non-negative integer, got %d" pipeline;
+  let seed = get_int_opt "--seed" in
   let targets = if targets = [] then [ "all" ] else targets in
   let want t = List.mem t targets || List.mem "all" targets in
   let total_t0 = Unix.gettimeofday () in
@@ -122,7 +129,11 @@ let () =
   if want "calibrate" then Extras.calibrate ();
   if want "leakage" then Extras.leakage_study ();
   if want "serve" then Serve_bench.serve ?limit ~big ();
-  if want "serve-net" then Serve_net_bench.serve_net ~clients ~pipeline ?requests:limit ();
+  if want "serve-net" then
+    Serve_net_bench.serve_net ~clients ~pipeline ?requests:limit ?seed ();
+  (* chaos only on explicit request: it arms process-global fault
+     injection, which must never leak into the measurement targets *)
+  if List.mem "chaos" targets then Chaos_bench.chaos ~clients ?requests:limit ?seed ();
   if want "obs" then Obs_bench.obs ?limit ~big ();
   Util.write_robust_json "BENCH_robust.json";
   Printf.printf "\ntotal bench time: %.1fs\n" (Unix.gettimeofday () -. total_t0)

@@ -197,7 +197,8 @@ let run_socket ~frames ~cache_path ~clients ~requests ~pipeline =
       T.max_connections = clients + 4;
       T.idle_timeout = 60.0;
       T.max_line_bytes = Serve.Protocol.max_line_bytes;
-      T.max_write_buffer = T.default_config.T.max_write_buffer }
+      T.max_write_buffer = T.default_config.T.max_write_buffer;
+      T.max_queue_depth = T.default_config.T.max_queue_depth }
   in
   (* render every request (and the id key its response will echo) before
      the timer starts, mirroring the pre-written in-process stream *)
@@ -256,7 +257,8 @@ let duplicate_storm ~stormers =
       T.max_connections = stormers + 4;
       T.idle_timeout = 60.0;
       T.max_line_bytes = Serve.Protocol.max_line_bytes;
-      T.max_write_buffer = T.default_config.T.max_write_buffer }
+      T.max_write_buffer = T.default_config.T.max_write_buffer;
+      T.max_queue_depth = T.default_config.T.max_queue_depth }
   in
   let solve_runs_before = Robust.Counters.get ~stage:"genashn" "solve_run" in
   let hits_before = Robust.Counters.get ~stage:"serve" "coalesce_hit" in
@@ -420,9 +422,16 @@ let print_pass name (p : pass) =
   Printf.printf "  %-11s %.3fs  (%.0f req/s)  p50 %.2fms  p99 %.2fms  p999 %.2fms\n"
     name p.seconds p.rps (1e3 *. p.p50) (1e3 *. p.p99) (1e3 *. p.p999)
 
-let serve_net ?(clients = 8) ?(pipeline = 0) ?requests () =
+let serve_net ?(clients = 8) ?(pipeline = 0) ?requests ?seed () =
   let requests = match requests with Some r -> r | None -> 64 in
   hr "serve-net: socket transport load vs in-process server";
+  (* --seed pins client-side retry/backoff jitter so latency percentiles
+     are reproducible run-to-run on a loaded box *)
+  (match seed with
+  | Some s ->
+    C.seed_jitter s;
+    Printf.printf "  jitter seed: %d\n" s
+  | None -> ());
   let cache_path = Filename.temp_file "reqisc_bench" ".rqcache" in
   let total = clients * requests in
   let lines = stream ~clients ~requests in

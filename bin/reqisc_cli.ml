@@ -7,11 +7,13 @@
      reqisc_cli qasm FILE [--pulses]
      reqisc_cli serve [--listen tcp:HOST:PORT|unix:PATH] [--cache FILE]
                       [--workers N] [--capacity N] [--max-conns N]
-                      [--idle-timeout S] [--max-line BYTES] [--no-coalesce]
+                      [--max-queue N] [--idle-timeout S] [--max-line BYTES]
+                      [--no-coalesce]
      reqisc_cli client --connect tcp:HOST:PORT|unix:PATH [--retries N]
                        [--backoff S] [--jitter J] [--frames json|binary]
                        [--timeout S] [REQUEST...]
      reqisc_cli cache stats --cache FILE
+     reqisc_cli cache compact --cache FILE
      reqisc_cli trace [--out FILE] [--prom FILE] SUBCOMMAND [ARGS...]
 
    `serve` speaks the line-delimited JSON protocol on stdin/stdout (one
@@ -47,12 +49,14 @@ let subcommands =
       "synthesize one pulse (GATE in cnot|cz|iswap|sqisw|b|swap)" );
     ("qasm", "qasm FILE [--pulses]", "parse a REQASM file and report metrics");
     ( "serve",
-      "serve [--listen tcp:HOST:PORT|unix:PATH] [--cache FILE] [--workers N] [--capacity N] [--max-conns N] [--idle-timeout S] [--max-line BYTES] [--no-coalesce]",
+      "serve [--listen tcp:HOST:PORT|unix:PATH] [--cache FILE] [--workers N] [--capacity N] [--max-conns N] [--max-queue N] [--idle-timeout S] [--max-line BYTES] [--no-coalesce]",
       "serve the JSON protocol on stdin/stdout, or on a socket with --listen" );
     ( "client",
       "client --connect tcp:HOST:PORT|unix:PATH [--retries N] [--backoff S] [--jitter J] [--frames json|binary] [--timeout S] [REQUEST...]",
       "send request lines (args, or stdin when none) to a serve --listen instance" );
-    ("cache", "cache stats --cache FILE", "print cache statistics as JSON");
+    ( "cache",
+      "cache stats|compact --cache FILE",
+      "print cache statistics as JSON / compact the store file in place" );
     ( "trace",
       "trace [--out FILE] [--prom FILE] SUBCOMMAND [ARGS...]",
       "run a subcommand traced; write Chrome trace / Prometheus text" );
@@ -339,6 +343,9 @@ let cmd_serve args =
         idle_timeout = float_flag args "--idle-timeout" 300.0;
         max_line_bytes = int_flag args "--max-line" Serve.Protocol.max_line_bytes;
         max_write_buffer = Serve.Transport.default_config.Serve.Transport.max_write_buffer;
+        max_queue_depth =
+          int_flag args "--max-queue"
+            Serve.Transport.default_config.Serve.Transport.max_queue_depth;
       }
     in
     let ready a =
@@ -429,16 +436,35 @@ let cmd_client args =
   | lines -> List.iter run_line lines);
   Serve.Client.close t
 
-let cmd_cache_stats args =
+let with_cache_file sub args f =
   match flag_value args "--cache" with
-  | None -> usage_error "cache stats needs --cache FILE"
+  | None -> usage_error "cache %s needs --cache FILE" sub
   | Some path -> (
     if not (Sys.file_exists path) then usage_error "no such cache file %s" path;
     match Cache.create ~path () with
     | Error e -> usage_error "cannot open cache: %s" e
     | Ok c ->
-      print_endline (Cache.stats_json c);
+      f c;
       Cache.close c)
+
+(* stats_json includes the on-disk view — file_records (physical frames,
+   duplicates included) vs disk_records (distinct keys) and disk_bytes —
+   so an operator can see how much a compaction would reclaim *)
+let cmd_cache_stats args = with_cache_file "stats" args (fun c -> print_endline (Cache.stats_json c))
+
+let cmd_cache_compact args =
+  with_cache_file "compact" args (fun c ->
+      let before = Cache.stats c in
+      match Cache.compact c with
+      | Error e -> usage_error "compact failed: %s" e
+      | Ok bytes ->
+        Printf.printf
+          "{\"compacted\":true,\"records\":%d,\"dropped_records\":%d,\
+           \"bytes\":%d,\"reclaimed_bytes\":%d}\n"
+          before.Cache.disk_records
+          (before.Cache.file_records - before.Cache.disk_records)
+          bytes
+          (before.Cache.disk_bytes - bytes))
 
 (* ---------------------------------------------------------- dispatch *)
 
@@ -454,7 +480,8 @@ let rec dispatch = function
   | "serve" :: rest -> cmd_serve rest
   | "client" :: rest -> cmd_client rest
   | "cache" :: "stats" :: rest -> cmd_cache_stats rest
-  | "cache" :: _ -> usage_error "cache supports: stats --cache FILE"
+  | "cache" :: "compact" :: rest -> cmd_cache_compact rest
+  | "cache" :: _ -> usage_error "cache supports: stats|compact --cache FILE"
   | "trace" :: rest -> cmd_trace rest
   | cmd :: _ -> usage_error "unknown subcommand %s" cmd
   | [] ->

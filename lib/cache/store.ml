@@ -4,7 +4,10 @@ type load_result = {
   records : record list;
   valid_bytes : int;
   torn_bytes : int;
+  corrupt_records : int;
 }
+
+type sync = Never | Interval of float | Always
 
 let magic = "RQCACHE1"
 let header_len = String.length magic
@@ -43,29 +46,41 @@ let frame r =
   Buffer.add_bytes buf p;
   Buffer.contents buf
 
-(* Decode one frame at [off]; [None] marks a torn/corrupt tail starting
-   there (short frame, implausible length, checksum mismatch, or a payload
-   whose key length overruns it). *)
+(* Decode one frame at [off].
+   [`Record (r, off')] — a valid frame.
+   [`Corrupt off']     — the frame's length field is plausible and the
+                         whole frame is in-bounds but the checksum (or
+                         inner key length) is wrong AND a later frame
+                         follows: skip just this record.
+   [`Torn]             — anything else (short header, implausible length,
+                         frame that would run past EOF, or a corrupt frame
+                         that is itself the file tail): indistinguishable
+                         from a crashed append, so scanning stops here. *)
 let decode_frame bytes off total =
-  if off + 8 > total then None
+  if off + 8 > total then `Torn
   else begin
     let len = get_u32le bytes off in
     let sum = get_u32le bytes (off + 4) in
-    if len < 4 || len > max_frame || off + 8 + len > total then None
-    else if fnv1a32 bytes (off + 8) len <> sum then None
+    if len < 4 || len > max_frame || off + 8 + len > total then `Torn
     else begin
-      let keylen = get_u32le bytes (off + 8) in
-      if keylen > len - 4 then None
-      else begin
+      let next = off + 8 + len in
+      let valid_payload =
+        fnv1a32 bytes (off + 8) len = sum && get_u32le bytes (off + 8) <= len - 4
+      in
+      if valid_payload then begin
+        let keylen = get_u32le bytes (off + 8) in
         let key = Bytes.sub_string bytes (off + 12) keylen in
         let value = Bytes.sub_string bytes (off + 12 + keylen) (len - 4 - keylen) in
-        Some ({ key; value }, off + 8 + len)
+        `Record ({ key; value }, next)
       end
+      else if next < total then `Corrupt next
+      else `Torn
     end
   end
 
 let load path =
-  if not (Sys.file_exists path) then Ok { records = []; valid_bytes = 0; torn_bytes = 0 }
+  if not (Sys.file_exists path) then
+    Ok { records = []; valid_bytes = 0; torn_bytes = 0; corrupt_records = 0 }
   else begin
     match
       let ic = open_in_bin path in
@@ -80,24 +95,40 @@ let load path =
     | exception Sys_error e -> Error e
     | bytes ->
       let total = Bytes.length bytes in
-      if total = 0 then Ok { records = []; valid_bytes = 0; torn_bytes = 0 }
+      if total = 0 then
+        Ok { records = []; valid_bytes = 0; torn_bytes = 0; corrupt_records = 0 }
       else if
         total < header_len || Bytes.sub_string bytes 0 header_len <> magic
       then Error (Printf.sprintf "%s: not a reqisc cache store (bad magic)" path)
       else begin
-        let rec go acc off =
+        let rec go acc corrupt off =
           match decode_frame bytes off total with
-          | Some (r, off') -> go (r :: acc) off'
-          | None ->
-            { records = List.rev acc; valid_bytes = off; torn_bytes = total - off }
+          | `Record (r, off') -> go (r :: acc) corrupt off'
+          | `Corrupt off' -> go acc (corrupt + 1) off'
+          | `Torn ->
+            {
+              records = List.rev acc;
+              valid_bytes = off;
+              torn_bytes = total - off;
+              corrupt_records = corrupt;
+            }
         in
-        Ok (go [] header_len)
+        Ok (go [] 0 header_len)
       end
   end
 
-type writer = { oc : out_channel; mutable bytes : int }
+type writer = {
+  oc : out_channel;
+  fd : Unix.file_descr;
+  sync : sync;
+  mutable bytes : int;
+  mutable last_sync : float;
+  mutable wedged : bool;
+}
 
-let open_writer path ~valid_bytes =
+let default_sync = Interval 0.5
+
+let open_writer ?(sync = default_sync) path ~valid_bytes =
   match
     let fd = Unix.openfile path [ Unix.O_WRONLY; Unix.O_CREAT ] 0o644 in
     let keep = if valid_bytes = 0 then 0 else valid_bytes in
@@ -109,18 +140,92 @@ let open_writer path ~valid_bytes =
       output_string oc magic;
       flush oc
     end;
-    { oc; bytes = (if keep = 0 then header_len else keep) }
+    {
+      oc;
+      fd;
+      sync;
+      bytes = (if keep = 0 then header_len else keep);
+      last_sync = Unix.gettimeofday ();
+      wedged = false;
+    }
   with
   | w -> Ok w
   | exception Unix.Unix_error (e, _, _) ->
     Error (Printf.sprintf "%s: %s" path (Unix.error_message e))
   | exception Sys_error e -> Error e
 
-let append w r =
-  let f = frame r in
-  output_string w.oc f;
-  flush w.oc;
-  w.bytes <- w.bytes + String.length f
+let fsync_writer w =
+  (try Unix.fsync w.fd with Unix.Unix_error _ -> ());
+  w.last_sync <- Unix.gettimeofday ()
 
+let maybe_sync w =
+  match w.sync with
+  | Never -> ()
+  | Always -> fsync_writer w
+  | Interval s -> if Unix.gettimeofday () -. w.last_sync >= s then fsync_writer w
+
+let append w r =
+  if not w.wedged then begin
+    let f = frame r in
+    if Robust.Fault.enabled () && Robust.Fault.fire_p "store_short_write" then begin
+      (* simulate a crash mid-append: half the frame reaches the file and
+         the writer dies (wedges) — later appends go nowhere, exactly as
+         if the process were gone. [load] sees a torn tail. *)
+      let cut = String.length f / 2 in
+      output_string w.oc (String.sub f 0 cut);
+      flush w.oc;
+      w.bytes <- w.bytes + cut;
+      w.wedged <- true
+    end
+    else begin
+      output_string w.oc f;
+      flush w.oc;
+      w.bytes <- w.bytes + String.length f;
+      maybe_sync w
+    end
+  end
+
+let sync_now w = if not w.wedged then fsync_writer w
+let wedged w = w.wedged
 let written_bytes w = w.bytes
-let close_writer w = close_out_noerr w.oc
+
+let close_writer w =
+  if not w.wedged then (try flush w.oc with Sys_error _ -> ());
+  (match w.sync with
+  | Never -> ()
+  | Interval _ | Always -> if not w.wedged then fsync_writer w);
+  close_out_noerr w.oc
+
+(* Atomic full rewrite: used by compaction. Writes header + one frame per
+   record to [path ^ ".tmp"], fsyncs, then renames over [path] — a crash
+   at any point leaves either the old file or the new one, never a mix.
+   Returns the byte length of the new file. *)
+let write_all path records =
+  let tmp = path ^ ".tmp" in
+  match
+    let fd =
+      Unix.openfile tmp [ Unix.O_WRONLY; Unix.O_CREAT; Unix.O_TRUNC ] 0o644
+    in
+    let oc = Unix.out_channel_of_descr fd in
+    set_binary_mode_out oc true;
+    let bytes = ref header_len in
+    output_string oc magic;
+    List.iter
+      (fun r ->
+        let f = frame r in
+        output_string oc f;
+        bytes := !bytes + String.length f)
+      records;
+    flush oc;
+    (try Unix.fsync fd with Unix.Unix_error _ -> ());
+    close_out_noerr oc;
+    Sys.rename tmp path;
+    !bytes
+  with
+  | n -> Ok n
+  | exception Unix.Unix_error (e, _, _) ->
+    (try Sys.remove tmp with Sys_error _ -> ());
+    Error (Printf.sprintf "%s: %s" tmp (Unix.error_message e))
+  | exception Sys_error e ->
+    (try Sys.remove tmp with Sys_error _ -> ());
+    Error e

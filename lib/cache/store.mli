@@ -10,16 +10,31 @@
     {!load} replays the longest valid prefix and reports how many trailing
     bytes it skipped; {!open_writer} truncates the file back to that valid
     prefix before appending, so a torn tail is dropped exactly once and
-    never corrupts later records. Duplicate keys are allowed — the reader
-    keeps the latest occurrence (append-only update semantics). *)
+    never corrupts later records. A record whose checksum is wrong but
+    whose framing is intact {e and} which is followed by more data is
+    skipped individually (bit rot mid-file must not discard the valid tail
+    behind it); only the ambiguous case — a bad frame that is itself the
+    file tail — is treated as torn. Duplicate keys are allowed — the
+    reader keeps the latest occurrence (append-only update semantics). *)
 
 type record = { key : string; value : string }
 
 type load_result = {
   records : record list;  (** in append order, duplicates included *)
-  valid_bytes : int;  (** length of the valid prefix, header included *)
+  valid_bytes : int;  (** length of the scanned prefix, header included *)
   torn_bytes : int;  (** trailing bytes skipped (0 for a clean file) *)
+  corrupt_records : int;  (** mid-file records skipped for a bad checksum *)
 }
+
+(** Durability policy for {!append}:
+    - [Never] — flush to the OS only (a host crash can lose records);
+    - [Interval s] — [fsync] at most every [s] seconds (the default,
+      0.5 s: bounded loss window, negligible cost on the solve path);
+    - [Always] — [fsync] after every record (each insert survives a host
+      crash, at the cost of a disk round trip per append). *)
+type sync = Never | Interval of float | Always
+
+val default_sync : sync
 
 (** [load path] is [Ok { records = []; valid_bytes = 0; _ }] for a missing
     file; [Error] only for an unreadable file or one whose header is not a
@@ -28,15 +43,31 @@ val load : string -> (load_result, string) result
 
 type writer
 
-(** [open_writer path ~valid_bytes] truncates [path] to [valid_bytes]
-    (writing a fresh header when [valid_bytes = 0]) and positions for
-    appending. *)
-val open_writer : string -> valid_bytes:int -> (writer, string) result
+(** [open_writer ?sync path ~valid_bytes] truncates [path] to
+    [valid_bytes] (writing a fresh header when [valid_bytes = 0]) and
+    positions for appending. Default [sync]: {!default_sync}. *)
+val open_writer : ?sync:sync -> string -> valid_bytes:int -> (writer, string) result
 
-(** [append w r] writes one framed record and flushes. *)
+(** [append w r] writes one framed record, flushes, and applies the
+    writer's sync policy. No-op on a {!wedged} writer. Under the
+    [store_short_write] fault site, writes half the frame and wedges the
+    writer — the simulated crash every durability claim is tested
+    against. *)
 val append : writer -> record -> unit
+
+(** Force an [fsync] now (e.g. before handing the file to a reader). *)
+val sync_now : writer -> unit
+
+(** True after an injected short write killed this writer. *)
+val wedged : writer -> bool
 
 (** Bytes currently in the file (header + records). *)
 val written_bytes : writer -> int
 
 val close_writer : writer -> unit
+
+(** [write_all path records] atomically replaces [path] with a fresh store
+    holding exactly [records]: temp file + [fsync] + [rename], so a crash
+    leaves either the old file or the new one, never a mix. Returns the
+    new file's byte length. Close any open writer on [path] first. *)
+val write_all : string -> record list -> (int, string) result

@@ -4,8 +4,11 @@ type stats = {
   size : int;
   capacity : int;
   disk_records : int;
+  file_records : int;
   disk_bytes : int;
   torn_bytes : int;
+  corrupt_records : int;
+  compactions : int;
   hits : int;
   disk_hits : int;
   misses : int;
@@ -17,9 +20,13 @@ type t = {
   lock : Mutex.t;
   lru : (string, string) Lru.t;
   disk : (string, string) Hashtbl.t;  (* persistent index, latest write wins *)
-  writer : Store.writer option;
+  mutable writer : Store.writer option;
   file : string option;
-  torn_bytes : int;
+  sync : Store.sync;
+  mutable torn_bytes : int;
+  mutable file_records : int;  (* physical frames on disk, duplicates included *)
+  mutable corrupt_records : int;
+  mutable compactions : int;
   mutable hits : int;
   mutable disk_hits : int;
   mutable misses : int;
@@ -31,27 +38,29 @@ let locked t f =
   Mutex.lock t.lock;
   Fun.protect ~finally:(fun () -> Mutex.unlock t.lock) f
 
-let create ?(capacity = 4096) ?path () =
+let create ?(capacity = 4096) ?(sync = Store.default_sync) ?path () =
   let open_disk path =
     match Store.load path with
     | Error e -> Error e
-    | Ok { records; valid_bytes; torn_bytes } -> (
-      match Store.open_writer path ~valid_bytes with
+    | Ok { records; valid_bytes; torn_bytes; corrupt_records } -> (
+      match Store.open_writer ~sync path ~valid_bytes with
       | Error e -> Error e
       | Ok writer ->
         let disk = Hashtbl.create 1024 in
         List.iter (fun (r : Store.record) -> Hashtbl.replace disk r.key r.value) records;
         Robust.Counters.add ~stage "load_records" (Hashtbl.length disk);
         if torn_bytes > 0 then Robust.Counters.add ~stage "torn_bytes" torn_bytes;
-        Ok (disk, Some writer, torn_bytes))
+        if corrupt_records > 0 then
+          Robust.Counters.add ~stage "corrupt_records" corrupt_records;
+        Ok (disk, Some writer, torn_bytes, List.length records, corrupt_records))
   in
   match
     match path with
-    | None -> Ok (Hashtbl.create 16, None, 0)
+    | None -> Ok (Hashtbl.create 16, None, 0, 0, 0)
     | Some p -> open_disk p
   with
   | Error e -> Error e
-  | Ok (disk, writer, torn_bytes) ->
+  | Ok (disk, writer, torn_bytes, file_records, corrupt_records) ->
     Ok
       {
         lock = Mutex.create ();
@@ -59,7 +68,11 @@ let create ?(capacity = 4096) ?path () =
         disk;
         writer;
         file = path;
+        sync;
         torn_bytes;
+        file_records;
+        corrupt_records;
+        compactions = 0;
         hits = 0;
         disk_hits = 0;
         misses = 0;
@@ -113,8 +126,37 @@ let add t key value =
         let already = Hashtbl.find_opt t.disk key = Some value in
         if not already then begin
           Hashtbl.replace t.disk key value;
-          Store.append w { Store.key; value }
+          Store.append w { Store.key; value };
+          t.file_records <- t.file_records + 1
         end)
+
+(* Rewrite the file to one frame per live key (latest value wins, already
+   what the index holds), dropping superseded duplicates, skipped corrupt
+   records, and any torn tail. Atomic: temp + fsync + rename, with the old
+   writer closed first and a fresh one opened on the new file. *)
+let compact t =
+  locked t (fun () ->
+      match (t.file, t.writer) with
+      | None, _ | _, None -> Ok 0
+      | Some path, Some w -> (
+        Store.close_writer w;
+        t.writer <- None;
+        let records =
+          Hashtbl.fold (fun key value acc -> { Store.key; value } :: acc) t.disk []
+        in
+        match Store.write_all path records with
+        | Error e -> Error e
+        | Ok bytes -> (
+          match Store.open_writer ~sync:t.sync path ~valid_bytes:bytes with
+          | Error e -> Error e
+          | Ok w' ->
+            t.writer <- Some w';
+            t.file_records <- List.length records;
+            t.torn_bytes <- 0;
+            t.corrupt_records <- 0;
+            t.compactions <- t.compactions + 1;
+            Robust.Counters.incr ~stage "compact";
+            Ok bytes)))
 
 let path t = t.file
 
@@ -124,8 +166,11 @@ let stats t =
         size = Lru.length t.lru;
         capacity = Lru.capacity t.lru;
         disk_records = Hashtbl.length t.disk;
+        file_records = t.file_records;
         disk_bytes = (match t.writer with Some w -> Store.written_bytes w | None -> 0);
         torn_bytes = t.torn_bytes;
+        corrupt_records = t.corrupt_records;
+        compactions = t.compactions;
         hits = t.hits;
         disk_hits = t.disk_hits;
         misses = t.misses;
@@ -136,12 +181,14 @@ let stats t =
 let stats_json t =
   let s = stats t in
   Printf.sprintf
-    "{\"path\":%s,\"size\":%d,\"capacity\":%d,\"disk_records\":%d,\"disk_bytes\":%d,\
-     \"torn_bytes\":%d,\"hits\":%d,\"disk_hits\":%d,\"misses\":%d,\"inserts\":%d,\
-     \"evictions\":%d}"
+    "{\"path\":%s,\"size\":%d,\"capacity\":%d,\"disk_records\":%d,\
+     \"file_records\":%d,\"disk_bytes\":%d,\"torn_bytes\":%d,\
+     \"corrupt_records\":%d,\"compactions\":%d,\"hits\":%d,\"disk_hits\":%d,\
+     \"misses\":%d,\"inserts\":%d,\"evictions\":%d}"
     (match t.file with Some p -> Printf.sprintf "%S" p | None -> "null")
-    s.size s.capacity s.disk_records s.disk_bytes s.torn_bytes s.hits s.disk_hits
-    s.misses s.inserts s.evictions
+    s.size s.capacity s.disk_records s.file_records s.disk_bytes s.torn_bytes
+    s.corrupt_records s.compactions s.hits s.disk_hits s.misses s.inserts
+    s.evictions
 
 let close t =
   locked t (fun () -> match t.writer with Some w -> Store.close_writer w | None -> ())

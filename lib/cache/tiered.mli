@@ -18,8 +18,13 @@ type stats = {
   size : int;  (** entries in the LRU tier *)
   capacity : int;
   disk_records : int;  (** distinct keys in the persistent tier *)
+  file_records : int;
+      (** physical frames on disk, superseded duplicates included — the
+          gap to [disk_records] is what {!compact} reclaims *)
   disk_bytes : int;  (** file size, header included (0 when memory-only) *)
   torn_bytes : int;  (** torn tail dropped at load time *)
+  corrupt_records : int;  (** mid-file records skipped at load time *)
+  compactions : int;  (** {!compact} runs on this handle *)
   hits : int;  (** LRU-tier hits *)
   disk_hits : int;  (** persistent-tier hits (promoted) *)
   misses : int;
@@ -27,16 +32,25 @@ type stats = {
   evictions : int;
 }
 
-(** [create ?capacity ?path ()] opens (or creates) the store at [path];
-    omitting [path] gives a memory-only cache. A torn tail on disk is
-    dropped (and counted) — [Error] only for an unreadable file or one
-    that is not a cache store. Default [capacity]: 4096 entries. *)
-val create : ?capacity:int -> ?path:string -> unit -> (t, string) result
+(** [create ?capacity ?sync ?path ()] opens (or creates) the store at
+    [path]; omitting [path] gives a memory-only cache. A torn tail on
+    disk is dropped (and counted) — [Error] only for an unreadable file
+    or one that is not a cache store. Default [capacity]: 4096 entries;
+    default [sync]: {!Store.default_sync} (periodic fsync). *)
+val create :
+  ?capacity:int -> ?sync:Store.sync -> ?path:string -> unit -> (t, string) result
 
 val find : t -> string -> string option
 val add : t -> string -> string -> unit
 val path : t -> string option
 val stats : t -> stats
+
+(** [compact t] atomically rewrites the backing file to one frame per
+    distinct key (latest value wins), dropping superseded duplicates and
+    any corrupt/torn bytes; returns the new file size. [Ok 0] for a
+    memory-only cache. The cache stays usable throughout (callers are
+    blocked for the duration of the rewrite). *)
+val compact : t -> (int, string) result
 
 (** One-line JSON rendering of {!stats} (plus the path), for the [stats]
     server op and [cache stats] CLI. *)

@@ -10,6 +10,11 @@
    site fires (<= 0 or absent = unlimited), [param] is an optional float
    the site interprets (perturbation magnitude, probability, ...).
 
+   Parsing is strict: an unknown site name or a non-numeric count/param
+   raises [Invalid_argument] at configure time listing the known sites, so
+   a typo'd spec can never silently arm nothing (or worse, arm a
+   misspelled count as "unlimited").
+
    Zero-cost when disabled: every instrumented kernel guards its injection
    with [if Fault.enabled () then ...], a single load-and-branch; no parsing
    or hashing happens on the hot path. Firing is mutex-protected so sites
@@ -25,6 +30,7 @@ type site = {
 let lock = Mutex.create ()
 let state : site list ref = ref []
 let armed = ref false
+let rng = ref (Random.State.make [| 0x5eed |])
 
 let known_sites =
   [
@@ -35,27 +41,53 @@ let known_sites =
     ("nd_noconv", "discard the ND solver's sinc roots for one attempt");
     ("ham_perturb", "perturb the solver's cached Hamiltonian by param (default 1e-2)");
     ("hier_fail", "fail one hierarchical per-block resynthesis probe");
+    ("frame_drop", "drop a serialized response frame before transmit (param = probability)");
+    ("frame_corrupt", "corrupt bytes of a response frame before transmit (param = probability)");
+    ("conn_reset", "reset the client connection instead of handling a request");
+    ("worker_crash", "raise inside an engine worker after dequeue (supervisor restarts it)");
+    ("store_short_write", "truncate a cache-store append mid-frame and wedge the writer");
   ]
+
+let site_names = List.map fst known_sites
+
+let bad_entry entry why =
+  invalid_arg
+    (Printf.sprintf "REQISC_FAULTS entry %S: %s (known sites: %s)" entry why
+       (String.concat ", " site_names))
 
 let parse_entry entry =
   match String.split_on_char ':' (String.trim entry) with
   | [] | [ "" ] -> None
   | name :: rest ->
+    if not (List.mem name site_names) then bad_entry entry ("unknown site " ^ name);
+    let parse_count c =
+      match int_of_string_opt c with
+      | Some n -> n
+      | None -> bad_entry entry (Printf.sprintf "count %S is not an integer" c)
+    in
+    let parse_param p =
+      match float_of_string_opt p with
+      | Some f -> Some f
+      | None -> bad_entry entry (Printf.sprintf "param %S is not a number" p)
+    in
     let limit, param =
       match rest with
       | [] -> (0, None)
-      | [ c ] -> (int_of_string_opt c |> Option.value ~default:0, None)
-      | c :: p :: _ ->
-        (int_of_string_opt c |> Option.value ~default:0, float_of_string_opt p)
+      | [ c ] -> (parse_count c, None)
+      | [ c; p ] -> (parse_count c, parse_param p)
+      | _ -> bad_entry entry "too many ':' fields (want site[:count[:param]])"
     in
     Some { name; limit; param; fired = 0 }
 
-let configure spec =
+let configure ?seed spec =
+  let sites =
+    match spec with
+    | None -> []
+    | Some s -> List.filter_map parse_entry (String.split_on_char ',' s)
+  in
   Mutex.lock lock;
-  (state :=
-     match spec with
-     | None -> []
-     | Some s -> List.filter_map parse_entry (String.split_on_char ',' s));
+  state := sites;
+  (match seed with Some s -> rng := Random.State.make [| s |] | None -> ());
   armed := !state <> [];
   Mutex.unlock lock
 
@@ -74,6 +106,30 @@ let fire name =
          | Some s when s.limit <= 0 || s.fired < s.limit ->
            s.fired <- s.fired + 1;
            true
+         | _ -> false
+       in
+       Mutex.unlock lock;
+       hit
+     end
+
+(* Probability-gated variant: the site's [param] (default 1.0) is the
+   chance each call fires. Only actual fires count against the limit, so
+   "frame_drop:3:0.1" drops exactly three frames, each with 10% odds per
+   opportunity. Draws come from a private seeded stream ([configure ?seed])
+   so chaos schedules replay deterministically. *)
+let fire_p name =
+  !armed
+  && begin
+       Mutex.lock lock;
+       let hit =
+         match find name with
+         | Some s when s.limit <= 0 || s.fired < s.limit ->
+           let p = match s.param with Some p -> p | None -> 1.0 in
+           if p >= 1.0 || Random.State.float !rng 1.0 < p then begin
+             s.fired <- s.fired + 1;
+             true
+           end
+           else false
          | _ -> false
        in
        Mutex.unlock lock;

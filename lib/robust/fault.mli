@@ -11,13 +11,23 @@ val known_sites : (string * string) list
 (** [enabled ()] is true when at least one site is armed. *)
 val enabled : unit -> bool
 
-(** [configure spec] re-arms from a spec string ([None] disarms everything
-    and resets hit counts). *)
-val configure : string option -> unit
+(** [configure ?seed spec] re-arms from a spec string ([None] disarms
+    everything and resets hit counts). [seed] reseeds the private stream
+    behind {!fire_p} so probability-gated schedules replay exactly.
+
+    @raise Invalid_argument on an unknown site name, a non-numeric count
+    or param, or extra [:] fields — the message lists {!known_sites}. *)
+val configure : ?seed:int -> string option -> unit
 
 (** [fire name] is true when site [name] is armed and under its count
     limit; every [true] return is counted as a hit. Thread-safe. *)
 val fire : string -> bool
+
+(** [fire_p name] is like {!fire} but also gated on the site's [param]
+    interpreted as a probability in [0,1] (absent = 1.0, i.e. always).
+    Only actual fires count against the limit. Thread-safe; draws come
+    from the seeded stream set by [configure ?seed]. *)
+val fire_p : string -> bool
 
 (** [param name ~default] is the site's optional float parameter. *)
 val param : string -> default:float -> float

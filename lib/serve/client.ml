@@ -6,6 +6,7 @@ type error =
   | Io_error of string
   | Bad_response of string
   | Server_error of { kind : string; stage : string; message : string; id : Json.t }
+  | Circuit_open of { retry_after : float }
 
 let error_kind = function
   | Connect_failed _ -> "connect_failed"
@@ -15,6 +16,7 @@ let error_kind = function
   | Io_error _ -> "io_error"
   | Bad_response _ -> "bad_response"
   | Server_error { kind; _ } -> kind
+  | Circuit_open _ -> "circuit_open"
 
 let error_to_string = function
   | Connect_failed { addr; attempts; detail } ->
@@ -28,8 +30,112 @@ let error_to_string = function
   | Bad_response line -> "unparseable response line: " ^ line
   | Server_error { kind; stage; message; _ } ->
     Printf.sprintf "server error[%s] %s: %s" kind stage message
+  | Circuit_open { retry_after } ->
+    Printf.sprintf "circuit breaker open; retry in %.2fs" retry_after
 
 let stage = "serve.client"
+
+(* ---------------------------------------------------------------- breaker *)
+
+(* Client-side circuit breaker. After [threshold] consecutive
+   overload-shaped failures ([Overloaded]/[Timed_out] — the server is
+   alive but shedding), the breaker opens: calls fail locally with
+   [Circuit_open] for a jittered [cooldown], taking the client out of the
+   retry stampede entirely. The first call after the cooldown is the
+   half-open probe; its success closes the breaker, its failure reopens
+   it for another cooldown. Any other outcome (success, or a typed
+   server error — the server answered, it is not drowning) resets the
+   failure run. *)
+module Breaker = struct
+  type bstate = Closed | Open of float (* reopen time *) | Half_open
+
+  type t = {
+    lock : Mutex.t;
+    threshold : int;
+    cooldown : float;
+    jitter : float;
+    rng : Random.State.t;
+    mutable state : bstate;
+    mutable failures : int;
+    mutable trips : int;
+  }
+
+  let create ?(threshold = 5) ?(cooldown = 1.0) ?(jitter = 0.2) ?(seed = 0x0b9) () =
+    {
+      lock = Mutex.create ();
+      threshold = max 1 threshold;
+      cooldown = Float.max 1e-4 cooldown;
+      jitter = Float.max 0.0 (Float.min 1.0 jitter);
+      rng = Random.State.make [| seed |];
+      state = Closed;
+      failures = 0;
+      trips = 0;
+    }
+
+  let locked b f =
+    Mutex.lock b.lock;
+    Fun.protect ~finally:(fun () -> Mutex.unlock b.lock) f
+
+  (* jittered so a fleet of breakers tripped by the same brownout does
+     not reopen (and re-stampede) in lockstep *)
+  let reopen_at b =
+    let u = Random.State.float b.rng 2.0 -. 1.0 in
+    Unix.gettimeofday () +. (b.cooldown *. (1.0 +. (b.jitter *. u)))
+
+  let admit b =
+    locked b (fun () ->
+        match b.state with
+        | Closed -> Ok ()
+        | Half_open ->
+          (* one probe at a time; everyone else keeps failing fast *)
+          Error (Circuit_open { retry_after = b.cooldown })
+        | Open until ->
+          let now = Unix.gettimeofday () in
+          if now >= until then begin
+            b.state <- Half_open;
+            Obs.Metric.incr ~stage "breaker_probe";
+            Ok ()
+          end
+          else Error (Circuit_open { retry_after = until -. now }))
+
+  let counts_as_failure = function
+    | Overloaded _ | Timed_out _ -> true
+    (* an admission-control shed reaches the caller as a Server_error but
+       is just as overload-shaped as a connection refusal *)
+    | Server_error { kind = "overloaded" | "timeout"; _ } -> true
+    | Connect_failed _ | Disconnected | Io_error _ | Bad_response _
+    | Server_error _ | Circuit_open _ -> false
+
+  let trip b =
+    b.state <- Open (reopen_at b);
+    b.failures <- 0;
+    b.trips <- b.trips + 1;
+    Obs.Metric.incr ~stage "breaker_trip";
+    Robust.Counters.incr ~stage "breaker_trip"
+
+  let record b (result : ('a, error) result) =
+    locked b (fun () ->
+        match result with
+        | Error e when counts_as_failure e -> (
+          match b.state with
+          | Half_open | Open _ -> trip b (* failed probe: back to open *)
+          | Closed ->
+            b.failures <- b.failures + 1;
+            if b.failures >= b.threshold then trip b)
+        | Error (Circuit_open _) -> () (* never reached the server *)
+        | Ok _ | Error _ ->
+          b.failures <- 0;
+          b.state <- Closed)
+
+  let state b =
+    locked b (fun () ->
+        match b.state with
+        | Closed -> "closed"
+        | Half_open -> "half_open"
+        | Open _ -> "open")
+
+  let trips b = locked b (fun () -> b.trips)
+end
 
 type frames = Json_lines | Binary
 
@@ -77,14 +183,17 @@ let connect_once ?(frames = Json_lines) ?recv_timeout sa =
    and incident reproductions see identical timing; [jitter = j] spreads
    each sleep uniformly over [d*(1-j), d*(1+j)] to decorrelate clients
    retrying in lockstep after a refusal storm *)
-let jitter_rng = lazy (Random.State.make_self_init ())
+let jitter_rng = ref (lazy (Random.State.make_self_init ()))
+
+(* reproducible jitter for benches: same seed, same sleep schedule *)
+let seed_jitter s = jitter_rng := lazy (Random.State.make [| s |])
 
 let backoff_sleep ?(jitter = 0.0) ~backoff attempt =
   let d = backoff *. Float.pow 2.0 (float_of_int attempt) in
   let d =
     if jitter > 0.0 then begin
       let j = Float.min jitter 1.0 in
-      let u = Random.State.float (Lazy.force jitter_rng) 2.0 -. 1.0 in
+      let u = Random.State.float (Lazy.force !jitter_rng) 2.0 -. 1.0 in
       Float.max 0.0 (d *. (1.0 +. (j *. u)))
     end
     else d
@@ -181,14 +290,18 @@ let send_line ?(flush = true) t line =
 (* ------------------------------------------------------------------ recv *)
 
 (* connection-fatal error responses surface as their typed variant no
-   matter what the caller was waiting for *)
+   matter what the caller was waiting for. An admission-control shed
+   (stage "serve.admission") also answers [overloaded] but the server
+   keeps the connection open — that one is a per-request error, not a
+   connection verdict, so it flows to the caller as a normal response. *)
 let fatal_of_response json =
   match Json.member "error" json with
   | Some err -> (
     let message = Option.value ~default:"" (Json.mem_str "message" err) in
-    match Json.mem_str "kind" err with
-    | Some "overloaded" -> Some (Overloaded message)
-    | Some "timeout" -> Some (Timed_out message)
+    match (Json.mem_str "kind" err, Json.mem_str "stage" err) with
+    | Some "overloaded", Some "serve.admission" -> None
+    | Some "overloaded", _ -> Some (Overloaded message)
+    | Some "timeout", _ -> Some (Timed_out message)
     | _ -> None)
   | None -> None
 
@@ -301,22 +414,38 @@ let request t body =
              })
       | None -> Error (Bad_response (Json.to_string json))))
 
-let rpc ?(retries = 3) ?(backoff = 0.05) ?(jitter = 0.0) ?frames addr body =
+let rpc ?(retries = 3) ?(backoff = 0.05) ?(jitter = 0.0) ?frames ?breaker addr body
+    =
+  let admit () =
+    match breaker with
+    | None -> Ok ()
+    | Some b -> (
+      match Breaker.admit b with
+      | Ok () -> Ok ()
+      | Error e ->
+        Obs.Metric.incr ~stage "breaker_reject";
+        Error e)
+  in
+  let record r = Option.iter (fun b -> Breaker.record b r) breaker in
   let rec go attempt =
     let attempt_left = retries - attempt in
-    let result =
-      match connect ?frames addr with
-      | Error e -> Error e
-      | Ok t ->
-        let r = request t body in
-        close t;
-        r
-    in
-    match result with
-    | Error (Connect_failed _ | Overloaded _) when attempt_left > 0 ->
-      Obs.Metric.incr ~stage "retry";
-      backoff_sleep ~jitter ~backoff attempt;
-      go (attempt + 1)
-    | other -> other
+    match admit () with
+    | Error e -> Error e
+    | Ok () -> (
+      let result =
+        match connect ?frames addr with
+        | Error e -> Error e
+        | Ok t ->
+          let r = request t body in
+          close t;
+          r
+      in
+      record result;
+      match result with
+      | Error (Connect_failed _ | Overloaded _) when attempt_left > 0 ->
+        Obs.Metric.incr ~stage "retry";
+        backoff_sleep ~jitter ~backoff attempt;
+        go (attempt + 1)
+      | other -> other)
   in
   go 0

@@ -35,11 +35,51 @@ type error =
   | Bad_response of string  (** a response frame that is not valid JSON *)
   | Server_error of { kind : string; stage : string; message : string; id : Json.t }
       (** an [ok = false] response: the typed error the server reported *)
+  | Circuit_open of { retry_after : float }
+      (** the local {!Breaker} is open: the call failed fast without
+          touching the network; [retry_after] is the (approximate) time
+          until the next half-open probe *)
 
 (** Stable snake_case tag ("connect_failed", "overloaded", ...). *)
 val error_kind : error -> string
 
 val error_to_string : error -> string
+
+(** Client-side circuit breaker for {!rpc}. After [threshold] consecutive
+    overload-shaped failures ([Overloaded]/[Timed_out], or a
+    [Server_error] whose kind is one of those — an admission-control
+    shed) the breaker opens
+    and calls fail locally with {!Circuit_open} for a jittered [cooldown];
+    the first call after the cooldown is the half-open probe — success
+    closes the breaker, failure reopens it. Successes and non-overload
+    errors (the server answered) reset the failure run. Thread-safe; one
+    breaker is typically shared by every client talking to one server. *)
+module Breaker : sig
+  type t
+
+  (** Defaults: [threshold = 5], [cooldown = 1.0]s, [jitter = 0.2]
+      (reopen spread over [cooldown * (1 ± jitter)]), deterministic
+      [seed]. *)
+  val create :
+    ?threshold:int -> ?cooldown:float -> ?jitter:float -> ?seed:int -> unit -> t
+
+  (** [admit b] — [Ok ()] to proceed, [Error (Circuit_open _)] to fail
+      fast. Transitions open → half-open when the cooldown has passed. *)
+  val admit : t -> (unit, error) result
+
+  (** [record b result] feeds an attempt's outcome back. *)
+  val record : t -> ('a, error) result -> unit
+
+  (** ["closed"] / ["open"] / ["half_open"] (for reports). *)
+  val state : t -> string
+
+  (** Times the breaker has tripped (closed/half-open → open). *)
+  val trips : t -> int
+end
+
+(** [seed_jitter s] makes backoff jitter deterministic (benches re-seed
+    per run so p99 comparisons are reproducible). *)
+val seed_jitter : int -> unit
 
 type frames = Json_lines | Binary
 
@@ -88,7 +128,9 @@ val recv : t -> (Json.t, error) result
 (** [recv_id t id] — the response whose ["id"] is [id], stashing any
     other pipelined responses that arrive first. Connection-fatal error
     responses ([overloaded], [timeout]) surface as their typed variant no
-    matter which id is awaited. *)
+    matter which id is awaited; an admission-control shed (stage
+    ["serve.admission"]) is per-request — it answers its own id and the
+    connection stays usable. *)
 val recv_id : t -> Json.t -> (Json.t, error) result
 
 (** [request t body] = {!send} + {!recv_id}; an [ok = false] response
@@ -96,14 +138,17 @@ val recv_id : t -> Json.t -> (Json.t, error) result
     socket first drains any typed refusal the server left behind. *)
 val request : t -> Json.t -> (Json.t, error) result
 
-(** [rpc ?retries ?backoff ?jitter ?frames addr body] — one-shot
+(** [rpc ?retries ?backoff ?jitter ?frames ?breaker addr body] — one-shot
     convenience: connect, request, close, retrying [Connect_failed] and
-    [Overloaded] on the backoff ladder. *)
+    [Overloaded] on the backoff ladder. With [breaker], every attempt is
+    gated by {!Breaker.admit} and its outcome fed to {!Breaker.record} —
+    an open breaker short-circuits the whole call with {!Circuit_open}. *)
 val rpc :
   ?retries:int ->
   ?backoff:float ->
   ?jitter:float ->
   ?frames:frames ->
+  ?breaker:Breaker.t ->
   Transport.addr ->
   Json.t ->
   (Json.t, error) result

@@ -34,10 +34,22 @@ let json_of_string s =
      embed them structurally (fall back to a raw string, never fail) *)
   match Json.parse s with Ok v -> v | Error _ -> Json.Str s
 
-let budget_of_spec = function
-  | None -> None
-  | Some { Protocol.max_iterations; max_seconds } ->
+(* Derive the solver budget from the request's explicit budget spec and
+   the wall-clock remaining before its deadline, whichever is tighter.
+   A deadline with no explicit budget still bounds the solver (default
+   iteration cap, deadline-derived wall clock) — a request that asked to
+   be dropped at T must not keep a worker busy past T. *)
+let budget_of_spec ?remaining_s spec =
+  match (spec, remaining_s) with
+  | None, None -> None
+  | None, Some r -> Some (Robust.Budget.make ~max_seconds:r ())
+  | Some { Protocol.max_iterations; max_seconds }, None ->
     Some (Robust.Budget.make ?max_iterations ?max_seconds ())
+  | Some { Protocol.max_iterations; max_seconds }, Some r ->
+    let max_seconds =
+      match max_seconds with None -> r | Some s -> Float.min s r
+    in
+    Some (Robust.Budget.make ?max_iterations ~max_seconds ())
 
 (* ------------------------------------------------------------- pulses *)
 
@@ -227,8 +239,8 @@ let exec_stats t =
 
 (* ---------------------------------------------------------- dispatch *)
 
-let rec exec_body t (b : Protocol.body) =
-  let budget = budget_of_spec b.budget in
+let rec exec_body ?remaining_s t (b : Protocol.body) =
+  let budget = budget_of_spec ?remaining_s b.budget in
   match b.op with
   | Protocol.Stats -> exec_stats t
   | Protocol.Shutdown ->
@@ -237,12 +249,14 @@ let rec exec_body t (b : Protocol.body) =
   | Protocol.Compile { bench; mode; pulses } ->
     exec_compile t ~budget ~bench ~mode ~pulses
   | Protocol.Batch bodies ->
-    let results = List.map (exec_guarded t) bodies in
+    (* inner items inherit the envelope's remaining-deadline clamp (the
+       deadline covers the batch as a whole) on top of their own specs *)
+    let results = List.map (exec_guarded ?remaining_s t) bodies in
     Protocol.ok_item ~op:"batch" (Json.Obj [ ("results", Json.Arr results) ])
 
 (* a worker must survive anything a job throws *)
-and exec_guarded t b =
-  match exec_body t b with
+and exec_guarded ?remaining_s t b =
+  match exec_body ?remaining_s t b with
   | r -> r
   | exception e ->
     Robust.Counters.incr ~stage "internal_error";
@@ -261,9 +275,32 @@ let respond_counted t ~respond (response : Json.t) =
     Robust.Counters.incr ~stage "response_undeliverable";
     ignore (Printexc.to_string e)
 
-let exec_item t body =
+let exec_item ?remaining_s t body =
   let name = "exec." ^ Protocol.op_name body.Protocol.op in
-  Obs.Span.with_ ~stage ~name (fun () -> exec_guarded t body)
+  Obs.Span.with_ ~stage ~name (fun () -> exec_guarded ?remaining_s t body)
+
+(* ---------------------------------------------------------- deadlines *)
+
+(* Decide, at dequeue time, whether [body]'s deadline has already passed.
+   [`Expired item] is the typed refusal (the solver is never invoked);
+   [`Run remaining_s] carries the wall clock left for the budget clamp.
+   Timing uses {!Obs.Clock} directly — [Obs.Span.now_ns] is 0 without a
+   sink, which must not turn every deadline into "expired at once". *)
+let deadline_verdict ~enqueued_ns (b : Protocol.body) =
+  match b.deadline_ms with
+  | None -> `Run None
+  | Some dl ->
+    let elapsed_ms = float_of_int (Obs.Clock.now_ns () - enqueued_ns) /. 1e6 in
+    if elapsed_ms >= dl then begin
+      Robust.Counters.incr ~stage "deadline_exceeded";
+      Obs.Metric.incr ~stage "deadline_exceeded";
+      `Expired
+        (Protocol.error_item ~kind:"deadline_exceeded" ~stage:"serve.deadline"
+           (Printf.sprintf
+              "deadline of %g ms exceeded (%.1f ms elapsed before execution)" dl
+              elapsed_ms))
+    end
+    else `Run (Some ((dl -. elapsed_ms) /. 1e3))
 
 (* retire a flight: unregister the key first (a duplicate arriving after
    this point starts a fresh flight — the result is not cached here, only
@@ -286,31 +323,71 @@ let finish_flight t key item =
     (fun w -> respond_counted t ~respond:w.respond (Protocol.with_id ~id:w.id item))
     waiters
 
+let run_job t job =
+  match job with
+  | Direct { parsed; enqueued_ns; respond } -> (
+    Obs.Span.emit ~stage ~name:"queue_wait" ~t0:enqueued_ns;
+    match parsed.body with
+    | Error msg ->
+      respond_counted t ~respond
+        (Protocol.error_response ~id:parsed.id ~kind:"bad_request"
+           ~stage:"serve.protocol" msg)
+    | Ok body -> (
+      match deadline_verdict ~enqueued_ns body with
+      | `Expired item ->
+        respond_counted t ~respond (Protocol.with_id ~id:parsed.id item)
+      | `Run remaining_s -> (
+        match exec_item ?remaining_s t body with
+        | Json.Obj _ as item ->
+          respond_counted t ~respond (Protocol.with_id ~id:parsed.id item)
+        | other -> respond_counted t ~respond other)))
+  | Flight { key; body; enqueued_ns } -> (
+    Obs.Span.emit ~stage ~name:"queue_wait" ~t0:enqueued_ns;
+    match deadline_verdict ~enqueued_ns body with
+    | `Expired item -> finish_flight t key item
+    | `Run remaining_s -> finish_flight t key (exec_item ?remaining_s t body))
+
+(* Supervised worker: [exec_guarded]/[respond_counted] already absorb
+   per-job failures, so an exception escaping [run] means the worker
+   machinery itself crashed (the [worker_crash] fault site, a Jobq bug,
+   an out-of-memory, ...). The supervisor answers the in-flight request
+   with a typed [internal_error] — fanning through the flight's waiter
+   list so no coalesced client hangs either — counts the restart, and
+   respawns the loop. A poisoned request can never shrink the pool. *)
 let worker t () =
-  let rec loop () =
+  let inflight : job option ref = ref None in
+  let rec run () =
     match Jobq.pop t.queue with
     | None -> ()
     | Some job ->
+      inflight := Some job;
       Obs.Metric.set_gauge ~stage "queue_depth" (float_of_int (Jobq.length t.queue));
-      (match job with
-      | Direct { parsed; enqueued_ns; respond } -> (
-        Obs.Span.emit ~stage ~name:"queue_wait" ~t0:enqueued_ns;
-        match parsed.body with
-        | Error msg ->
-          respond_counted t ~respond
-            (Protocol.error_response ~id:parsed.id ~kind:"bad_request"
-               ~stage:"serve.protocol" msg)
-        | Ok body -> (
-          match exec_item t body with
-          | Json.Obj _ as item ->
-            respond_counted t ~respond (Protocol.with_id ~id:parsed.id item)
-          | other -> respond_counted t ~respond other))
-      | Flight { key; body; enqueued_ns } ->
-        Obs.Span.emit ~stage ~name:"queue_wait" ~t0:enqueued_ns;
-        finish_flight t key (exec_item t body));
-      loop ()
+      if Robust.Fault.enabled () && Robust.Fault.fire_p "worker_crash" then
+        failwith "injected worker crash";
+      run_job t job;
+      inflight := None;
+      run ()
   in
-  loop ()
+  let rec supervise () =
+    match run () with
+    | () -> ()
+    | exception e ->
+      let item =
+        Protocol.error_item ~kind:"internal_error" ~stage:"serve.worker"
+          (Printf.sprintf "worker crashed: %s (worker restarted)"
+             (Printexc.to_string e))
+      in
+      (match !inflight with
+      | Some (Direct { parsed; respond; _ }) ->
+        respond_counted t ~respond (Protocol.with_id ~id:parsed.id item)
+      | Some (Flight { key; _ }) -> finish_flight t key item
+      | None -> ());
+      inflight := None;
+      Robust.Counters.incr ~stage "worker_restart";
+      Obs.Metric.incr ~stage:"serve.supervisor" "restart";
+      supervise ()
+  in
+  supervise ()
 
 (* ---------------------------------------------------------- lifecycle *)
 
@@ -348,7 +425,9 @@ let create ?(workers = 0) ?(coalesce = true) ?cache ~seed () =
    fan-out answers everyone. Requests attach at submit time, so K
    identical requests racing into a busy engine cost one solver run. *)
 let submit t (parsed : Protocol.parsed) ~respond =
-  let enqueued_ns = Obs.Span.now_ns () in
+  (* always the real clock, never the sink-gated [Obs.Span.now_ns]:
+     deadline arithmetic must work in unobserved processes too *)
+  let enqueued_ns = Obs.Clock.now_ns () in
   let direct () =
     ignore (Jobq.push t.queue (Direct { parsed; enqueued_ns; respond }))
   in
@@ -394,10 +473,14 @@ let exec_once t (parsed : Protocol.parsed) =
       (Protocol.error_response ~id:parsed.id ~kind:"bad_request"
          ~stage:"serve.protocol" msg)
   | Ok body -> (
-    match exec_item t body with
-    | Json.Obj _ as item ->
+    match deadline_verdict ~enqueued_ns:(Obs.Clock.now_ns ()) body with
+    | `Expired item ->
       respond_counted t ~respond (Protocol.with_id ~id:parsed.id item)
-    | other -> respond_counted t ~respond other));
+    | `Run remaining_s -> (
+      match exec_item ?remaining_s t body with
+      | Json.Obj _ as item ->
+        respond_counted t ~respond (Protocol.with_id ~id:parsed.id item)
+      | other -> respond_counted t ~respond other)));
   !out
 
 let drain t =

@@ -21,7 +21,21 @@
     costs one solver run. Coalescing shares only concurrent work; it
     caches nothing (the pulse cache does that). Observability: Obs stage
     ["serve.coalesce"] counters [leader]/[hit] and gauge [inflight], plus
-    the always-on {!Robust.Counters} ["serve"]/[coalesce_hit]. *)
+    the always-on {!Robust.Counters} ["serve"]/[coalesce_hit].
+
+    {b Deadlines}: a request carrying {!Protocol.body.deadline_ms} is
+    stamped at submit time; a job whose deadline has already passed at
+    dequeue is answered with a typed [deadline_exceeded] (stage
+    ["serve.deadline"]) without ever invoking the solver, and one that
+    still has time gets its {!Robust.Budget} wall clock clamped to the
+    remainder. Counted in {!Robust.Counters} ["serve"]/[deadline_exceeded].
+
+    {b Supervision}: each worker domain runs under a supervisor; an
+    exception escaping the per-job guards answers the in-flight request
+    (fanning through the coalescing waiter list) with a typed
+    [internal_error], restarts the worker loop, and counts the restart
+    (["serve"]/[worker_restart], Obs ["serve.supervisor"]/[restart]) —
+    a poisoned request can never shrink the pool. *)
 
 type t
 

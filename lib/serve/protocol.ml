@@ -8,7 +8,7 @@ type op =
   | Stats
   | Shutdown
 
-and body = { op : op; budget : budget_spec option }
+and body = { op : op; budget : budget_spec option; deadline_ms : float option }
 
 type parsed = { id : Json.t; body : (body, string) result }
 
@@ -48,6 +48,19 @@ let parse_budget json =
              })))
   | Some _ -> Error "budget must be an object"
 
+(* An end-to-end deadline in milliseconds, measured by the client from
+   send time; absent (or null) means "no deadline" so "v":1 traffic is
+   unchanged. Zero is legal — it means "answer only if you can do so
+   immediately", i.e. an expired-on-arrival probe. *)
+let parse_deadline json =
+  match Json.member "deadline_ms" json with
+  | None | Some Json.Null -> Ok None
+  | Some v -> (
+    match Json.num v with
+    | Some ms when ms >= 0.0 && Float.is_finite ms -> Ok (Some ms)
+    | Some _ -> Error "deadline_ms must be a finite number >= 0"
+    | None -> Error "deadline_ms must be a number")
+
 let parse_target json =
   match (Json.member "gate" json, Json.member "coords" json) with
   | Some _, Some _ -> Error "give either gate or coords, not both"
@@ -67,6 +80,7 @@ let parse_target json =
 (* [depth] rejects batches inside batches *)
 let rec parse_body ?(depth = 0) json =
   let* budget = parse_budget json in
+  let* deadline_ms = parse_deadline json in
   let* op =
     match Json.mem_str "op" json with
     | None -> Error "missing op"
@@ -102,7 +116,7 @@ let rec parse_body ?(depth = 0) json =
     | Some "shutdown" -> Ok Shutdown
     | Some op -> Error (Printf.sprintf "unknown op %S" op)
   in
-  Ok { op; budget }
+  Ok { op; budget; deadline_ms }
 
 (* ------------------------------------------------------- coalescing key *)
 
@@ -119,10 +133,15 @@ let rec parse_body ?(depth = 0) json =
 let body_key (b : body) =
   let module F = Cache.Fingerprint in
   let budget fp =
-    match b.budget with
-    | None -> F.opt F.int fp None
-    | Some { max_iterations; max_seconds } ->
-      F.opt F.int (F.opt F.float fp max_seconds) max_iterations
+    let fp =
+      match b.budget with
+      | None -> F.opt F.int fp None
+      | Some { max_iterations; max_seconds } ->
+        F.opt F.int (F.opt F.float fp max_seconds) max_iterations
+    in
+    (* deadlines shape the derived budget and the admission verdict, so
+       requests with different deadlines are not interchangeable *)
+    F.opt F.float fp b.deadline_ms
   in
   match b.op with
   | Shutdown | Batch _ -> None

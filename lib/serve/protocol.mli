@@ -7,6 +7,7 @@
     {v { "v": 1, "id": <any json>?, "op": "compile" | "pulses" | "batch"
                                | "stats" | "shutdown",
          "budget": { "max_iterations": int?, "max_seconds": num? }?,
+         "deadline_ms": num?,
          ... op-specific fields ... } v}
 
     Every request must carry the protocol version ["v"]; a missing or
@@ -41,7 +42,13 @@ type op =
   | Stats
   | Shutdown
 
-and body = { op : op; budget : budget_spec option }
+and body = { op : op; budget : budget_spec option; deadline_ms : float option }
+(** [deadline_ms]: optional end-to-end deadline in milliseconds, counted
+    from the moment the server admits the request. [None] (field absent
+    or null) means no deadline — existing "v":1 traffic is unaffected.
+    The engine refuses to start work on an expired request (typed
+    [deadline_exceeded], stage ["serve.deadline"]) and clamps the solver
+    budget to the time remaining. *)
 
 type parsed = { id : Json.t; body : (body, string) result }
 

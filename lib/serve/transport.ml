@@ -31,6 +31,7 @@ type config = {
   idle_timeout : float;
   max_line_bytes : int;
   max_write_buffer : int;
+  max_queue_depth : int;
 }
 
 let default_config =
@@ -40,6 +41,7 @@ let default_config =
     idle_timeout = 300.0;
     max_line_bytes = Protocol.max_line_bytes;
     max_write_buffer = 8 * Protocol.max_line_bytes;
+    max_queue_depth = 256;
   }
 
 type summary = {
@@ -210,12 +212,42 @@ let batch_bytes = 16384
    submitted job responds exactly once), so small responses accumulate
    and the final response of the burst — or the one that crosses
    [batch_bytes] — flushes them all in one write *)
+(* chaos-harness mangling: keep the framing (newline / binary header)
+   intact but overwrite a run of payload bytes, so the client receives a
+   well-delimited frame whose content no longer parses — a typed
+   [Bad_response], never a hang *)
+let corrupt_frame c data =
+  let b = Bytes.of_string data in
+  let start = match c.mode with Binary -> Frame.header_bytes + 1 | _ -> 1 in
+  let stop = min (Bytes.length b - 2) (start + 12) in
+  for i = start to stop do
+    Bytes.set b i '#'
+  done;
+  Obs.Metric.incr ~stage "fault_frame_corrupt";
+  Bytes.to_string b
+
 let conn_respond st c json =
   let data = render c json in
+  (* transport fault sites fire between render and enqueue: the engine
+     has done its work and accounting; only the wire delivery is harmed *)
+  let dropped, data =
+    if not (Robust.Fault.enabled ()) then (false, data)
+    else if Robust.Fault.fire_p "frame_drop" then begin
+      Obs.Metric.incr ~stage "fault_frame_drop";
+      (true, data)
+    end
+    else if Robust.Fault.fire_p "frame_corrupt" then (false, corrupt_frame c data)
+    else (false, data)
+  in
   Mutex.lock c.wlock;
   c.pending <- c.pending - 1;
   let need_wake =
     if c.fd_closed || not c.writable then false
+    else if dropped then
+      (* the frame vanishes, but responses parked for batching must still
+         flush when this was the burst's last pending response *)
+      if c.pending > 0 && Buffer.length c.wbuf < batch_bytes then false
+      else flush_locked c
     else if queued_bytes_locked c + String.length data > st.config.max_write_buffer
     then begin
       c.writable <- false;
@@ -235,11 +267,35 @@ let conn_respond st c json =
   Mutex.unlock c.wlock;
   if need_wake then wake st
 
+(* Admission control: a heavy op arriving while the engine queue is at
+   capacity is shed right here — a typed [overloaded] costs one JSON
+   render instead of a solver slot, and the client's breaker/backoff gets
+   an honest signal instead of a growing queue-wait. Control and
+   read-only ops ([stats], [shutdown]) and parse errors always pass:
+   refusing those would blind operators exactly when the server is
+   busiest. *)
 let submit_conn st c parsed =
+  let shed =
+    st.config.max_queue_depth > 0
+    && (match parsed.Protocol.body with
+       | Ok { op = Protocol.Compile _ | Protocol.Pulses _ | Protocol.Batch _; _ } ->
+         Engine.queue_depth st.engine >= st.config.max_queue_depth
+       | _ -> false)
+  in
   Mutex.lock c.wlock;
   c.pending <- c.pending + 1;
   Mutex.unlock c.wlock;
-  Engine.submit st.engine parsed ~respond:(conn_respond st c)
+  if shed then begin
+    Obs.Metric.incr ~stage "shed";
+    Robust.Counters.incr ~stage "shed";
+    conn_respond st c
+      (Protocol.error_response ~id:parsed.Protocol.id ~kind:"overloaded"
+         ~stage:"serve.admission"
+         (Printf.sprintf
+            "queue depth at capacity (%d); request shed before execution"
+            st.config.max_queue_depth))
+  end
+  else Engine.submit st.engine parsed ~respond:(conn_respond st c)
 
 (* ------------------------------------------------------ frame scanning *)
 
@@ -252,13 +308,29 @@ let oversize st c =
     }
 
 let handle_payload st c payload =
-  if String.trim payload <> "" then begin
-    let p = Protocol.parse_line ~max_bytes:st.config.max_line_bytes payload in
-    submit_conn st c p;
-    match p.body with
-    | Ok { op = Protocol.Shutdown; _ } -> initiate_drain st
-    | _ -> ()
-  end
+  if String.trim payload <> "" then
+    if Robust.Fault.enabled () && Robust.Fault.fire_p "conn_reset" then begin
+      (* the connection dies instead of handling the request: both
+         directions shut down, queued output discarded — the client sees
+         a clean EOF/reset (typed [Disconnected]), never a hang *)
+      Obs.Metric.incr ~stage "fault_conn_reset";
+      c.read_open <- false;
+      c.want_close <- true;
+      Mutex.lock c.wlock;
+      c.writable <- false;
+      Buffer.clear c.wbuf;
+      c.sending <- "";
+      c.sent_off <- 0;
+      Mutex.unlock c.wlock;
+      try Unix.shutdown c.fd Unix.SHUTDOWN_ALL with Unix.Unix_error _ -> ()
+    end
+    else begin
+      let p = Protocol.parse_line ~max_bytes:st.config.max_line_bytes payload in
+      submit_conn st c p;
+      match p.body with
+      | Ok { op = Protocol.Shutdown; _ } -> initiate_drain st
+      | _ -> ()
+    end
 
 (* JSON-lines scanner: newline search over the fresh chunk (no per-byte
    buffering), partial lines accumulate in [rbuf] up to the frame cap;

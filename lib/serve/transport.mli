@@ -26,6 +26,14 @@
       closed instead of being buffered without bound; a connection whose
       write queue exceeds [max_write_buffer] (a peer not reading its
       responses) is dropped;
+    - {b load shedding} — at [max_queue_depth] queued engine jobs a
+      heavy op is answered [kind = "overloaded"] at parse time, before
+      any solver work (stage ["serve.admission"]);
+    - {b chaos sites} — with {!Robust.Fault} armed, the transport can
+      drop ([frame_drop]) or mangle ([frame_corrupt]) response frames
+      and reset connections on receipt ([conn_reset]); every injected
+      failure still surfaces to the client as a typed error or clean
+      disconnect, never a hang;
     - {b idle timeout} — a connection silent for [idle_timeout] seconds
       is answered with [kind = "timeout"] and closed;
     - {b frame cap} — a JSON line longer than [max_line_bytes], or a
@@ -59,6 +67,12 @@ type config = {
       (** per-connection response queue cap in bytes (default
           [8 * max_line_bytes]); an unread queue past this forfeits the
           connection *)
+  max_queue_depth : int;
+      (** admission control: a heavy op ([compile]/[pulses]/[batch])
+          arriving while the engine queue holds at least this many jobs
+          is shed with a typed [overloaded] (stage ["serve.admission"])
+          before any solver work; [stats]/[shutdown] and parse errors
+          always pass. [0] disables (default 256). *)
 }
 
 val default_config : config

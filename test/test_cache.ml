@@ -140,6 +140,80 @@ let test_store_corrupt_checksum () =
   | Error e -> Alcotest.failf "empty file: %s" e);
   cleanup path
 
+let test_store_corrupt_midfile () =
+  let path = tmp_path ".rqcache" in
+  ignore (append_records path [ ("k1", "v1"); ("k2", "v2"); ("k3", "v3") ]);
+  (* flip a byte inside the FIRST record's payload: framing stays intact
+     and valid records follow, so only that record may be dropped — bit
+     rot mid-file must not discard the valid tail behind it *)
+  let ic = open_in_bin path in
+  let len = in_channel_length ic in
+  let bytes = Bytes.create len in
+  really_input ic bytes 0 len;
+  close_in ic;
+  (* 8B magic + 8B frame header + 4B key_len puts offset 21 in "k1" *)
+  Bytes.set bytes 21 (Char.chr (Char.code (Bytes.get bytes 21) lxor 0xff));
+  let oc = open_out_bin path in
+  output_bytes oc bytes;
+  close_out oc;
+  (match Cache.Store.load path with
+  | Error e -> Alcotest.failf "load after mid-file corruption: %s" e
+  | Ok r ->
+    Alcotest.(check (list (pair string string))) "records behind the rot survive"
+      [ ("k2", "v2"); ("k3", "v3") ]
+      (List.map (fun (x : Cache.Store.record) -> (x.key, x.value)) r.Cache.Store.records);
+    Alcotest.(check int) "skip counted" 1 r.Cache.Store.corrupt_records;
+    Alcotest.(check int) "not treated as torn" 0 r.Cache.Store.torn_bytes;
+    Alcotest.(check int) "whole file scanned" len r.Cache.Store.valid_bytes);
+  cleanup path
+
+let test_store_short_write_fault () =
+  Robust.Fault.configure None;
+  let path = tmp_path ".rqcache" in
+  let clean = append_records path [ ("k1", "v1"); ("k2", "v2") ] in
+  (match Cache.Store.open_writer path ~valid_bytes:clean with
+  | Error e -> Alcotest.failf "open_writer: %s" e
+  | Ok w ->
+    (* the injected crash: the next append writes half a frame and wedges
+       the writer — as if the process died mid-write *)
+    Robust.Fault.configure (Some "store_short_write:1");
+    Cache.Store.append w { Cache.Store.key = "k3"; value = String.make 64 'z' };
+    Alcotest.(check bool) "writer wedged" true (Cache.Store.wedged w);
+    (* a dead process writes nothing more *)
+    Cache.Store.append w { Cache.Store.key = "k4"; value = "v4" };
+    Cache.Store.close_writer w;
+    Robust.Fault.configure None);
+  (match Cache.Store.load path with
+  | Error e -> Alcotest.failf "load after kill: %s" e
+  | Ok r ->
+    Alcotest.(check (list (pair string string))) "pre-kill records bit-identical"
+      [ ("k1", "v1"); ("k2", "v2") ]
+      (List.map (fun (x : Cache.Store.record) -> (x.key, x.value)) r.Cache.Store.records);
+    Alcotest.(check int) "half-frame is a torn tail" clean r.Cache.Store.valid_bytes;
+    Alcotest.(check bool) "tear measured" true (r.Cache.Store.torn_bytes > 0));
+  cleanup path
+
+let test_store_sync_policies () =
+  Alcotest.(check bool) "default is periodic fsync" true
+    (match Cache.Store.default_sync with Cache.Store.Interval s -> s > 0.0 | _ -> false);
+  List.iter
+    (fun sync ->
+      let path = tmp_path ".rqcache" in
+      (match Cache.Store.open_writer ~sync path ~valid_bytes:0 with
+      | Error e -> Alcotest.failf "open_writer: %s" e
+      | Ok w ->
+        Cache.Store.append w { Cache.Store.key = "k"; value = "v" };
+        Cache.Store.sync_now w;
+        Alcotest.(check bool) "not wedged" false (Cache.Store.wedged w);
+        Cache.Store.close_writer w);
+      (match Cache.Store.load path with
+      | Error e -> Alcotest.failf "load: %s" e
+      | Ok r ->
+        Alcotest.(check int) "record durable under every policy" 1
+          (List.length r.Cache.Store.records));
+      cleanup path)
+    [ Cache.Store.Never; Cache.Store.Interval 0.01; Cache.Store.Always ]
+
 let test_store_bad_magic () =
   let path = tmp_path ".rqcache" in
   let oc = open_out_bin path in
@@ -177,6 +251,45 @@ let test_tiered_eviction_disk_fallback () =
       (fun (k, v) ->
         Alcotest.(check (option string)) ("reloaded " ^ k) (Some v) (Cache.find c k))
       [ ("a", "1"); ("b", "2"); ("c", "3") ];
+    Cache.close c);
+  cleanup path
+
+let test_tiered_compaction () =
+  let path = tmp_path ".rqcache" in
+  (match Cache.create ~capacity:8 ~path () with
+  | Error e -> Alcotest.failf "create: %s" e
+  | Ok c ->
+    (* three updates of "a" -> three physical frames for one key *)
+    Cache.add c "a" "1";
+    Cache.add c "a" "2";
+    Cache.add c "a" "3";
+    Cache.add c "b" "long-lived";
+    let s = Cache.stats c in
+    Alcotest.(check int) "distinct keys" 2 s.Cache.disk_records;
+    Alcotest.(check int) "duplicates on disk" 4 s.Cache.file_records;
+    let before_bytes = s.Cache.disk_bytes in
+    (match Cache.compact c with
+    | Error e -> Alcotest.failf "compact: %s" e
+    | Ok bytes ->
+      Alcotest.(check bool) "file shrank" true (bytes < before_bytes);
+      let s = Cache.stats c in
+      Alcotest.(check int) "one frame per key" 2 s.Cache.file_records;
+      Alcotest.(check int) "keys kept" 2 s.Cache.disk_records;
+      Alcotest.(check int) "size reported" bytes s.Cache.disk_bytes;
+      Alcotest.(check int) "compaction counted" 1 s.Cache.compactions);
+    (* latest value wins, cache stays usable, appends still land *)
+    Alcotest.(check (option string)) "latest value" (Some "3") (Cache.find c "a");
+    Cache.add c "c" "post-compact";
+    Cache.close c);
+  (* a fresh process sees the compacted file + the post-compact append *)
+  (match Cache.create ~capacity:8 ~path () with
+  | Error e -> Alcotest.failf "reopen: %s" e
+  | Ok c ->
+    List.iter
+      (fun (k, v) ->
+        Alcotest.(check (option string)) ("reloaded " ^ k) (Some v) (Cache.find c k))
+      [ ("a", "3"); ("b", "long-lived"); ("c", "post-compact") ];
+    Alcotest.(check int) "no tear from the rewrite" 0 (Cache.stats c).Cache.torn_bytes;
     Cache.close c);
   cleanup path
 
@@ -329,12 +442,16 @@ let () =
           Alcotest.test_case "round trip" `Quick test_store_roundtrip;
           Alcotest.test_case "torn tail" `Quick test_store_torn_tail;
           Alcotest.test_case "corrupt checksum" `Quick test_store_corrupt_checksum;
+          Alcotest.test_case "corrupt mid-file skip" `Quick test_store_corrupt_midfile;
+          Alcotest.test_case "short-write kill" `Quick test_store_short_write_fault;
+          Alcotest.test_case "sync policies" `Quick test_store_sync_policies;
           Alcotest.test_case "bad magic" `Quick test_store_bad_magic;
         ] );
       ( "tiered",
         [
           Alcotest.test_case "eviction + disk fallback" `Quick
             test_tiered_eviction_disk_fallback;
+          Alcotest.test_case "compaction" `Quick test_tiered_compaction;
           Alcotest.test_case "memory-only" `Quick test_tiered_memory_only;
         ] );
       ( "pulse",

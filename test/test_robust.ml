@@ -114,6 +114,46 @@ let test_fault_spec () =
       Alcotest.(check int) "hits" 2 (List.assoc "ea_noconv" (Robust.Fault.hits ())));
   Alcotest.(check bool) "disarmed" false (Robust.Fault.enabled ())
 
+let test_fault_strict_parse () =
+  let contains s sub =
+    let n = String.length s and m = String.length sub in
+    let rec go i = i + m <= n && (String.sub s i m = sub || go (i + 1)) in
+    m = 0 || go 0
+  in
+  (* a typo'd spec must fail fast at configure time, naming the entry and
+     listing the documented sites — not silently arm nothing *)
+  let expect_invalid spec frag =
+    match Robust.Fault.configure (Some spec) with
+    | () -> Alcotest.failf "spec %S accepted" spec
+    | exception Invalid_argument msg ->
+      Alcotest.(check bool) (Printf.sprintf "%S names fault: %s" spec frag) true
+        (contains msg frag);
+      Alcotest.(check bool)
+        (Printf.sprintf "%S lists known sites" spec)
+        true
+        (contains msg "known sites" && contains msg "worker_crash")
+  in
+  expect_invalid "no_such_site:1" "unknown site";
+  expect_invalid "ea_noconv:abc" "not an integer";
+  expect_invalid "ea_noconv:1:xyz" "not a number";
+  expect_invalid "ea_noconv:1:0.5:extra" "too many";
+  Alcotest.(check bool) "nothing armed after failures" false (Robust.Fault.enabled ());
+  (* seeded probability draws replay exactly *)
+  let draws () =
+    Robust.Fault.configure ~seed:42 (Some "frame_drop:0:0.5");
+    let d = List.init 64 (fun _ -> Robust.Fault.fire_p "frame_drop") in
+    disarm ();
+    d
+  in
+  let a = draws () and b = draws () in
+  Alcotest.(check bool) "seeded fire_p replays" true (a = b);
+  Alcotest.(check bool) "p=0.5 mixes draws" true (List.mem true a && List.mem false a);
+  (* fire_p honors the count limit like fire does *)
+  Robust.Fault.configure (Some "worker_crash:2");
+  Alcotest.(check (list bool)) "fire_p stops at the limit" [ true; true; false ]
+    (List.init 3 (fun _ -> Robust.Fault.fire_p "worker_crash"));
+  disarm ()
+
 (* ---------------------------------------------------------------- qasm *)
 
 let test_qasm_located_errors () =
@@ -371,6 +411,7 @@ let () =
           Alcotest.test_case "budget" `Quick test_budget;
           Alcotest.test_case "outcome" `Quick test_outcome;
           Alcotest.test_case "fault spec" `Quick test_fault_spec;
+          Alcotest.test_case "fault strict parse" `Quick test_fault_strict_parse;
         ] );
       ( "qasm",
         [

@@ -227,7 +227,7 @@ let parse_body line =
 
 let test_protocol_parse_ok () =
   (match parse_body "{\"v\":1,\"op\":\"compile\",\"bench\":\"alu_2\",\"mode\":\"full\",\"pulses\":true}" with
-  | Ok { Serve.Protocol.op = Serve.Protocol.Compile { bench; mode; pulses }; budget } ->
+  | Ok { Serve.Protocol.op = Serve.Protocol.Compile { bench; mode; pulses }; budget; _ } ->
     Alcotest.(check string) "bench" "alu_2" bench;
     Alcotest.(check string) "mode" "full" mode;
     Alcotest.(check bool) "pulses" true pulses;
@@ -238,6 +238,7 @@ let test_protocol_parse_ok () =
       {
         Serve.Protocol.op = Serve.Protocol.Pulses { target = Serve.Protocol.Coords (x, y, z); _ };
         budget = Some b;
+        _;
       } ->
     Alcotest.(check (float 0.0)) "x" 0.5 x;
     Alcotest.(check (float 0.0)) "y" 0.3 y;
@@ -679,6 +680,134 @@ let test_coalesce_differential () =
         r_off r_on)
     off on
 
+(* ------------------------------------------- deadlines and supervision *)
+
+let test_deadline_expired_skips_solver () =
+  disarm ();
+  (* [deadline_ms = 0] is expired on arrival: the engine must answer the
+     typed error at dequeue and never invoke the solver *)
+  let runs0 = Robust.Counters.get ~stage:"genashn" "solve_run" in
+  let exceeded0 = Robust.Counters.get ~stage:"serve" "deadline_exceeded" in
+  let summary, lines =
+    run_server
+      [
+        "{\"v\":1,\"id\":1,\"op\":\"pulses\",\"coords\":[0.6,0.5,0.4],\"deadline_ms\":0}";
+        "{\"v\":1,\"id\":2,\"op\":\"stats\"}";
+      ]
+  in
+  Alcotest.(check int) "both answered" 2 (List.length lines);
+  let l = find_by_id lines 1 in
+  Alcotest.(check bool) "is an error response" true (contains l "\"ok\":false");
+  Alcotest.(check bool) "typed deadline_exceeded" true (contains l "deadline_exceeded");
+  Alcotest.(check bool) "stage named" true (contains l "serve.deadline");
+  Alcotest.(check int) "solver never ran" 0
+    (Robust.Counters.get ~stage:"genashn" "solve_run" - runs0);
+  Alcotest.(check int) "drop counted" 1
+    (Robust.Counters.get ~stage:"serve" "deadline_exceeded" - exceeded0);
+  Alcotest.(check bool) "later request unaffected" true
+    (contains (find_by_id lines 2) "\"ok\":true");
+  Alcotest.(check int) "summary error count" 1 summary.Serve.Server.errors
+
+let test_deadline_generous_and_invalid () =
+  disarm ();
+  (* a deadline with time to spare must not change the answer; a negative
+     or non-numeric one is a parse error, not a silent default *)
+  let _, lines =
+    run_server
+      [
+        "{\"v\":1,\"id\":1,\"op\":\"pulses\",\"gate\":\"cnot\",\"deadline_ms\":60000}";
+        "{\"v\":1,\"id\":2,\"op\":\"pulses\",\"gate\":\"cnot\",\"deadline_ms\":-5}";
+        "{\"v\":1,\"id\":3,\"op\":\"pulses\",\"gate\":\"cnot\",\"deadline_ms\":\"soon\"}";
+      ]
+  in
+  Alcotest.(check bool) "generous deadline answers ok" true
+    (contains (find_by_id lines 1) "\"ok\":true");
+  List.iter
+    (fun id ->
+      let l = find_by_id lines id in
+      Alcotest.(check bool) "rejected as bad_request" true (contains l "bad_request");
+      Alcotest.(check bool) "names deadline_ms" true (contains l "deadline_ms"))
+    [ 2; 3 ];
+  (* the engine's synchronous path enforces deadlines too *)
+  let eng = Serve.Engine.create ~workers:1 ~seed:7L () in
+  let resp =
+    Serve.Engine.exec_once eng
+      (Serve.Protocol.parse_line "{\"v\":1,\"id\":9,\"op\":\"stats\",\"deadline_ms\":0}")
+  in
+  Alcotest.(check bool) "exec_once honors deadline" true
+    (contains (Serve.Json.to_string resp) "deadline_exceeded");
+  Serve.Engine.drain eng
+
+let test_worker_supervision () =
+  (* two injected worker crashes: each in-flight request answers a typed
+     internal_error, the supervisor restarts the worker (counted), and
+     the restarted worker keeps serving through the drain *)
+  with_faults "worker_crash:2" (fun () ->
+      let restarts0 = Robust.Counters.get ~stage:"serve" "worker_restart" in
+      (* distinct bodies: identical ones would coalesce into one flight
+         and a single crash would (correctly) fan out to all of them *)
+      let summary, lines =
+        run_server
+          [
+            "{\"v\":1,\"id\":1,\"op\":\"pulses\",\"gate\":\"cnot\"}";
+            "{\"v\":1,\"id\":2,\"op\":\"pulses\",\"gate\":\"cz\"}";
+            "{\"v\":1,\"id\":3,\"op\":\"stats\"}";
+          ]
+      in
+      Alcotest.(check int) "every request answered" 3 (List.length lines);
+      List.iter
+        (fun id ->
+          let l = find_by_id lines id in
+          Alcotest.(check bool)
+            (Printf.sprintf "crash %d surfaced as internal_error" id)
+            true
+            (contains l "internal_error" && contains l "worker crashed"))
+        [ 1; 2 ];
+      Alcotest.(check bool) "restarted worker serves" true
+        (contains (find_by_id lines 3) "\"ok\":true");
+      Alcotest.(check int) "restarts counted" 2
+        (Robust.Counters.get ~stage:"serve" "worker_restart" - restarts0);
+      Alcotest.(check int) "clean drain" 3 summary.Serve.Server.served)
+
+let test_coalesce_drain_waiters () =
+  disarm ();
+  (* K duplicate requests are queued (and coalesced onto one flight)
+     behind plugs when the shutdown arrives: the drain must execute the
+     leader once and fan its response to every waiter — a draining server
+     may not strand coalesced waiters *)
+  let stormers = 6 in
+  let runs0 = Robust.Counters.get ~stage:"genashn" "solve_run" in
+  let hits0 = Robust.Counters.get ~stage:"serve" "coalesce_hit" in
+  let lines =
+    plug_lines
+    @ List.init stormers (fun i -> storm_line (i + 1))
+    @ [ "{\"v\":1,\"id\":50,\"op\":\"shutdown\"}" ]
+  in
+  let summary, resps = run_server lines in
+  Alcotest.(check int) "plugs + waiters + shutdown all answered"
+    (List.length plug_lines + stormers + 1)
+    (List.length resps);
+  Alcotest.(check int) "one solver run for the whole storm" 1
+    (Robust.Counters.get ~stage:"genashn" "solve_run" - runs0);
+  Alcotest.(check int) "waiters coalesced" (stormers - 1)
+    (Robust.Counters.get ~stage:"serve" "coalesce_hit" - hits0);
+  let bodies =
+    List.init stormers (fun i ->
+        match Serve.Json.parse (find_by_id resps (i + 1)) with
+        | Ok j -> Serve.Json.to_string (strip_id j)
+        | Error e -> Alcotest.failf "waiter %d response not JSON: %s" (i + 1) e)
+  in
+  (match bodies with
+  | first :: rest ->
+    Alcotest.(check bool) "leader's result is a success" true
+      (contains first "\"ok\":true");
+    List.iter
+      (fun b -> Alcotest.(check string) "identical fan-out under drain" first b)
+      rest
+  | [] -> Alcotest.fail "no waiter responses");
+  Alcotest.(check int) "summary served everything" (List.length resps)
+    summary.Serve.Server.served
+
 let () =
   disarm ();
   Alcotest.run "serve"
@@ -716,5 +845,15 @@ let () =
           Alcotest.test_case "fault fan-out" `Quick test_coalesce_fault_fanout;
           Alcotest.test_case "differential vs uncoalesced" `Quick
             test_coalesce_differential;
+          Alcotest.test_case "drain fans out to waiters" `Quick
+            test_coalesce_drain_waiters;
+        ] );
+      ( "resilience",
+        [
+          Alcotest.test_case "expired deadline skips solver" `Quick
+            test_deadline_expired_skips_solver;
+          Alcotest.test_case "deadline bounds" `Quick
+            test_deadline_generous_and_invalid;
+          Alcotest.test_case "worker supervision" `Quick test_worker_supervision;
         ] );
     ]

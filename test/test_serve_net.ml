@@ -26,13 +26,15 @@ let rec json_eq a b =
   | _ -> a = b
 
 let net_config ?(workers = 2) ?(max_connections = 64) ?(idle_timeout = 300.0)
-    ?(max_line_bytes = Serve.Protocol.max_line_bytes) () =
+    ?(max_line_bytes = Serve.Protocol.max_line_bytes)
+    ?(max_queue_depth = T.default_config.T.max_queue_depth) () =
   {
     T.server = { Serve.Server.default_config with Serve.Server.workers };
     max_connections;
     idle_timeout;
     max_line_bytes;
     max_write_buffer = T.default_config.T.max_write_buffer;
+    max_queue_depth;
   }
 
 (* ------------------------------------------------------------- harness *)
@@ -534,6 +536,98 @@ let test_shutdown_drains_queued () =
   Alcotest.(check int) "all four served" 4 summary.T.served;
   Alcotest.(check int) "errors" 0 summary.T.errors
 
+(* ----------------------------------------------------------- resilience *)
+
+let test_admission_shed () =
+  (* one worker, queue depth 1, and a pipelined burst of distinct cold
+     solves: the transport must shed the overflow with a typed
+     per-request [overloaded] (stage serve.admission) while still
+     answering every id — and the connection must stay usable after *)
+  let burst = 12 in
+  let shed0 = Robust.Counters.get ~stage:"serve.net" "shed" in
+  let config = net_config ~workers:1 ~max_queue_depth:1 () in
+  let summary, (solved, shed, other) =
+    with_server ~config (temp_unix_addr ()) (fun addr ->
+        let c = ok_or_fail "connect" (C.connect addr) in
+        let ids =
+          List.init burst (fun i ->
+              (* distinct Weyl-chamber coords: no cache hits, no
+                 coalescing, every request is a real solver job *)
+              let z = 0.001 +. (0.28 *. float_of_int i /. float_of_int burst) in
+              ok_or_fail "send"
+                (C.send ~flush:false c
+                   (J.Obj
+                      [
+                        ("op", J.Str "pulses");
+                        ("coords", J.Arr [ J.Num 0.45; J.Num 0.3; J.Num z ]);
+                      ])))
+        in
+        ok_or_fail "flush" (C.flush c);
+        let solved = ref 0 and shed = ref 0 and other = ref 0 in
+        List.iter
+          (fun id ->
+            let r = ok_or_fail "recv" (C.recv_id c id) in
+            match J.mem_bool "ok" r with
+            | Some true -> incr solved
+            | _ ->
+              if contains (J.to_string r) "serve.admission" then incr shed
+              else incr other)
+          ids;
+        (* per-request shed: the same connection keeps serving *)
+        let again = ok_or_fail "still serving" (C.request c (J.Obj [ ("op", J.Str "stats") ])) in
+        Alcotest.(check (option bool)) "connection survives the sheds" (Some true)
+          (J.mem_bool "ok" again);
+        ignore (ok_or_fail "shutdown" (C.request c shutdown_body));
+        C.close c;
+        (!solved, !shed, !other))
+  in
+  Alcotest.(check int) "every id answered" burst (solved + shed + other);
+  Alcotest.(check int) "no non-shed failures" 0 other;
+  Alcotest.(check bool) "something was shed" true (shed >= 1);
+  Alcotest.(check bool) "something was solved" true (solved >= 1);
+  Alcotest.(check int) "sheds counted" shed
+    (Robust.Counters.get ~stage:"serve.net" "shed" - shed0);
+  (* sheds are refused before the engine: only executed jobs (plus the
+     stats and shutdown) appear in the engine-side served tally *)
+  Alcotest.(check int) "engine executed only the admitted" (solved + 2) summary.T.served;
+  Alcotest.(check int) "no engine-side errors" 0 summary.T.errors
+
+let test_breaker () =
+  let shed =
+    C.Server_error
+      { kind = "overloaded"; stage = "serve.admission"; message = "shed"; id = J.Num 1.0 }
+  in
+  let b = C.Breaker.create ~threshold:2 ~cooldown:0.05 ~jitter:0.0 () in
+  Alcotest.(check string) "starts closed" "closed" (C.Breaker.state b);
+  C.Breaker.record b (Error (C.Overloaded "full") : (unit, C.error) result);
+  Alcotest.(check string) "one failure stays closed" "closed" (C.Breaker.state b);
+  C.Breaker.record b (Error (C.Timed_out "idle") : (unit, C.error) result);
+  Alcotest.(check string) "threshold trips" "open" (C.Breaker.state b);
+  Alcotest.(check int) "trip counted" 1 (C.Breaker.trips b);
+  (match C.Breaker.admit b with
+  | Error (C.Circuit_open { retry_after }) ->
+    Alcotest.(check bool) "retry_after bounded" true
+      (retry_after > 0.0 && retry_after <= 0.06)
+  | Ok () -> Alcotest.fail "open breaker admitted a call"
+  | Error e -> Alcotest.failf "expected circuit_open, got %s" (C.error_to_string e));
+  Thread.delay 0.06;
+  (match C.Breaker.admit b with
+  | Ok () -> Alcotest.(check string) "cooldown opens a probe" "half_open" (C.Breaker.state b)
+  | Error e -> Alcotest.failf "probe refused: %s" (C.error_to_string e));
+  (* exactly one probe: concurrent callers keep failing fast *)
+  (match C.Breaker.admit b with
+  | Error (C.Circuit_open _) -> ()
+  | Ok () -> Alcotest.fail "second concurrent probe admitted"
+  | Error e -> Alcotest.failf "expected circuit_open, got %s" (C.error_to_string e));
+  C.Breaker.record b (Ok () : (unit, C.error) result);
+  Alcotest.(check string) "probe success closes" "closed" (C.Breaker.state b);
+  (* an admission-control shed is overload-shaped even though the server
+     answered: two of them must trip the breaker again *)
+  C.Breaker.record b (Error shed : (unit, C.error) result);
+  C.Breaker.record b (Error shed : (unit, C.error) result);
+  Alcotest.(check string) "server-side sheds trip" "open" (C.Breaker.state b);
+  Alcotest.(check int) "second trip counted" 2 (C.Breaker.trips b)
+
 let () =
   Alcotest.run "serve_net"
     [
@@ -557,6 +651,11 @@ let () =
           Alcotest.test_case "overload refusal" `Quick test_overload_refusal;
           Alcotest.test_case "idle timeout" `Quick test_idle_timeout;
           Alcotest.test_case "frame cap" `Quick test_frame_cap;
+        ] );
+      ( "resilience",
+        [
+          Alcotest.test_case "admission shed" `Quick test_admission_shed;
+          Alcotest.test_case "circuit breaker" `Quick test_breaker;
         ] );
       ("stress", [ Alcotest.test_case "8x64 pipelined + disconnect" `Quick test_stress ]);
     ]
