@@ -3,7 +3,7 @@
 
 RESULTS ?= results
 
-.PHONY: all build test check bench-smoke bench-obs bench-net bench-chaos demo bench microbench tables figures csv clean
+.PHONY: all build test check bench-smoke bench-obs bench-net bench-cluster bench-chaos demo bench microbench tables figures csv clean
 
 all: build
 
@@ -34,6 +34,13 @@ bench-obs: build
 # writes BENCH_serve_net.json (gates: meets_1x, p99_halved, single_run)
 bench-net: build
 	dune exec bench/main.exe -- serve-net
+
+# sharded cluster bench: fingerprint-routed router over paced shards,
+# 1-shard vs 3-shard warm throughput, cache hit-rate parity, and
+# mid-run shard kill with failover; writes BENCH_cluster.json
+# (gates: ratio_ge_2x, hit_rate_no_worse, failover_available)
+bench-cluster: build
+	dune exec bench/main.exe -- serve-cluster
 
 # chaos harness: replays the serve-net workload with seeded transport /
 # worker / store faults armed and gates on availability (every request

@@ -56,35 +56,14 @@ let request_body ~j =
 let with_net_server ~config f =
   let path = Filename.temp_file "reqisc_chaos" ".sock" in
   Sys.remove path;
-  let listen = T.Unix_path path in
-  let ready = Atomic.make false in
-  let actual = ref listen in
-  let result = ref (Error "server did not return") in
-  let server =
-    Thread.create
-      (fun () ->
-        result :=
-          T.serve ~config
-            ~ready:(fun a ->
-              actual := a;
-              Atomic.set ready true)
-            listen)
-      ()
+  let _summary, out =
+    Util.with_net_server ~tag:"chaos bench" ~config
+      (* always disarm before the drain so an armed frame_drop cannot
+         eat the shutdown response *)
+      ~before_shutdown:(fun () -> Robust.Fault.configure None)
+      ~shutdown_retries:5 (T.Unix_path path) f
   in
-  while not (Atomic.get ready) do
-    Thread.delay 0.002
-  done;
-  let out = f !actual in
-  (* always disarm before the drain so an armed frame_drop cannot eat
-     the shutdown response *)
-  Robust.Fault.configure None;
-  (match C.rpc ~retries:5 !actual (J.Obj [ ("op", J.Str "shutdown") ]) with
-  | Ok _ -> ()
-  | Error e -> failwith ("chaos bench: shutdown: " ^ C.error_to_string e));
-  Thread.join server;
-  match !result with
-  | Error e -> failwith ("chaos bench: server failed: " ^ e)
-  | Ok _summary -> out
+  out
 
 (* --------------------------------------------------------- client loop *)
 
@@ -424,7 +403,6 @@ let chaos ?(clients = 4) ?requests ?seed () =
     reference_clean && chaos_available && restarts_ge_3 && deadlines_enforced
     && shed_fired && breaker_ok && store_ok
   in
-  let gate name ok = Printf.printf "  gate %-22s %s\n" name (if ok then "PASS" else "FAIL") in
   gate "reference_clean" reference_clean;
   gate "chaos_available" chaos_available;
   gate "worker_restarts_ge_3" restarts_ge_3;
@@ -433,38 +411,33 @@ let chaos ?(clients = 4) ?requests ?seed () =
   gate "breaker_fail_fast" breaker_ok;
   gate "store_replay_identical" store_ok;
   (* json *)
-  let buf = Buffer.create 2048 in
-  let bpf fmt = Printf.ksprintf (Buffer.add_string buf) fmt in
-  bpf "{\n";
-  bpf
-    "  \"workload\": {\"clients\": %d, \"requests_per_client\": %d, \"total\": %d, \"transport\": \"unix\"},\n"
-    clients requests total;
-  bpf "  \"seed\": %d,\n" seed;
-  bpf "  \"fault_spec\": \"%s\",\n" chaos_spec;
-  Buffer.add_string buf (pass_json "reference" ~total reference);
-  Buffer.add_string buf (pass_json "chaos" ~total chaos_tally);
-  bpf "  \"fault_hits\": {%s},\n"
-    (String.concat ", "
-       (List.map (fun (s, n) -> Printf.sprintf "\"%s\": %d" s n) fault_hits));
-  bpf "  \"worker_restarts\": %d,\n" worker_restarts;
-  bpf
-    "  \"overload\": {\"burst\": %d, \"queue_depth\": 2, \"solved\": %d, \"shed\": %d, \"other\": %d, \"shed_counter\": %d},\n"
-    burst ov_ok ov_shed ov_other shed_counter;
-  bpf "  \"breaker\": {\"attempts\": [%s], \"trips\": %d, \"state\": \"%s\"},\n"
-    (String.concat ", " (List.map (Printf.sprintf "\"%s\"") bk_kinds))
-    bk_trips bk_state;
-  bpf
-    "  \"store_recovery\": {\"records\": %d, \"survivors\": %d, \"torn_bytes\": %d, \"corrupt_records\": %d, \"replay_identical\": %b, \"killed_record_absent\": %b},\n"
-    st_n survivors st_stats.Cache.torn_bytes st_stats.Cache.corrupt_records
-    replay_identical killed_record_absent;
-  bpf
-    "  \"gates\": {\"reference_clean\": %b, \"chaos_available\": %b, \"worker_restarts_ge_3\": %b, \"deadlines_enforced\": %b, \"shed_fired\": %b, \"breaker_fail_fast\": %b, \"store_replay_identical\": %b},\n"
-    reference_clean chaos_available restarts_ge_3 deadlines_enforced shed_fired
-    breaker_ok store_ok;
-  bpf "  \"pass\": %b\n" all_pass;
-  bpf "}\n";
-  let oc = open_out "BENCH_chaos.json" in
-  output_string oc (Buffer.contents buf);
-  close_out oc;
-  Printf.printf "  [chaos] wrote BENCH_chaos.json (%s)\n%!"
+  Util.write_json_report ~tag:"chaos" "BENCH_chaos.json" (fun buf ->
+      let bpf fmt = Util.bprintf buf fmt in
+      bpf
+        "  \"workload\": {\"clients\": %d, \"requests_per_client\": %d, \"total\": %d, \"transport\": \"unix\"},\n"
+        clients requests total;
+      bpf "  \"seed\": %d,\n" seed;
+      bpf "  \"fault_spec\": \"%s\",\n" chaos_spec;
+      bpf "%s" (pass_json "reference" ~total reference);
+      bpf "%s" (pass_json "chaos" ~total chaos_tally);
+      bpf "  \"fault_hits\": {%s},\n"
+        (String.concat ", "
+           (List.map (fun (s, n) -> Printf.sprintf "\"%s\": %d" s n) fault_hits));
+      bpf "  \"worker_restarts\": %d,\n" worker_restarts;
+      bpf
+        "  \"overload\": {\"burst\": %d, \"queue_depth\": 2, \"solved\": %d, \"shed\": %d, \"other\": %d, \"shed_counter\": %d},\n"
+        burst ov_ok ov_shed ov_other shed_counter;
+      bpf "  \"breaker\": {\"attempts\": [%s], \"trips\": %d, \"state\": \"%s\"},\n"
+        (String.concat ", " (List.map (Printf.sprintf "\"%s\"") bk_kinds))
+        bk_trips bk_state;
+      bpf
+        "  \"store_recovery\": {\"records\": %d, \"survivors\": %d, \"torn_bytes\": %d, \"corrupt_records\": %d, \"replay_identical\": %b, \"killed_record_absent\": %b},\n"
+        st_n survivors st_stats.Cache.torn_bytes st_stats.Cache.corrupt_records
+        replay_identical killed_record_absent;
+      bpf
+        "  \"gates\": {\"reference_clean\": %b, \"chaos_available\": %b, \"worker_restarts_ge_3\": %b, \"deadlines_enforced\": %b, \"shed_fired\": %b, \"breaker_fail_fast\": %b, \"store_replay_identical\": %b},\n"
+        reference_clean chaos_available restarts_ge_3 deadlines_enforced shed_fired
+        breaker_ok store_ok;
+      bpf "  \"pass\": %b\n" all_pass);
+  Printf.printf "  [chaos] %s\n%!"
     (if all_pass then "all gates PASS" else "GATE FAILURES")

@@ -7,11 +7,13 @@
 
    Targets: table1 table2 table3 fig4 fig5 fig6 fig12 fig13 fig14 fig15
    fig16 templates variational calibration decoherence calibrate leakage
-   serve serve-net chaos obs all (default: all). For serve-net, --limit
-   is the per-client request count, --clients the load-generator count,
-   --pipeline the per-client pipelining window (0 = the whole stream at
-   once), and --seed pins client-side jitter for reproducible latency
-   percentiles. For chaos, --limit is the per-client request count,
+   serve serve-net serve-cluster chaos obs all (default: all). For
+   serve-net, --limit is the per-client request count, --clients the
+   load-generator count, --pipeline the per-client pipelining window
+   (0 = the whole stream at once), and --seed pins client-side jitter
+   for reproducible latency percentiles. serve-cluster measures the
+   sharded cluster (1 shard vs 3, failover mid-run); --limit is its
+   per-client request count. For chaos, --limit is the per-client request count,
    --clients the client count, and --seed the fault-schedule seed.
    chaos is opt-in: it runs only when named explicitly, not under
    "all" (it rebinds process-global fault state).
@@ -25,8 +27,8 @@
 let known_targets =
   [ "table1"; "table2"; "table3"; "fig4"; "fig5"; "fig6"; "fig12"; "fig13";
     "fig14"; "fig15"; "fig16"; "templates"; "variational"; "calibration";
-    "decoherence"; "calibrate"; "leakage"; "serve"; "serve-net"; "chaos";
-    "obs"; "all" ]
+    "decoherence"; "calibrate"; "leakage"; "serve"; "serve-net"; "serve-cluster";
+    "chaos"; "obs"; "all" ]
 
 let value_flags =
   [ "--haar-n"; "--trajectories"; "--limit"; "--clients"; "--pipeline";
@@ -131,6 +133,8 @@ let () =
   if want "serve" then Serve_bench.serve ?limit ~big ();
   if want "serve-net" then
     Serve_net_bench.serve_net ~clients ~pipeline ?requests:limit ?seed ();
+  if want "serve-cluster" then
+    Cluster_bench.serve_cluster ?requests:limit ?seed ();
   (* chaos only on explicit request: it arms process-global fault
      injection, which must never leak into the measurement targets *)
   if List.mem "chaos" targets then Chaos_bench.chaos ~clients ?requests:limit ?seed ();

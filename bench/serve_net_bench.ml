@@ -162,32 +162,7 @@ let client_thread ~pipeline c (payloads : (string * string) array) =
   done;
   (!latencies, !errors)
 
-let with_net_server ~config addr f =
-  let ready = Atomic.make false in
-  let actual = ref addr in
-  let result = ref (Error "server did not return") in
-  let server =
-    Thread.create
-      (fun () ->
-        result :=
-          T.serve ~config
-            ~ready:(fun a ->
-              actual := a;
-              Atomic.set ready true)
-            addr)
-      ()
-  in
-  while not (Atomic.get ready) do
-    Thread.delay 0.002
-  done;
-  let out = f !actual in
-  (match C.rpc !actual (J.Obj [ ("op", J.Str "shutdown") ]) with
-  | Ok _ -> ()
-  | Error e -> failwith ("serve-net bench: shutdown: " ^ C.error_to_string e));
-  Thread.join server;
-  match !result with
-  | Error e -> failwith ("serve-net bench: socket server failed: " ^ e)
-  | Ok summary -> (summary, out)
+let with_net_server ~config addr f = Util.with_net_server ~tag:"serve-net bench" ~config addr f
 
 let run_socket ~frames ~cache_path ~clients ~requests ~pipeline =
   let path = Filename.temp_file "reqisc_net" ".sock" in
@@ -332,14 +307,6 @@ let duplicate_storm ~stormers =
 
 (* ----------------------------------------------------------------- main *)
 
-let percentile sorted p =
-  match sorted with
-  | [] -> 0.0
-  | _ ->
-    let arr = Array.of_list sorted in
-    let n = Array.length arr in
-    arr.(min (n - 1) (int_of_float ((p *. float_of_int (n - 1)) +. 0.5)))
-
 type pass = {
   seconds : float;
   rps : float;
@@ -389,34 +356,28 @@ let pass_json name (p : pass) =
 let write_json path ~clients ~requests ~pipeline ~total ~stdio_t ~stdio_rps
     ~(json_pass : pass) ~(bin_pass : pass) ~ratio ~ratio_json ~storm_clients
     ~storm_runs ~coalesce_hits =
-  let buf = Buffer.create 2048 in
-  let bpf fmt = Printf.ksprintf (Buffer.add_string buf) fmt in
-  bpf "{\n";
-  bpf
-    "  \"workload\": {\"clients\": %d, \"requests_per_client\": %d, \"pipeline\": %d, \"total\": %d, \"transport\": \"unix\"},\n"
-    clients requests pipeline total;
-  bpf
-    "  \"in_process\": {\"mode\": \"direct\", \"seconds\": %.4f, \"throughput_rps\": %.1f},\n"
-    stdio_t stdio_rps;
-  Buffer.add_string buf (pass_json "socket_json" json_pass);
-  Buffer.add_string buf (pass_json "socket_binary" bin_pass);
-  bpf "  \"latency_ms\": {\"p50\": %.3f, \"p99\": %.3f, \"p999\": %.3f, \"max\": %.3f},\n"
-    (1e3 *. bin_pass.p50) (1e3 *. bin_pass.p99) (1e3 *. bin_pass.p999)
-    (1e3 *. bin_pass.lat_max);
-  bpf "  \"throughput_ratio\": %.3f,\n" ratio;
-  bpf "  \"throughput_ratio_json\": %.3f,\n" ratio_json;
-  bpf "  \"baseline_p99_ms\": %.2f,\n" baseline_p99_ms;
-  bpf "  \"p99_halved\": %b,\n" (1e3 *. bin_pass.p99 <= 0.5 *. baseline_p99_ms);
-  bpf "  \"meets_1x\": %b,\n" (ratio >= 1.0);
-  bpf "  \"within_2x\": %b,\n" (ratio >= 0.5);
-  bpf
-    "  \"storm\": {\"clients\": %d, \"requests\": %d, \"solver_runs\": %d, \"coalesce_hits\": %d, \"single_run\": %b}\n"
-    storm_clients storm_clients storm_runs coalesce_hits (storm_runs = 1);
-  bpf "}\n";
-  let oc = open_out path in
-  output_string oc (Buffer.contents buf);
-  close_out oc;
-  Printf.printf "  [serve-net] wrote %s\n%!" path
+  Util.write_json_report ~tag:"serve-net" path (fun buf ->
+      let bpf fmt = Util.bprintf buf fmt in
+      bpf
+        "  \"workload\": {\"clients\": %d, \"requests_per_client\": %d, \"pipeline\": %d, \"total\": %d, \"transport\": \"unix\"},\n"
+        clients requests pipeline total;
+      bpf
+        "  \"in_process\": {\"mode\": \"direct\", \"seconds\": %.4f, \"throughput_rps\": %.1f},\n"
+        stdio_t stdio_rps;
+      bpf "%s" (pass_json "socket_json" json_pass);
+      bpf "%s" (pass_json "socket_binary" bin_pass);
+      bpf "  \"latency_ms\": {\"p50\": %.3f, \"p99\": %.3f, \"p999\": %.3f, \"max\": %.3f},\n"
+        (1e3 *. bin_pass.p50) (1e3 *. bin_pass.p99) (1e3 *. bin_pass.p999)
+        (1e3 *. bin_pass.lat_max);
+      bpf "  \"throughput_ratio\": %.3f,\n" ratio;
+      bpf "  \"throughput_ratio_json\": %.3f,\n" ratio_json;
+      bpf "  \"baseline_p99_ms\": %.2f,\n" baseline_p99_ms;
+      bpf "  \"p99_halved\": %b,\n" (1e3 *. bin_pass.p99 <= 0.5 *. baseline_p99_ms);
+      bpf "  \"meets_1x\": %b,\n" (ratio >= 1.0);
+      bpf "  \"within_2x\": %b,\n" (ratio >= 0.5);
+      bpf
+        "  \"storm\": {\"clients\": %d, \"requests\": %d, \"solver_runs\": %d, \"coalesce_hits\": %d, \"single_run\": %b}\n"
+        storm_clients storm_clients storm_runs coalesce_hits (storm_runs = 1))
 
 let print_pass name (p : pass) =
   Printf.printf "  %-11s %.3fs  (%.0f req/s)  p50 %.2fms  p99 %.2fms  p999 %.2fms\n"

@@ -80,6 +80,76 @@ let write_robust_json path =
     Printf.printf "  [robust] wrote %s (faults: %s)\n%!" path
       (Robust.Fault.spec_string ())
 
+(* ------------------------------------------ serve-bench shared helpers *)
+
+(* latency percentile over an ascending-sorted sample list *)
+let percentile sorted p =
+  match sorted with
+  | [] -> 0.0
+  | _ ->
+    let arr = Array.of_list sorted in
+    let n = Array.length arr in
+    arr.(min (n - 1) (int_of_float ((p *. float_of_int (n - 1)) +. 0.5)))
+
+(* gate verdict line shared by the gated serve benches *)
+let gate name ok =
+  Printf.printf "  gate %-22s %s\n" name (if ok then "PASS" else "FAIL")
+
+(* printf into a report buffer ([build] callbacks bind it locally so the
+   format type stays polymorphic) *)
+let bprintf buf fmt = Printf.ksprintf (Buffer.add_string buf) fmt
+
+(* Buffer-backed JSON report writer: [build] emits the members into the
+   buffer (via {!bprintf}); the braces, the file write, and the "wrote"
+   line are the shared part every BENCH_*.json used to copy *)
+let write_json_report ~tag path build =
+  let buf = Buffer.create 2048 in
+  Buffer.add_string buf "{\n";
+  build buf;
+  Buffer.add_string buf "}\n";
+  let oc = open_out path in
+  output_string oc (Buffer.contents buf);
+  close_out oc;
+  Printf.printf "  [%s] wrote %s\n%!" tag path
+
+(* socket server on a background thread: wait for the ready signal, run
+   [f] against the actual bound address (so tcp:HOST:0 workloads see the
+   kernel-assigned port), then shut down over the wire and join.
+   [before_shutdown] runs after [f] — the chaos bench disarms fault
+   injection there so an armed frame_drop cannot eat the shutdown
+   response. Returns the server summary alongside [f]'s result. *)
+let with_net_server ~tag ~config ?(before_shutdown = fun () -> ())
+    ?(shutdown_retries = 0) addr f =
+  let ready = Atomic.make false in
+  let actual = ref addr in
+  let result = ref (Error "server did not return") in
+  let server =
+    Thread.create
+      (fun () ->
+        result :=
+          Serve.Transport.serve ~config
+            ~ready:(fun a ->
+              actual := a;
+              Atomic.set ready true)
+            addr)
+      ()
+  in
+  while not (Atomic.get ready) do
+    Thread.delay 0.002
+  done;
+  let out = f !actual in
+  before_shutdown ();
+  (match
+     Serve.Client.rpc ~retries:shutdown_retries !actual
+       (Serve.Json.Obj [ ("op", Serve.Json.Str "shutdown") ])
+   with
+  | Ok _ -> ()
+  | Error e -> failwith (tag ^ ": shutdown: " ^ Serve.Client.error_to_string e));
+  Thread.join server;
+  match !result with
+  | Error e -> failwith (tag ^ ": server failed: " ^ e)
+  | Ok summary -> (summary, out)
+
 (* optional CSV mirroring of the printed results (artifact-style outputs) *)
 let csv_dir : string option ref = ref None
 

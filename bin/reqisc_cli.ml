@@ -8,7 +8,10 @@
      reqisc_cli serve [--listen tcp:HOST:PORT|unix:PATH] [--cache FILE]
                       [--workers N] [--capacity N] [--max-conns N]
                       [--max-queue N] [--idle-timeout S] [--max-line BYTES]
-                      [--no-coalesce]
+                      [--no-coalesce] [--pace-us N]
+     reqisc_cli cluster --shards ADDR,ADDR,... [--listen ADDR] [--vnodes N]
+                        [--channels N] [--probe-interval S] [--max-conns N]
+                        [--max-queue N] [--idle-timeout S]
      reqisc_cli client --connect tcp:HOST:PORT|unix:PATH [--retries N]
                        [--backoff S] [--jitter J] [--frames json|binary]
                        [--timeout S] [REQUEST...]
@@ -49,8 +52,11 @@ let subcommands =
       "synthesize one pulse (GATE in cnot|cz|iswap|sqisw|b|swap)" );
     ("qasm", "qasm FILE [--pulses]", "parse a REQASM file and report metrics");
     ( "serve",
-      "serve [--listen tcp:HOST:PORT|unix:PATH] [--cache FILE] [--workers N] [--capacity N] [--max-conns N] [--max-queue N] [--idle-timeout S] [--max-line BYTES] [--no-coalesce]",
+      "serve [--listen tcp:HOST:PORT|unix:PATH] [--cache FILE] [--workers N] [--capacity N] [--max-conns N] [--max-queue N] [--idle-timeout S] [--max-line BYTES] [--no-coalesce] [--pace-us N]",
       "serve the JSON protocol on stdin/stdout, or on a socket with --listen" );
+    ( "cluster",
+      "cluster --shards ADDR,ADDR,... [--listen ADDR] [--vnodes N] [--channels N] [--probe-interval S] [--max-conns N] [--max-queue N] [--idle-timeout S]",
+      "route requests across serve --listen shards by body fingerprint, with failover" );
     ( "client",
       "client --connect tcp:HOST:PORT|unix:PATH [--retries N] [--backoff S] [--jitter J] [--frames json|binary] [--timeout S] [REQUEST...]",
       "send request lines (args, or stdin when none) to a serve --listen instance" );
@@ -299,6 +305,14 @@ let int_flag args flag default =
     | Some n when n > 0 -> n
     | _ -> usage_error "%s expects a positive integer, got %S" flag v)
 
+let nonneg_int_flag args flag default =
+  match flag_value args flag with
+  | None -> default
+  | Some v -> (
+    match int_of_string_opt v with
+    | Some n when n >= 0 -> n
+    | _ -> usage_error "%s expects a non-negative integer, got %S" flag v)
+
 let float_flag args flag default =
   match flag_value args flag with
   | None -> default
@@ -315,6 +329,7 @@ let cmd_serve args =
       workers = int_flag args "--workers" 0;
       cache_capacity = int_flag args "--capacity" 4096;
       coalesce = not (List.mem "--no-coalesce" args);
+      pace_us = nonneg_int_flag args "--pace-us" 0;
     }
   in
   let workers_str =
@@ -360,6 +375,68 @@ let cmd_serve args =
         s.Serve.Transport.served s.Serve.Transport.errors s.Serve.Transport.connections
         s.Serve.Transport.refused s.Serve.Transport.elapsed
     | Error e -> usage_error "serve --listen: %s" e)
+
+(* front-end router: consistent-hash requests across serve --listen
+   shards, probe their health, fail over to ring successors (DESIGN.md
+   "Cluster") *)
+let cmd_cluster args =
+  let shards =
+    match flag_value args "--shards" with
+    | None -> usage_error "cluster needs --shards ADDR,ADDR,... (serve --listen instances)"
+    | Some spec ->
+      List.filter (fun s -> s <> "") (String.split_on_char ',' spec)
+  in
+  if shards = [] then usage_error "cluster: --shards lists no addresses";
+  let rconfig =
+    {
+      Cluster.Router.default_config with
+      Cluster.Router.vnodes = int_flag args "--vnodes" Cluster.Router.default_config.Cluster.Router.vnodes;
+      channels = int_flag args "--channels" Cluster.Router.default_config.Cluster.Router.channels;
+      probe_interval =
+        float_flag args "--probe-interval"
+          Cluster.Router.default_config.Cluster.Router.probe_interval;
+    }
+  in
+  let listen =
+    match
+      Serve.Transport.parse_addr
+        (Option.value ~default:"tcp:127.0.0.1:7070" (flag_value args "--listen"))
+    with
+    | Ok a -> a
+    | Error e -> usage_error "--listen: %s" e
+  in
+  let tconfig =
+    {
+      Serve.Transport.default_config with
+      Serve.Transport.max_connections = int_flag args "--max-conns" 64;
+      idle_timeout = float_flag args "--idle-timeout" 300.0;
+      max_queue_depth =
+        int_flag args "--max-queue"
+          Serve.Transport.default_config.Serve.Transport.max_queue_depth;
+    }
+  in
+  let router =
+    match Cluster.Router.create ~config:rconfig shards with
+    | Ok r -> r
+    | Error e -> usage_error "cluster: %s" e
+  in
+  let ready a =
+    Printf.eprintf "reqisc cluster: listening on %s, routing %d shards (%s)\n%!"
+      (Serve.Transport.addr_to_string a)
+      (List.length shards) (String.concat ", " shards)
+  in
+  match
+    Serve.Transport.serve_backend ~config:tconfig ~ready (Cluster.Router.backend router)
+      listen
+  with
+  | Ok s ->
+    Printf.eprintf
+      "reqisc cluster: drained — %d responses (%d errors) over %d connections (%d refused) in %.2fs\n%!"
+      s.Serve.Transport.served s.Serve.Transport.errors s.Serve.Transport.connections
+      s.Serve.Transport.refused s.Serve.Transport.elapsed
+  | Error e ->
+    Cluster.Router.drain router;
+    usage_error "cluster --listen: %s" e
 
 (* one request per line (argv, or stdin when no REQUEST args): responses
    print to stdout in request order; transport failures exit 4 with a
@@ -478,6 +555,7 @@ let rec dispatch = function
   | "qasm" :: path :: rest -> cmd_qasm path rest
   | [ "qasm" ] -> usage_error "qasm needs a file"
   | "serve" :: rest -> cmd_serve rest
+  | "cluster" :: rest -> cmd_cluster rest
   | "client" :: rest -> cmd_client rest
   | "cache" :: "stats" :: rest -> cmd_cache_stats rest
   | "cache" :: "compact" :: rest -> cmd_cache_compact rest

@@ -1,0 +1,94 @@
+type state = Up | Suspect | Down | Warming
+
+type cell = { mutable st : state; mutable fails : int }
+
+type t = {
+  suspect_after : int;
+  down_after : int;
+  cells : cell array;
+  lock : Mutex.t;
+}
+
+let create ?(suspect_after = 1) ?(down_after = 3) n =
+  if n <= 0 then invalid_arg "Health.create: need at least one shard";
+  if suspect_after < 1 || down_after < suspect_after then
+    invalid_arg "Health.create: need 1 <= suspect_after <= down_after";
+  {
+    suspect_after;
+    down_after;
+    cells = Array.init n (fun _ -> { st = Up; fails = 0 });
+    lock = Mutex.create ();
+  }
+
+let with_lock t f =
+  Mutex.lock t.lock;
+  Fun.protect ~finally:(fun () -> Mutex.unlock t.lock) f
+
+let state t i = with_lock t (fun () -> t.cells.(i).st)
+
+let routable t i =
+  with_lock t (fun () ->
+      match t.cells.(i).st with Up | Suspect -> true | Down | Warming -> false)
+
+let note_success t i =
+  with_lock t (fun () ->
+      let c = t.cells.(i) in
+      match c.st with
+      | Up ->
+        c.fails <- 0;
+        `Up_already
+      | Suspect ->
+        c.st <- Up;
+        c.fails <- 0;
+        `Recovered
+      | Warming -> `Warming
+      | Down -> `Needs_warmup)
+
+let note_failure t i =
+  with_lock t (fun () ->
+      let c = t.cells.(i) in
+      let before = c.st in
+      (match c.st with
+      | Up | Suspect ->
+        c.fails <- c.fails + 1;
+        if c.fails >= t.down_after then c.st <- Down
+        else if c.fails >= t.suspect_after then c.st <- Suspect
+      | Warming ->
+        c.st <- Down;
+        c.fails <- t.down_after
+      | Down -> ());
+      (before, c.st))
+
+let begin_warmup t i =
+  with_lock t (fun () ->
+      let c = t.cells.(i) in
+      if c.st = Down then begin
+        c.st <- Warming;
+        true
+      end
+      else false)
+
+let finish_warmup t i =
+  with_lock t (fun () ->
+      let c = t.cells.(i) in
+      if c.st = Warming then begin
+        c.st <- Up;
+        c.fails <- 0
+      end)
+
+let counts t =
+  with_lock t (fun () ->
+      Array.fold_left
+        (fun (u, s, d, w) c ->
+          match c.st with
+          | Up -> (u + 1, s, d, w)
+          | Suspect -> (u, s + 1, d, w)
+          | Down -> (u, s, d + 1, w)
+          | Warming -> (u, s, d, w + 1))
+        (0, 0, 0, 0) t.cells)
+
+let state_to_string = function
+  | Up -> "up"
+  | Suspect -> "suspect"
+  | Down -> "down"
+  | Warming -> "warming"

@@ -1,0 +1,55 @@
+(** Per-shard health state machine for the cluster router.
+
+    Each shard is [Up], [Suspect], [Down], or [Warming]. Failures
+    (probe or forward) walk Up → Suspect → Down by configurable
+    thresholds; a success while Suspect recovers immediately, while a
+    shard that went all the way Down must warm its cache back up
+    (journal replay) before taking traffic again — that's the
+    [Warming] interlude, driven by the router.
+
+    [Up] and [Suspect] are routable: a Suspect shard still takes
+    traffic (one unlucky probe shouldn't dump its whole partition on
+    its neighbour), it's just one failure closer to Down.
+
+    All operations take the shard's index and are thread-safe — the
+    prober, channel workers, and stats fan-out all touch this. *)
+
+type state = Up | Suspect | Down | Warming
+
+type t
+
+(** [create ?suspect_after ?down_after n] — [n] shards, all [Up].
+    [suspect_after] consecutive failures mark a shard Suspect
+    (default 1), [down_after] mark it Down (default 3). *)
+val create : ?suspect_after:int -> ?down_after:int -> int -> t
+
+val state : t -> int -> state
+
+(** True when the shard may receive forwarded traffic (Up or Suspect). *)
+val routable : t -> int -> bool
+
+(** Record a successful probe or forward. [`Up_already] — was Up, still
+    is; [`Recovered] — was Suspect, now Up (failure count reset);
+    [`Warming] — warmup in progress elsewhere, state unchanged;
+    [`Needs_warmup] — the shard is Down but answering: the caller
+    should [begin_warmup] and replay the journal. State is NOT changed
+    for [`Needs_warmup] — only [begin_warmup] moves Down → Warming. *)
+val note_success : t -> int -> [ `Up_already | `Recovered | `Warming | `Needs_warmup ]
+
+(** Record a failure. Returns [(before, after)] so the caller can
+    count transitions (e.g. bump a [shard_down] counter exactly once).
+    Warming shards fail straight back to Down. *)
+val note_failure : t -> int -> state * state
+
+(** Down → Warming. True if this call made the transition (the caller
+    now owns the warmup); false if the shard was not Down (someone
+    else is warming it, or it already recovered). *)
+val begin_warmup : t -> int -> bool
+
+(** Warming → Up, failure count reset. No-op unless Warming. *)
+val finish_warmup : t -> int -> unit
+
+(** [(up, suspect, down, warming)] — for merged stats. *)
+val counts : t -> int * int * int * int
+
+val state_to_string : state -> string

@@ -1,0 +1,100 @@
+(* FNV-1a, 64-bit, seed folded into the offset basis, then a
+   splitmix64-style avalanche finalizer. The finalizer is load-bearing:
+   raw FNV diffuses differences only toward the high bits, so two shard
+   names differing in one mid-string character (tcp:10.0.0.1 vs
+   tcp:10.0.0.2) followed by an identical suffix hash to points at a
+   near-constant offset for EVERY vnode — one shard's arcs collapse and
+   its share of keys goes to ~zero. Avalanching each point decorrelates
+   the pair. The sign bit and one more are masked off so points order
+   as plain non-negative ints. *)
+let fnv1a ~seed s =
+  let h = ref (Int64.logxor 0xCBF29CE484222325L (Int64.of_int seed)) in
+  String.iter
+    (fun ch ->
+      h := Int64.mul (Int64.logxor !h (Int64.of_int (Char.code ch))) 0x100000001B3L)
+    s;
+  let h = !h in
+  let h = Int64.logxor h (Int64.shift_right_logical h 30) in
+  let h = Int64.mul h 0xBF58476D1CE4E5B9L in
+  let h = Int64.logxor h (Int64.shift_right_logical h 27) in
+  let h = Int64.mul h 0x94D049BB133111EBL in
+  let h = Int64.logxor h (Int64.shift_right_logical h 31) in
+  Int64.to_int (Int64.logand h 0x3FFF_FFFF_FFFF_FFFFL)
+
+type t = {
+  vnodes : int;
+  seed : int;
+  shards : string list;  (* deduped, first-added order *)
+  points : (int * string) array;  (* sorted by (hash, shard) *)
+}
+
+let dedupe shards =
+  List.rev
+    (List.fold_left (fun acc s -> if List.mem s acc then acc else s :: acc) [] shards)
+
+let build ~vnodes ~seed shards =
+  let points =
+    Array.concat
+      (List.map
+         (fun shard ->
+           Array.init vnodes (fun v ->
+               (fnv1a ~seed (Printf.sprintf "%s|%d" shard v), shard)))
+         shards)
+  in
+  (* sort on the shard name too: an (astronomically unlikely) hash
+     collision between two shards' points still orders deterministically *)
+  Array.sort compare points;
+  { vnodes; seed; shards; points }
+
+let create ?(vnodes = 128) ?(seed = 0x51C) shards =
+  if vnodes <= 0 then invalid_arg "Ring.create: vnodes must be positive";
+  build ~vnodes ~seed (dedupe shards)
+
+let members t = t.shards
+let hash t key = fnv1a ~seed:t.seed key
+
+let add t shard =
+  if List.mem shard t.shards then t
+  else build ~vnodes:t.vnodes ~seed:t.seed (t.shards @ [ shard ])
+
+let remove t shard =
+  build ~vnodes:t.vnodes ~seed:t.seed
+    (List.filter (fun s -> s <> shard) t.shards)
+
+(* index of the first point at or clockwise after [h] (wrapping) *)
+let successor_index t h =
+  let n = Array.length t.points in
+  let rec go lo hi =
+    (* invariant: points.(lo-1) < h <= points.(hi), with virtual
+       sentinels points.(-1) = -inf, points.(n) = +inf *)
+    if lo >= hi then lo
+    else
+      let mid = (lo + hi) / 2 in
+      if fst t.points.(mid) < h then go (mid + 1) hi else go lo mid
+  in
+  let i = go 0 n in
+  if i = n then 0 else i
+
+let owner t key =
+  if t.points = [||] then None
+  else Some (snd t.points.(successor_index t (hash t key)))
+
+let order t key =
+  let n = Array.length t.points in
+  if n = 0 then []
+  else begin
+    let want = List.length t.shards in
+    let start = successor_index t (hash t key) in
+    let seen = Hashtbl.create want in
+    let out = ref [] in
+    let i = ref 0 in
+    while !i < n && Hashtbl.length seen < want do
+      let _, shard = t.points.((start + !i) mod n) in
+      if not (Hashtbl.mem seen shard) then begin
+        Hashtbl.add seen shard ();
+        out := shard :: !out
+      end;
+      incr i
+    done;
+    List.rev !out
+  end

@@ -1,0 +1,44 @@
+(** Consistent-hash ring with seeded virtual nodes.
+
+    Each shard contributes [vnodes] points to a shared 62-bit hash
+    circle (seeded FNV-1a over ["shard|vnode"] with an avalanche
+    finalizer); a key is owned by the shard whose point is the first at
+    or clockwise after the key's hash.
+    Placement is deterministic in [(vnodes, seed, shard names)] alone —
+    independent of insertion order and of process identity — so every
+    router instance, restart, and test computes the same map.
+
+    Virtual nodes smooth the balance (with [vnodes = 128] per-shard load
+    is uniform within a few percent) and make membership changes
+    minimal: when a shard joins, only the keys that now hash to one of
+    its points move (~[1/(n+1)] of all keys, all of them TO the joiner);
+    when one leaves, only its own keys move (to their ring successors).
+    Both properties are what the cluster's warm cache depends on — a
+    membership change must not reshuffle every shard's working set.
+
+    The ring is immutable; [add]/[remove] return a new ring sharing
+    nothing mutable. Lookup is a binary search: O(log (n * vnodes)). *)
+
+type t
+
+(** [create ?vnodes ?seed shards] — duplicates are dropped (first
+    occurrence wins). [vnodes] defaults to 128, [seed] to a fixed
+    constant; the same triple always yields the same ring. *)
+val create : ?vnodes:int -> ?seed:int -> string list -> t
+
+(** Current members, in first-added order. *)
+val members : t -> string list
+
+val add : t -> string -> t
+val remove : t -> string -> t
+
+(** [owner t key] — the shard owning [key]; [None] on an empty ring. *)
+val owner : t -> string -> string option
+
+(** [order t key] — every member, deduplicated, in ring order starting
+    from [key]'s owner: the failover preference list. [order t key] is a
+    permutation of [members t] whose head is [owner t key]. *)
+val order : t -> string -> string list
+
+(** The 62-bit point hash (exposed for property tests). *)
+val hash : t -> string -> int

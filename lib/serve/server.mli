@@ -25,6 +25,10 @@ type config = {
   coalesce : bool;
       (** single-flight coalescing of identical in-flight requests
           (default [true]; see {!Engine}) *)
+  pace_us : int;
+      (** minimum microseconds between heavy-op executions — an explicit
+          per-instance capacity model (default [0] = unpaced; see
+          {!Engine.create}) *)
 }
 
 val default_config : config

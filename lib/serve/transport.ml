@@ -52,6 +52,30 @@ type summary = {
   elapsed : float;
 }
 
+(* The event loop is request-executor agnostic: anything that can accept
+   a parsed frame and eventually call [respond] exactly once can sit
+   behind it. [Engine] is the in-process executor; the cluster router
+   ({!Cluster.Router}) forwards to remote shards through the same seam.
+   [raw] is the frame's original payload text — a forwarding backend
+   re-renders or relays it without a lossy reparse; [engine_backend]
+   ignores it. *)
+type backend = {
+  submit : raw:string -> Protocol.parsed -> respond:(Json.t -> unit) -> unit;
+  queue_depth : unit -> int;  (* admission-control signal *)
+  drain : unit -> unit;  (* finish queued work; called once at shutdown *)
+  served : unit -> int;
+  errors : unit -> int;
+}
+
+let engine_backend engine =
+  {
+    submit = (fun ~raw:_ parsed ~respond -> Engine.submit engine parsed ~respond);
+    queue_depth = (fun () -> Engine.queue_depth engine);
+    drain = (fun () -> Engine.drain engine);
+    served = (fun () -> Engine.served engine);
+    errors = (fun () -> Engine.errors engine);
+  }
+
 let stage = "serve.net"
 
 (* --------------------------------------------------------- connections *)
@@ -90,7 +114,7 @@ type conn = {
 
 type state = {
   config : config;
-  engine : Engine.t;
+  backend : backend;
   stopping : bool Atomic.t;
   drained : bool Atomic.t;
   listen_fd : Unix.file_descr;
@@ -274,12 +298,12 @@ let conn_respond st c json =
    read-only ops ([stats], [shutdown]) and parse errors always pass:
    refusing those would blind operators exactly when the server is
    busiest. *)
-let submit_conn st c parsed =
+let submit_conn st c ~raw parsed =
   let shed =
     st.config.max_queue_depth > 0
     && (match parsed.Protocol.body with
        | Ok { op = Protocol.Compile _ | Protocol.Pulses _ | Protocol.Batch _; _ } ->
-         Engine.queue_depth st.engine >= st.config.max_queue_depth
+         st.backend.queue_depth () >= st.config.max_queue_depth
        | _ -> false)
   in
   Mutex.lock c.wlock;
@@ -295,13 +319,13 @@ let submit_conn st c parsed =
             "queue depth at capacity (%d); request shed before execution"
             st.config.max_queue_depth))
   end
-  else Engine.submit st.engine parsed ~respond:(conn_respond st c)
+  else st.backend.submit ~raw parsed ~respond:(conn_respond st c)
 
 (* ------------------------------------------------------ frame scanning *)
 
 let oversize st c =
   Obs.Metric.incr ~stage "oversize_frame";
-  submit_conn st c
+  submit_conn st c ~raw:""
     {
       Protocol.id = Json.Null;
       body = Error (Protocol.oversize_message st.config.max_line_bytes);
@@ -326,7 +350,7 @@ let handle_payload st c payload =
     end
     else begin
       let p = Protocol.parse_line ~max_bytes:st.config.max_line_bytes payload in
-      submit_conn st c p;
+      submit_conn st c ~raw:payload p;
       match p.body with
       | Ok { op = Protocol.Shutdown; _ } -> initiate_drain st
       | _ -> ()
@@ -396,7 +420,7 @@ let feed_binary st c s =
           match Frame.decode_header hdr 0 with
           | Error msg ->
             Obs.Metric.incr ~stage "frame_desync";
-            submit_conn st c
+            submit_conn st c ~raw:""
               {
                 Protocol.id = Json.Null;
                 body = Error (Printf.sprintf "binary frame desync: %s" msg);
@@ -638,10 +662,10 @@ let event_loop st =
     retire_sweep st
   done
 
-(* drain: stop reading everywhere, let the engine finish everything
+(* drain: stop reading everywhere, let the backend finish everything
    already queued (responses keep landing in the write queues), and keep
-   flushing until the engine is drained and every deliverable byte is
-   out. The engine drains on a helper thread so this loop can keep
+   flushing until the backend is drained and every deliverable byte is
+   out. The backend drains on a helper thread so this loop can keep
    writing concurrently — a full write queue never deadlocks the drain. *)
 let flush_until_drained st =
   List.iter
@@ -652,7 +676,7 @@ let flush_until_drained st =
   let drainer =
     Thread.create
       (fun () ->
-        Engine.drain st.engine;
+        st.backend.drain ();
         Atomic.set st.drained true;
         wake st)
       ()
@@ -730,68 +754,73 @@ let bind_listener = function
 
 (* ---------------------------------------------------------------- serve *)
 
-let serve ?(config = default_config) ?ready addr =
+let serve_backend ?(config = default_config) ?ready backend addr =
   let t0 = Unix.gettimeofday () in
   match bind_listener addr with
   | Error e -> Error e
-  | Ok (listen_fd, actual) -> (
+  | Ok (listen_fd, actual) ->
     let cleanup_path () =
       match addr with
       | Unix_path p -> (try Unix.unlink p with Unix.Unix_error _ -> ())
       | Tcp _ -> ()
     in
-    match Server.open_cache config.server with
-    | Error e ->
-      (try Unix.close listen_fd with Unix.Unix_error _ -> ());
-      cleanup_path ();
-      Error e
-    | Ok cache ->
-      let engine =
-        Engine.create ~workers:config.server.Server.workers
-          ~coalesce:config.server.Server.coalesce ?cache
-          ~seed:config.server.Server.seed ()
-      in
-      let wake_r, wake_w = Unix.pipe ~cloexec:true () in
-      Unix.set_nonblock listen_fd;
-      Unix.set_nonblock wake_r;
-      Unix.set_nonblock wake_w;
-      let st =
-        {
-          config;
-          engine;
-          stopping = Atomic.make false;
-          drained = Atomic.make false;
-          listen_fd;
-          wake_r;
-          wake_w;
-          conns = [];
-          accepted = 0;
-          refused = 0;
-        }
-      in
-      (* a write to a vanished client must yield EPIPE, not kill us *)
-      let old_sigpipe =
-        try Some (Sys.signal Sys.sigpipe Sys.Signal_ignore)
-        with Invalid_argument _ | Sys_error _ -> None
-      in
-      let old_sigint =
-        try Some (Sys.signal Sys.sigint (Sys.Signal_handle (fun _ -> initiate_drain st)))
-        with Invalid_argument _ | Sys_error _ -> None
-      in
-      Option.iter (fun f -> f actual) ready;
-      event_loop st;
-      (try Unix.close st.listen_fd with Unix.Unix_error _ -> ());
-      flush_until_drained st;
-      (try Unix.close st.wake_r with Unix.Unix_error _ -> ());
-      (try Unix.close st.wake_w with Unix.Unix_error _ -> ());
-      (try Option.iter (Sys.set_signal Sys.sigpipe) old_sigpipe with _ -> ());
-      (try Option.iter (Sys.set_signal Sys.sigint) old_sigint with _ -> ());
-      cleanup_path ();
-      Ok
-        {
-          served = Engine.served engine;
-          errors = Engine.errors engine;
-          connections = st.accepted;
-          refused = st.refused;
-          elapsed = Unix.gettimeofday () -. t0;
-        })
+    let wake_r, wake_w = Unix.pipe ~cloexec:true () in
+    Unix.set_nonblock listen_fd;
+    Unix.set_nonblock wake_r;
+    Unix.set_nonblock wake_w;
+    let st =
+      {
+        config;
+        backend;
+        stopping = Atomic.make false;
+        drained = Atomic.make false;
+        listen_fd;
+        wake_r;
+        wake_w;
+        conns = [];
+        accepted = 0;
+        refused = 0;
+      }
+    in
+    (* a write to a vanished client must yield EPIPE, not kill us *)
+    let old_sigpipe =
+      try Some (Sys.signal Sys.sigpipe Sys.Signal_ignore)
+      with Invalid_argument _ | Sys_error _ -> None
+    in
+    let old_sigint =
+      try Some (Sys.signal Sys.sigint (Sys.Signal_handle (fun _ -> initiate_drain st)))
+      with Invalid_argument _ | Sys_error _ -> None
+    in
+    Option.iter (fun f -> f actual) ready;
+    event_loop st;
+    (try Unix.close st.listen_fd with Unix.Unix_error _ -> ());
+    flush_until_drained st;
+    (try Unix.close st.wake_r with Unix.Unix_error _ -> ());
+    (try Unix.close st.wake_w with Unix.Unix_error _ -> ());
+    (try Option.iter (Sys.set_signal Sys.sigpipe) old_sigpipe with _ -> ());
+    (try Option.iter (Sys.set_signal Sys.sigint) old_sigint with _ -> ());
+    cleanup_path ();
+    Ok
+      {
+        served = backend.served ();
+        errors = backend.errors ();
+        connections = st.accepted;
+        refused = st.refused;
+        elapsed = Unix.gettimeofday () -. t0;
+      }
+
+let serve ?(config = default_config) ?ready addr =
+  match Server.open_cache config.server with
+  | Error e -> Error e
+  | Ok cache ->
+    let engine =
+      Engine.create ~workers:config.server.Server.workers
+        ~coalesce:config.server.Server.coalesce
+        ~pace_us:config.server.Server.pace_us ?cache
+        ~seed:config.server.Server.seed ()
+    in
+    let r = serve_backend ~config ?ready (engine_backend engine) addr in
+    (* on the Ok path the drain already ran inside [serve_backend]; a
+       bind failure must still release the engine's domains and cache *)
+    (match r with Error _ -> Engine.drain engine | Ok _ -> ());
+    r
