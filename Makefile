@@ -3,7 +3,7 @@
 
 RESULTS ?= results
 
-.PHONY: all build test check bench-smoke bench-obs bench-net bench-cluster bench-chaos demo bench microbench tables figures csv clean
+.PHONY: all build test check bench-smoke bench-passes bench-obs bench-net bench-cluster bench-chaos demo bench microbench tables figures csv clean
 
 all: build
 
@@ -20,8 +20,15 @@ check: build test bench-smoke
 bench-smoke: build
 	dune exec bench/microbench.exe -- --smoke --out _build/bench_smoke.json
 	dune exec bench/main.exe -- table2 --limit 4
+	dune exec bench/main.exe -- compile --limit 3
 	dune exec bench/main.exe -- serve --limit 3
 	dune exec bench/main.exe -- obs --limit 2
+
+# nanopass pipeline bench alone: per-pass wall time / #2Q / depth over
+# the eff+full plans, gated on per-pass Chrome-trace spans; writes
+# BENCH_passes.json and BENCH_passes_trace.json
+bench-passes: build
+	dune exec bench/main.exe -- compile
 
 # observability bench alone: tracing overhead contract + per-stage
 # latencies; writes BENCH_obs.json and BENCH_obs_trace.json

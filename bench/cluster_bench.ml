@@ -50,7 +50,8 @@ let key_of_coord (x, y, z) =
   let body =
     {
       Serve.Protocol.op =
-        Serve.Protocol.Pulses { target = Serve.Protocol.Coords (x, y, z); coupling = "xy" };
+        Serve.Protocol.Pulses
+          { target = Serve.Protocol.Coords (x, y, z); coupling = "xy"; passes = None };
       budget = None;
       deadline_ms = None;
     }

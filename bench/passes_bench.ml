@@ -1,0 +1,124 @@
+(* `compile` bench target: the nanopass pipeline's per-pass profile.
+
+   Compiles a suite prefix through the eff and full plans under an Obs
+   recorder, aggregates the per-pass stats (#2Q, 2Q depth, wall time),
+   gates on every executed pass appearing as a stage="compiler" span in
+   the recorded Chrome trace (BENCH_passes_trace.json), and writes the
+   aggregate to BENCH_passes.json. *)
+
+open Util
+
+let modes = [ Compiler.Passes.Eff; Compiler.Passes.Full ]
+
+type agg = {
+  mutable runs : int;
+  mutable skips : int;
+  mutable wall_s : float;
+  mutable count_2q : int;
+  mutable depth_2q : int;
+}
+
+let compile_bench ?(limit = 4) ~big () =
+  hr "compile: nanopass per-pass profile";
+  let suite = List.filteri (fun i _ -> i < limit) (Benchmarks.Suite.suite ~big ()) in
+  let collected = ref [] in
+  let failures = ref 0 in
+  let (), recorder =
+    Obs.Recorder.with_recorder (fun () ->
+        List.iter
+          (fun mode ->
+            let plan = Compiler.Passes.plan_of_mode mode in
+            List.iter
+              (fun (b : Benchmarks.Suite.bench) ->
+                let rng = Numerics.Rng.create 1L in
+                match Compiler.Passes.compile_plan ~plan rng b.Benchmarks.Suite.program with
+                | Ok (_, stats) ->
+                  collected := (plan.Compiler.Passes.plan_name, b.Benchmarks.Suite.name, stats) :: !collected
+                | Error e ->
+                  incr failures;
+                  Printf.printf "  %s/%s failed: %s\n" plan.Compiler.Passes.plan_name
+                    b.Benchmarks.Suite.name (Robust.Err.to_string e))
+              suite)
+          modes)
+  in
+  let events = Obs.Recorder.events recorder in
+  Obs.Export.write_chrome_trace "BENCH_passes_trace.json" events;
+  (* aggregate per pass, preserving registry order *)
+  let tbl = Hashtbl.create 16 in
+  let agg_of name =
+    match Hashtbl.find_opt tbl name with
+    | Some a -> a
+    | None ->
+      let a = { runs = 0; skips = 0; wall_s = 0.0; count_2q = 0; depth_2q = 0 } in
+      Hashtbl.add tbl name a;
+      a
+  in
+  List.iter
+    (fun (_, _, stats) ->
+      List.iter
+        (fun (s : Compiler.Passes.pass_stat) ->
+          let a = agg_of s.Compiler.Passes.pass in
+          if s.Compiler.Passes.ran then begin
+            a.runs <- a.runs + 1;
+            a.wall_s <- a.wall_s +. s.Compiler.Passes.wall_s;
+            a.count_2q <- a.count_2q + max 0 s.Compiler.Passes.count_2q;
+            a.depth_2q <- a.depth_2q + max 0 s.Compiler.Passes.depth_2q
+          end
+          else a.skips <- a.skips + 1)
+        stats)
+    !collected;
+  let order =
+    List.filter (Hashtbl.mem tbl) Compiler.Passes.known_names
+  in
+  Printf.printf "  %d benches x %d plans, %d compiles ok, %d failed\n" (List.length suite)
+    (List.length modes) (List.length !collected) !failures;
+  Printf.printf "  %-16s %6s %6s %10s %8s %8s\n" "pass" "runs" "skips" "wall" "#2Q" "depth2Q";
+  List.iter
+    (fun name ->
+      let a = Hashtbl.find tbl name in
+      Printf.printf "  %-16s %6d %6d %8.2fms %8d %8d\n" name a.runs a.skips
+        (1e3 *. a.wall_s) a.count_2q a.depth_2q)
+    order;
+  (* the gate of the smoke: every pass that executed must be visible as
+     its own stage="compiler" span in the trace — that is the whole
+     point of per-pass observability *)
+  let span_names =
+    List.filter_map
+      (fun (e : Obs.Sink.span_event) ->
+        if e.Obs.Sink.stage = "compiler" then Some e.Obs.Sink.name else None)
+      events
+  in
+  let executed = List.filter (fun n -> (Hashtbl.find tbl n).runs > 0) order in
+  let missing = List.filter (fun n -> not (List.mem n span_names)) executed in
+  let spans_ok = missing = [] && executed <> [] in
+  gate "per-pass spans" spans_ok;
+  if missing <> [] then
+    Printf.printf "  missing spans: %s\n" (String.concat ", " missing);
+  let compiles_ok = !failures = 0 in
+  gate "all compiles ok" compiles_ok;
+  write_json_report ~tag:"compile" "BENCH_passes.json" (fun buf ->
+      let bpf fmt = bprintf buf fmt in
+      bpf "  \"workload\": {\"benches\": %d, \"plans\": [%s]},\n" (List.length suite)
+        (String.concat ", "
+           (List.map
+              (fun m ->
+                Printf.sprintf "%S"
+                  (Compiler.Passes.plan_of_mode m).Compiler.Passes.plan_name)
+              modes));
+      bpf "  \"compiles_ok\": %d,\n" (List.length !collected);
+      bpf "  \"compiles_failed\": %d,\n" !failures;
+      bpf "  \"trace_events\": %d,\n" (List.length events);
+      bpf "  \"spans_present\": %b,\n" spans_ok;
+      bpf "  \"pass\": %b,\n" (spans_ok && compiles_ok);
+      bpf "  \"passes\": {\n";
+      let n = List.length order in
+      List.iteri
+        (fun i name ->
+          let a = Hashtbl.find tbl name in
+          bpf
+            "    \"%s\": {\"runs\": %d, \"skips\": %d, \"wall_seconds\": %.6f, \
+             \"count_2q\": %d, \"depth_2q\": %d}%s\n"
+            name a.runs a.skips a.wall_s a.count_2q a.depth_2q
+            (if i = n - 1 then "" else ","))
+        order;
+      bpf "  }\n")

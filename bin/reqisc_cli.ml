@@ -45,8 +45,11 @@ let subcommands =
   [
     ("list", "list", "show the benchmark suite, grouped by category");
     ( "compile",
-      "compile BENCH [--mode eff|full|nc] [--route chain|grid] [--pulses]",
+      "compile BENCH [--mode eff|full|nc] [--passes a,b,c] [--start-from PASS] [--stop-after PASS] [--route chain|grid] [--pulses]",
       "compile a suite benchmark to the SU(4) ISA" );
+    ( "passes",
+      "passes",
+      "list the registered compiler passes and the named plans" );
     ( "pulse",
       "pulse GATE [--coupling xy|xx]",
       "synthesize one pulse (GATE in cnot|cz|iswap|sqisw|b|swap)" );
@@ -201,6 +204,26 @@ let run_pulses coupling circuit =
     ignore g;
     exit (Robust.Err.exit_code e)
 
+(* strict pass-name validation, same discipline as Robust.Fault parsing:
+   any unknown name is a usage error (exit 2) listing every known pass *)
+let check_pass_name what n =
+  if Compiler.Passes.find n = None then
+    usage_error "%s: unknown pass %s (known passes: %s)" what n
+      (String.concat ", " Compiler.Passes.known_names)
+
+let cmd_passes () =
+  Printf.printf "registered passes (pipeline order):\n";
+  List.iter
+    (fun (name, doc) -> Printf.printf "  %-16s %s\n" name doc)
+    (Compiler.Passes.describe ());
+  Printf.printf "\nnamed plans:\n";
+  List.iter
+    (fun mode ->
+      let plan = Reqisc.Plan.default mode in
+      Printf.printf "  %-16s %s\n" (Reqisc.Plan.name plan)
+        (String.concat " -> " (Reqisc.Plan.pass_names plan)))
+    [ Reqisc.Eff; Reqisc.Full; Reqisc.Nc ]
+
 let cmd_compile name args =
   let b = find_bench name in
   let mode =
@@ -210,23 +233,57 @@ let cmd_compile name args =
     | Some "eff" | None -> Compiler.Pipeline.Eff
     | Some other -> usage_error "unknown mode %s (expected eff|full|nc)" other
   in
+  let plan =
+    match flag_value args "--passes" with
+    | None -> Reqisc.Plan.default mode
+    | Some spec ->
+      if flag_value args "--mode" <> None then
+        usage_error "give either --mode or --passes, not both";
+      let names = String.split_on_char ',' spec in
+      List.iter (check_pass_name "--passes") names;
+      (match Reqisc.Plan.of_names names with
+      | Ok plan -> plan
+      | Error e -> usage_error "--passes: %s" (Robust.Err.to_string e))
+  in
+  let start_from = flag_value args "--start-from" in
+  let stop_after = flag_value args "--stop-after" in
+  Option.iter (check_pass_name "--start-from") start_from;
+  Option.iter (check_pass_name "--stop-after") stop_after;
+  let custom_plan =
+    flag_value args "--passes" <> None || start_from <> None || stop_after <> None
+  in
   let rng = Numerics.Rng.create 1L in
   let input = Compiler.Pipeline.program_to_cnot_input b.program in
   let base = Compiler.Metrics.report Compiler.Metrics.Cnot_isa input in
   Printf.printf "%s (%s), %d qubits\n" b.name b.category input.Circuit.n;
   Printf.printf "input (CNOT ISA):   %s\n"
     (Format.asprintf "%a" Compiler.Metrics.pp_report base);
-  let out =
-    match Compiler.Pipeline.compile_r ~mode rng b.program with
-    | Ok out -> out
+  let out, stats =
+    match
+      Compiler.Passes.compile_plan ?start_from ?stop_after ~plan rng b.program
+    with
+    | Ok (out, stats) -> (out, stats)
     | Error e -> solver_error e
   in
   let isa = Compiler.Metrics.Su4_isa (Microarch.Coupling.xy ~g:1.0) in
   let r = Compiler.Metrics.report isa out.Compiler.Pipeline.circuit in
-  Printf.printf "%s:  %s  (mirrored %d)\n"
-    (Compiler.Pipeline.mode_to_string mode)
+  let label =
+    if custom_plan then Printf.sprintf "plan %s" (Reqisc.Plan.name plan)
+    else Compiler.Pipeline.mode_to_string mode
+  in
+  Printf.printf "%s:  %s  (mirrored %d)\n" label
     (Format.asprintf "%a" Compiler.Metrics.pp_report r)
     out.Compiler.Pipeline.mirrored;
+  if custom_plan then begin
+    Printf.printf "per-pass:\n";
+    List.iter
+      (fun (s : Compiler.Passes.pass_stat) ->
+        if s.ran then
+          Printf.printf "  %-16s -> %-8s #2Q=%-4d depth=%-4d %.2f ms\n" s.pass
+            s.form s.count_2q s.depth_2q (s.wall_s *. 1e3)
+        else Printf.printf "  %-16s (skipped: not applicable to %s IR)\n" s.pass s.form)
+      stats
+  end;
   (match flag_value args "--route" with
   | Some kind ->
     let n = out.Compiler.Pipeline.circuit.Circuit.n in
@@ -550,6 +607,7 @@ let rec dispatch = function
   | "list" :: _ -> cmd_list ()
   | "compile" :: name :: rest -> cmd_compile name rest
   | [ "compile" ] -> usage_error "compile needs a benchmark name"
+  | "passes" :: _ -> cmd_passes ()
   | "pulse" :: name :: rest -> cmd_pulse name rest
   | [ "pulse" ] -> usage_error "pulse needs a gate name"
   | "qasm" :: path :: rest -> cmd_qasm path rest

@@ -24,9 +24,14 @@ let () =
   Printf.printf "CNOT ISA:  %s\n" (Format.asprintf "%a" Compiler.Metrics.pp_report base);
 
   (* ReQISC compilation to the {Can, U3} ISA — the facade is
-     result-first, so failures arrive as typed errors *)
+     result-first, so failures arrive as typed errors. The pipeline is a
+     plan of named passes; [Plan.default Eff] is what [~mode:Eff] runs,
+     and custom plans come from [Reqisc.Plan.of_names]. *)
+  let plan = Reqisc.Plan.default Reqisc.Eff in
+  Printf.printf "plan %s: %s\n\n" (Reqisc.Plan.name plan)
+    (String.concat " -> " (Reqisc.Plan.pass_names plan));
   let out =
-    match Reqisc.compile ~mode:Reqisc.Eff rng circuit with
+    match Reqisc.compile ~plan rng circuit with
     | Ok out -> out
     | Error e ->
       Printf.eprintf "compilation failed: %s\n" (Robust.Err.to_string e);

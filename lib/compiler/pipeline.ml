@@ -1,70 +1,30 @@
-type program = Gates of Circuit.t | Pauli of Phoenix.program
-type mode = Eff | Full | Nc
+(* Thin compatibility wrapper over the nanopass plan runner: the
+   historical Eff/Full/Nc modes are the three named plans of {!Passes},
+   and compile/compile_r keep their exact rung-0 behaviour (same RNG
+   stream, same output, same error taxonomy). *)
 
-type output = {
+type program = Pass.program = Gates of Circuit.t | Pauli of Phoenix.program
+type mode = Passes.mode = Eff | Full | Nc
+
+type output = Passes.output = {
   circuit : Circuit.t;
   final_mapping : int array;
   mirrored : int;
   template_classes : int;
 }
 
-let mode_to_string = function Eff -> "ReQISC-Eff" | Full -> "ReQISC-Full" | Nc -> "ReQISC-NC"
+let mode_to_string = Passes.mode_to_string
 let program_width = function Gates c -> c.Circuit.n | Pauli p -> p.Phoenix.n
 
 let program_to_cnot_input = function
   | Gates c -> Decomp.lower_to_cx c
   | Pauli p -> Phoenix.to_cx_circuit p
 
-let stage = "compiler.pipeline"
+let compile ?(mode = Eff) ?mirror_threshold rng p =
+  fst
+    (Passes.compile_plan_exn ?mirror_threshold ~plan:(Passes.plan_of_mode mode)
+       rng p)
 
-let compile ?(mode = Eff) ?(mirror_threshold = Mirroring.default_threshold) rng p =
-  Obs.Span.with_ ~stage:"compiler" ~name:"compile" @@ fun () ->
-  let lib = Template.create_library (Numerics.Rng.split rng) in
-  let su4_stage =
-    Obs.Span.with_ ~stage:"compiler" ~name:"template" @@ fun () ->
-    match p with
-    | Gates c ->
-      (* program-aware, template-based synthesis over the CCX-based IR *)
-      Template.run lib (Decomp.lower_3q c)
-    | Pauli prog ->
-      (* ISA-independent high-level pass, then fuse *)
-      Phoenix.to_su4_circuit prog
-  in
-  let optimized =
-    match mode with
-    | Eff -> su4_stage
-    | Full | Nc -> (
-      let compacting = mode = Full in
-      (* hierarchical synthesis is an optimization, never a requirement:
-         if it breaks down numerically, compile with the exact SU(4)
-         stage instead of aborting *)
-      match
-        Obs.Span.with_ ~stage:"compiler" ~name:"hierarchical" (fun () ->
-            Hierarchical.run ~compacting rng su4_stage)
-      with
-      | c -> c
-      | exception _ ->
-        Robust.Counters.incr ~stage "hier_fallback";
-        su4_stage)
-  in
-  let m =
-    Obs.Span.with_ ~stage:"compiler" ~name:"mirroring" (fun () ->
-        Mirroring.run ~r:mirror_threshold optimized)
-  in
-  Robust.Counters.incr ~stage "ok";
-  {
-    circuit = m.Mirroring.circuit;
-    final_mapping = m.Mirroring.final_mapping;
-    mirrored = m.Mirroring.mirrored;
-    template_classes = Template.library_size lib;
-  }
-
-let compile_r ?mode ?mirror_threshold rng p =
-  match compile ?mode ?mirror_threshold rng p with
-  | out -> Ok out
-  | exception Failure msg ->
-    Robust.Counters.incr ~stage "failed";
-    Error (Robust.Err.Ill_conditioned { stage; detail = msg })
-  | exception Invalid_argument msg ->
-    Robust.Counters.incr ~stage "failed";
-    Error (Robust.Err.Ill_conditioned { stage; detail = msg })
+let compile_r ?(mode = Eff) ?mirror_threshold rng p =
+  Result.map fst
+    (Passes.compile_plan ?mirror_threshold ~plan:(Passes.plan_of_mode mode) rng p)

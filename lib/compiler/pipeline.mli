@@ -1,17 +1,23 @@
 (** End-to-end ReQISC compilation (Section 5.4): program-aware template
     synthesis, optional hierarchical synthesis, near-identity mirroring,
-    and (separately, see {!Routing}) mirroring-SABRE mapping. *)
+    and (separately, see {!Routing}) mirroring-SABRE mapping.
+
+    Since the nanopass re-architecture this module is a thin wrapper:
+    the pipeline itself lives in {!Pass} (the IR and pass contract) and
+    {!Passes} (the registry, named plans, and the plan runner); the
+    [Eff]/[Full]/[Nc] modes here are exactly
+    [Passes.plan_of_mode] run over the source program. *)
 
 (** Input programs: Type-I reversible networks (CCX/CX/1Q circuits) or
     Type-II Pauli-rotation programs. *)
-type program = Gates of Circuit.t | Pauli of Phoenix.program
+type program = Pass.program = Gates of Circuit.t | Pauli of Phoenix.program
 
-type mode =
+type mode = Passes.mode =
   | Eff  (** template synthesis only: minimal calibration overhead *)
   | Full  (** + hierarchical synthesis with DAG compacting *)
   | Nc  (** Full without the compacting pass (ablation) *)
 
-type output = {
+type output = Passes.output = {
   circuit : Circuit.t;  (** su4 + 1Q gates only *)
   final_mapping : int array;  (** wire permutation left by gate mirroring *)
   mirrored : int;  (** near-identity gates resolved by mirroring *)
@@ -20,15 +26,15 @@ type output = {
 
 val mode_to_string : mode -> string
 
-(** [compile rng ~mode p] runs the pipeline. [mirror_threshold] is the
-    near-identity radius (default {!Mirroring.default_threshold}). *)
+(** [compile rng ~mode p] runs the default plan of [mode]. [mirror_threshold]
+    is the near-identity radius (default {!Mirroring.default_threshold}). *)
 val compile :
   ?mode:mode -> ?mirror_threshold:float -> Numerics.Rng.t -> program -> output
 
 (** [compile_r rng ~mode p] is {!compile} with typed errors: synthesis
     breakdowns surface as [Error (Ill_conditioned _)] instead of raising.
-    Inside {!compile} itself the hierarchical stage already degrades to the
-    exact template stage on failure (counter ["compiler.pipeline"/
+    Inside the plan the hierarchical pass already degrades to the exact
+    template stage on failure (counter ["compiler.pipeline"/
     "hier_fallback"]), so [Error] here means even exact synthesis broke. *)
 val compile_r :
   ?mode:mode ->

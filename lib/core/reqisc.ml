@@ -9,14 +9,31 @@ type compiled = Compiler.Pipeline.output = {
   template_classes : int;
 }
 
-let compile ?(mode = Eff) rng c =
-  Compiler.Pipeline.compile_r ~mode rng (Compiler.Pipeline.Gates c)
+module Plan = struct
+  type t = Compiler.Passes.plan
+
+  let default mode = Compiler.Passes.plan_of_mode mode
+  let of_names ?name names = Compiler.Passes.of_names ?name names
+  let known_names = Compiler.Passes.known_names
+  let describe = Compiler.Passes.describe
+  let name (p : t) = p.Compiler.Passes.plan_name
+
+  let pass_names (p : t) =
+    List.map (fun (ps : Compiler.Pass.t) -> ps.Compiler.Pass.name) p.Compiler.Passes.passes
+end
+
+let compile_program ?(mode = Eff) ?plan rng p =
+  let plan = Option.value ~default:(Plan.default mode) plan in
+  Result.map fst (Compiler.Passes.compile_plan ~plan rng p)
+
+let compile ?mode ?plan rng c =
+  compile_program ?mode ?plan rng (Compiler.Pipeline.Gates c)
 
 let compile_exn ?(mode = Eff) rng c =
   Compiler.Pipeline.compile ~mode rng (Compiler.Pipeline.Gates c)
 
-let compile_pauli ?(mode = Eff) rng p =
-  Compiler.Pipeline.compile_r ~mode rng (Compiler.Pipeline.Pauli p)
+let compile_pauli ?mode ?plan rng p =
+  compile_program ?mode ?plan rng (Compiler.Pipeline.Pauli p)
 
 let compile_pauli_exn ?(mode = Eff) rng p =
   Compiler.Pipeline.compile ~mode rng (Compiler.Pipeline.Pauli p)
@@ -64,7 +81,7 @@ let pulse_outcomes ?budget coupling (c : Circuit.t) =
       end)
     c.Circuit.gates
 
-let pulses ?budget coupling (c : Circuit.t) =
+let pulses_compiled ?budget coupling c =
   let rec go acc = function
     | [] -> Ok (List.rev acc)
     | (o : gate_outcome) :: rest -> (
@@ -73,6 +90,22 @@ let pulses ?budget coupling (c : Circuit.t) =
       | Robust.Outcome.Failed e -> Error e)
   in
   go [] (pulse_outcomes ?budget coupling c)
+
+let pulses ?budget ?plan ?(seed = 1L) coupling (c : Circuit.t) =
+  let through_plan =
+    match plan with
+    | None -> Ok c
+    | Some plan ->
+      (* run the circuit through the plan first: pulses for what would
+         actually execute, not for the raw input *)
+      Result.map
+        (fun ((o : compiled), _) -> o.circuit)
+        (Compiler.Passes.compile_plan ~plan (Rng.create seed)
+           (Compiler.Pipeline.Gates c))
+  in
+  match through_plan with
+  | Error e -> Error e
+  | Ok c -> pulses_compiled ?budget coupling c
 
 let pulses_exn ?budget coupling c =
   match pulses ?budget coupling c with

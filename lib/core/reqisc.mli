@@ -25,17 +25,47 @@ type compiled = Compiler.Pipeline.output = {
   template_classes : int;
 }
 
+(** Named compilation plans over the nanopass registry
+    ({!Compiler.Passes}). A plan is an ordered list of passes; the
+    historical [Eff]/[Full]/[Nc] modes are the three defaults, and
+    custom plans are built from pass names. *)
+module Plan : sig
+  type t = Compiler.Passes.plan
+
+  (** [default mode] — the plan {!compile} runs when no [?plan] is given. *)
+  val default : mode -> t
+
+  (** [of_names names] builds a custom plan; an unknown name is a typed
+      error naming every known pass. *)
+  val of_names : ?name:string -> string list -> (t, Robust.Err.t) result
+
+  (** Every registered pass name, in canonical pipeline order. *)
+  val known_names : string list
+
+  (** [(name, doc)] for every registered pass. *)
+  val describe : unit -> (string * string) list
+
+  val name : t -> string
+  val pass_names : t -> string list
+end
+
 (** [compile rng ~mode circuit] compiles a Type-I (CCX/CX/1Q) circuit to the
     SU(4) ISA. Numerical breakdown inside the pipeline surfaces as a typed
-    [Error], never an exception. *)
-val compile : ?mode:mode -> Rng.t -> Circuit.t -> (compiled, Robust.Err.t) result
+    [Error], never an exception. [?plan] overrides the default plan of
+    [mode] (when given, [mode] is ignored). *)
+val compile :
+  ?mode:mode -> ?plan:Plan.t -> Rng.t -> Circuit.t -> (compiled, Robust.Err.t) result
 
 (** [compile_exn] is {!compile} that raises on pipeline failure. *)
 val compile_exn : ?mode:mode -> Rng.t -> Circuit.t -> compiled
 
 (** [compile_pauli rng ~mode p] compiles a Pauli-rotation program. *)
 val compile_pauli :
-  ?mode:mode -> Rng.t -> Compiler.Phoenix.program -> (compiled, Robust.Err.t) result
+  ?mode:mode ->
+  ?plan:Plan.t ->
+  Rng.t ->
+  Compiler.Phoenix.program ->
+  (compiled, Robust.Err.t) result
 
 val compile_pauli_exn : ?mode:mode -> Rng.t -> Compiler.Phoenix.program -> compiled
 
@@ -80,9 +110,13 @@ val pulse_outcomes :
 (** [pulses coupling c] is the all-or-nothing view of {!pulse_outcomes}:
     the executable pulse program if every 2Q gate solved (degraded
     solutions are kept — they carry their residual in the per-gate view),
-    or the first gate's typed error. *)
+    or the first gate's typed error. With [?plan], [c] is first compiled
+    through the plan (as a Type-I source, deterministic under [seed],
+    default [1L]) and the pulses are for the plan's output circuit. *)
 val pulses :
   ?budget:Robust.Budget.t ->
+  ?plan:Plan.t ->
+  ?seed:int64 ->
   Microarch.Coupling.t ->
   Circuit.t ->
   (pulse_instruction list, Robust.Err.t) result

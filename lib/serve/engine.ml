@@ -83,7 +83,65 @@ let pulse_json ?residual ?retries ?note ~verdict (p : Microarch.Genashn.pulse) =
   in
   Json.Obj (base @ extra)
 
-let exec_pulses ~budget ~target ~coupling =
+(* the request's custom plan; parse-time validation makes this
+   infallible, but keep the typed error path anyway *)
+let plan_of_passes names = Compiler.Passes.of_names ~name:"request" names
+
+(* pulses for a gate target compiled through a custom plan: run the
+   one-gate circuit through the plan, then Algorithm 1 per remaining 2Q
+   gate (the plan may split, relabel, or mirror the gate) *)
+let exec_pulses_plan t ~budget ~coupling ~name ~mat names =
+  match plan_of_passes names with
+  | Error e -> Protocol.err_item e
+  | Ok plan -> (
+    let rng = Numerics.Rng.create t.seed in
+    let circuit = Circuit.create 2 [ Gate.su4 0 1 mat ] in
+    match Compiler.Passes.compile_plan ~plan rng (Compiler.Pass.Gates circuit) with
+    | Error e -> Protocol.err_item e
+    | Ok (out, _) -> (
+      let gates =
+        List.filter Gate.is_2q out.Compiler.Passes.circuit.Circuit.gates
+      in
+      let rec solve acc = function
+        | [] -> Ok (List.rev acc)
+        | (g : Gate.t) :: rest -> (
+          match Microarch.Genashn.solve_r ?budget coupling g.mat with
+          | Robust.Outcome.Failed e -> Error e
+          | Robust.Outcome.Solved r ->
+            solve
+              (Json.Obj
+                 [
+                   ("class", Json.Str (Weyl.Coords.to_string r.Microarch.Genashn.coords));
+                   ("pulse", pulse_json ~verdict:"ok" r.Microarch.Genashn.pulse);
+                 ]
+              :: acc)
+              rest
+          | Robust.Outcome.Degraded (r, i) ->
+            solve
+              (Json.Obj
+                 [
+                   ("class", Json.Str (Weyl.Coords.to_string r.Microarch.Genashn.coords));
+                   ( "pulse",
+                     pulse_json ~verdict:"degraded" ~residual:i.Robust.Outcome.residual
+                       ~retries:i.Robust.Outcome.retries ~note:i.Robust.Outcome.note
+                       r.Microarch.Genashn.pulse );
+                 ]
+              :: acc)
+              rest)
+      in
+      match solve [] gates with
+      | Error e -> Protocol.err_item e
+      | Ok pulses ->
+        Protocol.ok_item ~op:"pulses"
+          (Json.Obj
+             [
+               ("gate", Json.Str name);
+               ("passes", Json.Arr (List.map (fun n -> Json.Str n) names));
+               ("gates", Json.Num (float_of_int (List.length gates)));
+               ("pulses", Json.Arr pulses);
+             ])))
+
+let exec_pulses t ~budget ~target ~coupling ~passes =
   let coupling =
     match coupling with "xx" -> Microarch.Coupling.xx ~g:1.0 | _ -> xy
   in
@@ -93,6 +151,8 @@ let exec_pulses ~budget ~target ~coupling =
     | None ->
       Protocol.error_item ~kind:"bad_request" ~stage:"serve.pulses"
         (Printf.sprintf "unknown gate %S (expected cnot|cz|iswap|sqisw|b|swap)" name)
+    | Some mat when passes <> None ->
+      exec_pulses_plan t ~budget ~coupling ~name ~mat (Option.get passes)
     | Some mat -> (
       match Microarch.Genashn.solve_r ?budget coupling mat with
       | Robust.Outcome.Failed e -> Protocol.err_item e
@@ -152,7 +212,18 @@ let report_json (r : Compiler.Metrics.report) =
       ("distinct_2q", Json.Num (float_of_int r.distinct_2q));
     ]
 
-let exec_compile t ~budget ~bench ~mode ~pulses =
+let pass_stat_json (s : Compiler.Passes.pass_stat) =
+  Json.Obj
+    [
+      ("pass", Json.Str s.pass);
+      ("ran", Json.Bool s.ran);
+      ("form", Json.Str s.form);
+      ("count_2q", Json.Num (float_of_int s.count_2q));
+      ("depth_2q", Json.Num (float_of_int s.depth_2q));
+      ("wall_ms", Json.Num (s.wall_s *. 1e3));
+    ]
+
+let exec_compile t ~budget ~bench ~mode ~pulses ~passes =
   match
     List.find_opt (fun (b : Benchmarks.Suite.bench) -> b.name = bench) t.suite
   with
@@ -166,10 +237,18 @@ let exec_compile t ~budget ~bench ~mode ~pulses =
       | "nc" -> Compiler.Pipeline.Nc
       | _ -> Compiler.Pipeline.Eff
     in
-    let rng = Numerics.Rng.create t.seed in
-    match Compiler.Pipeline.compile_r ~mode:mode_v rng b.program with
+    let plan =
+      match passes with
+      | None -> Ok (Compiler.Passes.plan_of_mode mode_v)
+      | Some names -> plan_of_passes names
+    in
+    match plan with
     | Error e -> Protocol.err_item e
-    | Ok out ->
+    | Ok plan ->
+    let rng = Numerics.Rng.create t.seed in
+    match Compiler.Passes.compile_plan ~plan rng b.program with
+    | Error e -> Protocol.err_item e
+    | Ok (out, stats) ->
       let input = Compiler.Pipeline.program_to_cnot_input b.program in
       let base = Compiler.Metrics.report Compiler.Metrics.Cnot_isa input in
       let opt =
@@ -188,6 +267,13 @@ let exec_compile t ~budget ~bench ~mode ~pulses =
           ( "template_classes",
             Json.Num (float_of_int out.Compiler.Pipeline.template_classes) );
         ]
+      in
+      (* per-pass metrics ride along only when a custom plan was asked
+         for, so default responses are byte-identical to before *)
+      let fields =
+        match passes with
+        | None -> fields
+        | Some _ -> fields @ [ ("passes", Json.Arr (List.map pass_stat_json stats)) ]
       in
       let fields =
         if not pulses then fields
@@ -248,9 +334,10 @@ let rec exec_body ?remaining_s t (b : Protocol.body) =
   | Protocol.Stats -> exec_stats t
   | Protocol.Shutdown ->
     Protocol.ok_item ~op:"shutdown" (Json.Obj [ ("draining", Json.Bool true) ])
-  | Protocol.Pulses { target; coupling } -> exec_pulses ~budget ~target ~coupling
-  | Protocol.Compile { bench; mode; pulses } ->
-    exec_compile t ~budget ~bench ~mode ~pulses
+  | Protocol.Pulses { target; coupling; passes } ->
+    exec_pulses t ~budget ~target ~coupling ~passes
+  | Protocol.Compile { bench; mode; pulses; passes } ->
+    exec_compile t ~budget ~bench ~mode ~pulses ~passes
   | Protocol.Batch bodies ->
     (* inner items inherit the envelope's remaining-deadline clamp (the
        deadline covers the batch as a whole) on top of their own specs *)

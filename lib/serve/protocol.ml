@@ -2,8 +2,13 @@ type budget_spec = { max_iterations : int option; max_seconds : float option }
 type target = Gate of string | Coords of float * float * float
 
 type op =
-  | Compile of { bench : string; mode : string; pulses : bool }
-  | Pulses of { target : target; coupling : string }
+  | Compile of {
+      bench : string;
+      mode : string;
+      pulses : bool;
+      passes : string list option;
+    }
+  | Pulses of { target : target; coupling : string; passes : string list option }
   | Batch of body list
   | Stats
   | Shutdown
@@ -61,6 +66,39 @@ let parse_deadline json =
     | Some _ -> Error "deadline_ms must be a finite number >= 0"
     | None -> Error "deadline_ms must be a number")
 
+(* optional custom pass plan: validated against the registry here, so an
+   unknown pass is a typed bad_request before any work is queued (and the
+   engine can build the plan infallibly) *)
+let parse_passes json =
+  match Json.member "passes" json with
+  | None | Some Json.Null -> Ok None
+  | Some (Json.Arr items) ->
+    if items = [] then Error "passes must be a non-empty array of pass names"
+    else begin
+      let rec go acc = function
+        | [] -> Ok (Some (List.rev acc))
+        | item :: rest -> (
+          match Json.str item with
+          | Some name -> go (name :: acc) rest
+          | None -> Error "passes must be an array of pass-name strings")
+      in
+      match go [] items with
+      | Error _ as e -> e
+      | Ok (Some names) as ok -> (
+        match
+          List.filter (fun n -> Compiler.Passes.find n = None) names
+        with
+        | [] -> ok
+        | unknown ->
+          Error
+            (Printf.sprintf "unknown pass%s %s (known passes: %s)"
+               (if List.length unknown > 1 then "es" else "")
+               (String.concat ", " unknown)
+               (String.concat ", " Compiler.Passes.known_names)))
+      | Ok None -> Ok None
+    end
+  | Some _ -> Error "passes must be an array of pass names"
+
 let parse_target json =
   match (Json.member "gate" json, Json.member "coords" json) with
   | Some _, Some _ -> Error "give either gate or coords, not both"
@@ -90,14 +128,22 @@ let rec parse_body ?(depth = 0) json =
       | Some bench -> (
         let mode = Option.value ~default:"eff" (Json.mem_str "mode" json) in
         let pulses = Option.value ~default:false (Json.mem_bool "pulses" json) in
+        let* passes = parse_passes json in
         match mode with
-        | "eff" | "full" | "nc" -> Ok (Compile { bench; mode; pulses })
+        | "eff" | "full" | "nc" -> Ok (Compile { bench; mode; pulses; passes })
         | m -> Error (Printf.sprintf "unknown mode %S (expected eff|full|nc)" m)))
     | Some "pulses" -> (
       let* target = parse_target json in
+      let* passes = parse_passes json in
+      let* () =
+        match (target, passes) with
+        | Coords _, Some _ ->
+          Error "passes applies only to gate targets (coords have no circuit)"
+        | _ -> Ok ()
+      in
       let coupling = Option.value ~default:"xy" (Json.mem_str "coupling" json) in
       match coupling with
-      | "xy" | "xx" -> Ok (Pulses { target; coupling })
+      | "xy" | "xx" -> Ok (Pulses { target; coupling; passes })
       | c -> Error (Printf.sprintf "unknown coupling %S (expected xy|xx)" c))
     | Some "batch" -> (
       if depth > 0 then Error "nested batch requests are not allowed"
@@ -143,20 +189,31 @@ let body_key (b : body) =
        requests with different deadlines are not interchangeable *)
     F.opt F.float fp b.deadline_ms
   in
+  (* custom pass plans fold into the key only when present, so every
+     pre-existing request produces exactly the key it always did (cache
+     fingerprints and cross-version coalescing are unchanged) — while two
+     requests with different plans can never coalesce or share a cache
+     entry *)
+  let with_passes fp = function
+    | None -> fp
+    | Some ps -> List.fold_left F.str (F.str fp "passes") ps
+  in
   match b.op with
   | Shutdown | Batch _ -> None
   | Stats -> Some (F.key (budget (F.create "serve.stats.v1")))
-  | Pulses { target; coupling } ->
+  | Pulses { target; coupling; passes } ->
     let fp = F.create "serve.pulses.v1" in
     let fp =
       match target with
       | Gate name -> F.str (F.str fp "gate") name
       | Coords (x, y, z) -> F.floats (F.str fp "coords") [| x; y; z |]
     in
-    Some (F.key (budget (F.str fp coupling)))
-  | Compile { bench; mode; pulses } ->
+    Some (F.key (budget (with_passes (F.str fp coupling) passes)))
+  | Compile { bench; mode; pulses; passes } ->
     let fp = F.create "serve.compile.v1" in
-    Some (F.key (budget (F.bool (F.str (F.str fp bench) mode) pulses)))
+    Some
+      (F.key
+         (budget (with_passes (F.bool (F.str (F.str fp bench) mode) pulses) passes)))
 
 let max_line_bytes = 1 lsl 20
 

@@ -20,9 +20,13 @@ val version : int
 (**
 
     - [compile]: ["bench"] (suite name), ["mode"] ("eff"|"full"|"nc",
-      default "eff"), ["pulses"] (bool, default false).
+      default "eff"), ["pulses"] (bool, default false), ["passes"] (an
+      optional non-empty array of registered pass names — a custom
+      compilation plan; an unknown name is a [bad_request] naming every
+      known pass).
     - [pulses]: ["gate"] (named 2Q gate) or ["coords"] ([[x, y, z]] Weyl
-      target), ["coupling"] ("xy"|"xx", default "xy").
+      target), ["coupling"] ("xy"|"xx", default "xy"), ["passes"] (gate
+      targets only: compile the gate through the plan first).
     - [batch]: ["requests"] — an array of op objects (no ids, no nested
       batches); executed in order inside one job.
     - [stats], [shutdown]: no extra fields.
@@ -36,8 +40,13 @@ type budget_spec = { max_iterations : int option; max_seconds : float option }
 type target = Gate of string | Coords of float * float * float
 
 type op =
-  | Compile of { bench : string; mode : string; pulses : bool }
-  | Pulses of { target : target; coupling : string }
+  | Compile of {
+      bench : string;
+      mode : string;
+      pulses : bool;
+      passes : string list option;
+    }
+  | Pulses of { target : target; coupling : string; passes : string list option }
   | Batch of body list
   | Stats
   | Shutdown
@@ -75,7 +84,9 @@ val op_name : op -> string
     the same key are interchangeable computations whose results (and
     typed errors) can be fanned out to every concurrent requester. Built
     on {!Cache.Fingerprint}, floats quantized at the pulse cache's
-    quantum. [stats]/[shutdown]/[batch] return [None]. *)
+    quantum. A custom ["passes"] plan folds into the key only when
+    present (legacy keys are unchanged; distinct plans never mix).
+    [stats]/[shutdown]/[batch] return [None]. *)
 val body_key : body -> string option
 
 (** {1 Response builders} *)

@@ -288,7 +288,7 @@ let coords_owned_by ~addrs pred =
         {
           Serve.Protocol.op =
             Serve.Protocol.Pulses
-              { target = Serve.Protocol.Coords (0.45, 0.3, z); coupling = "xy" };
+              { target = Serve.Protocol.Coords (0.45, 0.3, z); coupling = "xy"; passes = None };
           budget = None;
           deadline_ms = None;
         }

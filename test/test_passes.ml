@@ -1,0 +1,281 @@
+(* Differential oracle suite for the nanopass pipeline: every prefix of
+   every default plan must stay statevector-equivalent to the source
+   program on a small corpus (CCX network, QFT-4, random 2Q/3Q qcheck
+   circuits, a Pauli program); plus pass reordering (peephole on either
+   side of compact) and a deliberately-broken pass the oracle must
+   catch. *)
+
+open Numerics
+open Compiler
+
+let seed = 20260809L
+
+(* corpus: small structured circuits (shapes shared with test_compiler) *)
+let toffoli_chain =
+  Circuit.create 4
+    [
+      Gate.h 0;
+      Gate.ccx 0 1 2;
+      Gate.cx 2 3;
+      Gate.ccx 1 2 3;
+      Gate.x 1;
+      Gate.ccx 0 1 2;
+    ]
+
+let qft4 =
+  let gates = ref [] in
+  let n = 4 in
+  for i = 0 to n - 1 do
+    gates := Gate.h i :: !gates;
+    for j = i + 1 to n - 1 do
+      gates := Gate.cphase j i (Float.pi /. (2.0 ** float_of_int (j - i))) :: !gates
+    done
+  done;
+  Circuit.create n (List.rev !gates)
+
+let pauli_prog =
+  {
+    Phoenix.n = 3;
+    terms =
+      [
+        { Phoenix.pauli = Quantum.Pauli.of_string "ZZI"; angle = 0.7 };
+        { Phoenix.pauli = Quantum.Pauli.of_string "IZZ"; angle = 0.4 };
+        { Phoenix.pauli = Quantum.Pauli.of_string "ZZI"; angle = -0.2 };
+        { Phoenix.pauli = Quantum.Pauli.of_string "XIX"; angle = 0.9 };
+      ];
+  }
+
+let random_circuit seed =
+  let rng = Rng.create seed in
+  let n = 3 + (Int64.to_int seed mod 2) in
+  let gates =
+    List.init 8 (fun _ ->
+        let a = Rng.int rng n in
+        let b = (a + 1 + Rng.int rng (n - 1)) mod n in
+        match Rng.int rng 5 with
+        | 0 -> Gate.h a
+        | 1 -> Gate.t a
+        | 2 -> Gate.cx a b
+        | 3 -> Gate.rz a 0.37
+        | _ ->
+          let c = (b + 1 + Rng.int rng (n - 2)) mod n in
+          let c = if c = a || c = b then (max a (max b c) + 1) mod n else c in
+          if c = a || c = b then Gate.cx a b else Gate.ccx a b c)
+  in
+  Circuit.create n gates
+
+let corpus =
+  [
+    ("toffoli_chain", Pass.Gates toffoli_chain);
+    ("qft4", Pass.Gates qft4);
+    ("pauli", Pass.Pauli pauli_prog);
+  ]
+
+let check_ok what = function
+  | Ok (Pass.Checked | Pass.Skipped _) -> ()
+  | Error msg -> Alcotest.failf "%s: oracle rejected: %s" what msg
+
+(* run a plan pass by pass, checking the per-pass oracle against the
+   source after every prefix — the differential harness of the issue *)
+let run_prefix_oracle ~plan_name plan source =
+  let ctx = Pass.make_ctx (Rng.create seed) in
+  let reference = Pass.Source source in
+  let final =
+    List.fold_left
+      (fun ir (p : Pass.t) ->
+        let ir', (stat : Passes.pass_stat) = Passes.run_pass ctx ir p in
+        if stat.Passes.ran then
+          check_ok
+            (Printf.sprintf "%s prefix ..%s" plan_name p.Pass.name)
+            (Pass.check_equiv p.Pass.oracle ~reference ~candidate:ir');
+        ir')
+      reference plan.Passes.passes
+  in
+  match Passes.output_of_ir ctx final with
+  | Ok _ -> ()
+  | Error e -> Alcotest.failf "%s: no output: %s" plan_name (Robust.Err.to_string e)
+
+let test_prefix_oracle () =
+  List.iter
+    (fun mode ->
+      let plan = Passes.plan_of_mode mode in
+      List.iter
+        (fun (name, source) ->
+          run_prefix_oracle
+            ~plan_name:(Printf.sprintf "%s/%s" plan.Passes.plan_name name)
+            plan source)
+        corpus)
+    [ Passes.Eff; Passes.Full; Passes.Nc ]
+
+(* the new peephole pass must fuse the commuting ZZ sandwich that
+   fuse_2q alone cannot (an interposed gate on a shared wire) *)
+let test_peephole_fuses_commuting () =
+  let c =
+    Circuit.create 3 [ Gate.rzz 0 1 0.3; Gate.rzz 1 2 0.5; Gate.rzz 0 1 0.4 ]
+  in
+  let out = Peephole.run c in
+  Alcotest.(check bool)
+    "peephole reduced the sandwich" true
+    (Circuit.count_2q out < Circuit.count_2q c);
+  check_ok "peephole semantics"
+    (Pass.check_equiv Pass.default_oracle ~reference:(Pass.Su4 c)
+       ~candidate:(Pass.Su4 out))
+
+(* peephole must leave non-commuting interposers alone *)
+let test_peephole_respects_noncommuting () =
+  let c =
+    Circuit.create 3 [ Gate.rzz 0 1 0.3; Gate.cx 1 2; Gate.h 1; Gate.rzz 0 1 0.4 ]
+  in
+  let out = Peephole.run c in
+  check_ok "peephole non-commuting semantics"
+    (Pass.check_equiv Pass.default_oracle ~reference:(Pass.Su4 c)
+       ~candidate:(Pass.Su4 out))
+
+(* reordering: peephole before or after compact — both legal plans, both
+   oracle-clean (the point of passes being first-class values) *)
+let test_reordering () =
+  List.iter
+    (fun names ->
+      match Passes.of_names ~name:"reorder" names with
+      | Error e -> Alcotest.failf "of_names: %s" (Robust.Err.to_string e)
+      | Ok plan ->
+        run_prefix_oracle
+          ~plan_name:(String.concat "," names)
+          plan (Pass.Gates toffoli_chain))
+    [
+      [ "lower_3q"; "template"; "peephole"; "compact"; "mirroring" ];
+      [ "lower_3q"; "template"; "compact"; "peephole"; "mirroring" ];
+    ]
+
+(* a deliberately broken pass (drops the last 2Q gate): the oracle must
+   catch it — this is the negative control for the whole harness *)
+let broken_pass =
+  {
+    Pass.name = "broken_drop";
+    doc = "negative control: silently drops the last 2Q gate";
+    applies = (function Pass.Su4 _ -> true | _ -> false);
+    oracle = Pass.default_oracle;
+    run =
+      (fun _ctx -> function
+        | Pass.Su4 c ->
+          let rec drop_last = function
+            | [] -> []
+            | [ (g : Gate.t) ] -> if Gate.is_2q g then [] else [ g ]
+            | g :: rest -> g :: drop_last rest
+          in
+          Pass.Su4 (Circuit.create c.Circuit.n (drop_last c.Circuit.gates))
+        | ir -> ir);
+  }
+
+let test_broken_pass_caught () =
+  let plan =
+    { Passes.plan_name = "broken"; passes = [ Passes.lower_3q; Passes.template; broken_pass ] }
+  in
+  let ctx = Pass.make_ctx (Rng.create seed) in
+  match Passes.run_plan ctx plan (Pass.Source (Pass.Gates qft4)) with
+  | Error e -> Alcotest.failf "run_plan: %s" (Robust.Err.to_string e)
+  | Ok (ir, _) -> (
+    match
+      Pass.check_equiv broken_pass.Pass.oracle
+        ~reference:(Pass.Source (Pass.Gates qft4)) ~candidate:ir
+    with
+    | Error _ -> ()
+    | Ok _ -> Alcotest.fail "oracle accepted a gate-dropping pass")
+
+(* slicing: stop_after leaves the named pass's IR form; unknown names in
+   any position are typed errors naming the registry *)
+let test_slicing () =
+  let ctx = Pass.make_ctx (Rng.create seed) in
+  let plan = Passes.plan_of_mode Passes.Eff in
+  (match
+     Passes.run_plan ~stop_after:"template" ctx plan
+       (Pass.Source (Pass.Gates toffoli_chain))
+   with
+  | Ok (Pass.Su4 c, stats) ->
+    Alcotest.(check bool)
+      "su4+1q only" true
+      (List.for_all (fun (g : Gate.t) -> Gate.arity g <= 2) c.Circuit.gates);
+    Alcotest.(check int) "two executed stats" 2
+      (List.length (List.filter (fun (s : Passes.pass_stat) -> s.Passes.ran) stats))
+  | Ok (ir, _) -> Alcotest.failf "expected su4 IR, got %s" (Pass.ir_form ir)
+  | Error e -> Alcotest.failf "run_plan: %s" (Robust.Err.to_string e));
+  (match Passes.run_plan ~start_from:"nope" ctx plan (Pass.Source (Pass.Gates qft4)) with
+  | Error e ->
+    let msg = Robust.Err.to_string e in
+    let contains sub =
+      let ls = String.length msg and lb = String.length sub in
+      let rec go i = i + lb <= ls && (String.sub msg i lb = sub || go (i + 1)) in
+      go 0
+    in
+    Alcotest.(check bool) "start_from error names the registry" true
+      (List.for_all contains Passes.known_names)
+  | Ok _ -> Alcotest.fail "start_from accepted an unknown pass");
+  match Passes.of_names [ "lower_3q"; "wat" ] with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "of_names accepted an unknown pass"
+
+(* default plans must reproduce the historical fused pipeline exactly *)
+let test_plan_matches_pipeline () =
+  List.iter
+    (fun (mode, pmode) ->
+      let out_plan =
+        fst
+          (Passes.compile_plan_exn ~plan:(Passes.plan_of_mode mode)
+             (Rng.create 7L) (Pass.Gates toffoli_chain))
+      in
+      let out_pipe = Pipeline.compile ~mode:pmode (Rng.create 7L) (Pipeline.Gates toffoli_chain) in
+      Alcotest.(check int)
+        "same 2q count"
+        (Circuit.count_2q out_pipe.Pipeline.circuit)
+        (Circuit.count_2q out_plan.Passes.circuit);
+      Alcotest.(check (array int))
+        "same mapping" out_pipe.Pipeline.final_mapping out_plan.Passes.final_mapping)
+    [ (Passes.Eff, Pipeline.Eff); (Passes.Full, Pipeline.Full) ]
+
+let props =
+  let arb_seed = QCheck.make QCheck.Gen.(map Int64.of_int (int_bound 1000000)) in
+  [
+    QCheck.Test.make ~count:8 ~name:"eff plan prefixes preserve random circuits"
+      arb_seed (fun s ->
+        run_prefix_oracle ~plan_name:"eff/random"
+          (Passes.plan_of_mode Passes.Eff)
+          (Pass.Gates (random_circuit s));
+        true);
+    QCheck.Test.make ~count:4 ~name:"peephole preserves random circuits" arb_seed
+      (fun s ->
+        let c = Blocks.fuse_2q (Decomp.lower_to_cx (random_circuit s)) in
+        let out = Peephole.run c in
+        Circuit.count_2q out <= Circuit.count_2q c
+        &&
+        match
+          Pass.check_equiv Pass.default_oracle ~reference:(Pass.Su4 c)
+            ~candidate:(Pass.Su4 out)
+        with
+        | Ok _ -> true
+        | Error _ -> false);
+  ]
+
+let () =
+  Alcotest.run "passes"
+    [
+      ( "oracle",
+        [
+          Alcotest.test_case "prefixes of all default plans" `Slow test_prefix_oracle;
+          Alcotest.test_case "broken pass is caught" `Quick test_broken_pass_caught;
+        ] );
+      ( "peephole",
+        [
+          Alcotest.test_case "fuses through commuting gates" `Quick
+            test_peephole_fuses_commuting;
+          Alcotest.test_case "respects non-commuting gates" `Quick
+            test_peephole_respects_noncommuting;
+          Alcotest.test_case "reorders with compact" `Slow test_reordering;
+        ] );
+      ( "plans",
+        [
+          Alcotest.test_case "slicing and strict names" `Quick test_slicing;
+          Alcotest.test_case "default plans match pipeline" `Slow
+            test_plan_matches_pipeline;
+        ] );
+      ("props", List.map (QCheck_alcotest.to_alcotest ~long:false) props);
+    ]

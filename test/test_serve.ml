@@ -227,7 +227,7 @@ let parse_body line =
 
 let test_protocol_parse_ok () =
   (match parse_body "{\"v\":1,\"op\":\"compile\",\"bench\":\"alu_2\",\"mode\":\"full\",\"pulses\":true}" with
-  | Ok { Serve.Protocol.op = Serve.Protocol.Compile { bench; mode; pulses }; budget; _ } ->
+  | Ok { Serve.Protocol.op = Serve.Protocol.Compile { bench; mode; pulses; _ }; budget; _ } ->
     Alcotest.(check string) "bench" "alu_2" bench;
     Alcotest.(check string) "mode" "full" mode;
     Alcotest.(check bool) "pulses" true pulses;
@@ -273,6 +273,59 @@ let test_protocol_parse_errors () =
   let p = Serve.Protocol.parse_line "{\"v\":1,\"id\":42,\"op\":\"nope\"}" in
   Alcotest.(check (option int)) "recovered id" (Some 42)
     (Serve.Json.int p.Serve.Protocol.id)
+
+let test_protocol_passes () =
+  (* a custom plan parses into the op *)
+  (match
+     parse_body
+       "{\"v\":1,\"op\":\"compile\",\"bench\":\"alu_2\",\"passes\":[\"lower_3q\",\"template\",\"mirroring\"]}"
+   with
+  | Ok { Serve.Protocol.op = Serve.Protocol.Compile { passes = Some ps; _ }; _ } ->
+    Alcotest.(check (list string)) "pass names"
+      [ "lower_3q"; "template"; "mirroring" ] ps
+  | _ -> Alcotest.fail "compile with passes");
+  (match parse_body "{\"v\":1,\"op\":\"pulses\",\"gate\":\"cz\",\"passes\":[\"lower_3q\",\"template\"]}" with
+  | Ok { Serve.Protocol.op = Serve.Protocol.Pulses { passes = Some _; _ }; _ } -> ()
+  | _ -> Alcotest.fail "pulses gate with passes");
+  (* unknown names are typed bad requests naming the registry *)
+  (match parse_body "{\"v\":1,\"op\":\"compile\",\"bench\":\"alu_2\",\"passes\":[\"nope\"]}" with
+  | Error msg ->
+    Alcotest.(check bool) "names the unknown pass" true (contains msg "nope");
+    Alcotest.(check bool) "names the registry" true (contains msg "known passes");
+    Alcotest.(check bool) "mentions peephole" true (contains msg "peephole")
+  | Ok _ -> Alcotest.fail "unknown pass accepted");
+  (* an empty array is an error, not an empty plan *)
+  (match parse_body "{\"v\":1,\"op\":\"compile\",\"bench\":\"alu_2\",\"passes\":[]}" with
+  | Error msg -> Alcotest.(check bool) "empty plan rejected" true (contains msg "non-empty")
+  | Ok _ -> Alcotest.fail "empty passes accepted");
+  (match parse_body "{\"v\":1,\"op\":\"compile\",\"bench\":\"alu_2\",\"passes\":[1]}" with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "non-string pass accepted");
+  (* coords have no circuit to compile, so passes cannot apply *)
+  (match
+     parse_body "{\"v\":1,\"op\":\"pulses\",\"coords\":[0.5,0.0,0.0],\"passes\":[\"lower_3q\"]}"
+   with
+  | Error msg -> Alcotest.(check bool) "coords+passes rejected" true (contains msg "gate")
+  | Ok _ -> Alcotest.fail "coords with passes accepted");
+  (* the plan folds into the coalescing key only when present: legacy
+     keys are unchanged, and distinct plans never share a key *)
+  let key line =
+    match Serve.Protocol.parse_line line with
+    | { Serve.Protocol.body = Ok b; _ } -> Serve.Protocol.body_key b
+    | _ -> Alcotest.failf "unparseable: %s" line
+  in
+  let base = "{\"v\":1,\"op\":\"compile\",\"bench\":\"alu_2\"}" in
+  let with_null = "{\"v\":1,\"op\":\"compile\",\"bench\":\"alu_2\",\"passes\":null}" in
+  let planned =
+    "{\"v\":1,\"op\":\"compile\",\"bench\":\"alu_2\",\"passes\":[\"lower_3q\",\"template\",\"mirroring\"]}"
+  in
+  let planned2 =
+    "{\"v\":1,\"op\":\"compile\",\"bench\":\"alu_2\",\"passes\":[\"lower_3q\",\"template\",\"peephole\",\"mirroring\"]}"
+  in
+  Alcotest.(check bool) "legacy = explicit-null key" true (key base = key with_null);
+  Alcotest.(check bool) "plan changes the key" true (key base <> key planned);
+  Alcotest.(check bool) "distinct plans, distinct keys" true (key planned <> key planned2);
+  Alcotest.(check bool) "same plan, same key" true (key planned = key planned)
 
 let test_protocol_version () =
   (* no "v" at all *)
@@ -825,6 +878,7 @@ let () =
         [
           Alcotest.test_case "parse ok" `Quick test_protocol_parse_ok;
           Alcotest.test_case "parse errors" `Quick test_protocol_parse_errors;
+          Alcotest.test_case "custom pass plans" `Quick test_protocol_passes;
           Alcotest.test_case "version negotiation" `Quick test_protocol_version;
           Alcotest.test_case "frame cap" `Quick test_protocol_frame_cap;
           Alcotest.test_case "response version" `Quick test_response_carries_version;
