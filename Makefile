@@ -3,7 +3,7 @@
 
 RESULTS ?= results
 
-.PHONY: all build test check bench-smoke bench-passes bench-obs bench-net bench-cluster bench-chaos demo bench microbench tables figures csv clean
+.PHONY: all build test check bench-smoke bench-passes bench-isa bench-obs bench-net bench-cluster bench-chaos demo bench microbench tables figures csv clean
 
 all: build
 
@@ -29,6 +29,13 @@ bench-smoke: build
 # BENCH_passes.json and BENCH_passes_trace.json
 bench-passes: build
 	dune exec bench/main.exe -- compile
+
+# cross-ISA matrix bench: a suite prefix compiled to every target ISA
+# (per-target 2Q count / depth / synthesized duration / wall time),
+# gated on the reconfigurable ISA beating every fixed target on 2Q
+# count; writes BENCH_isa.json
+bench-isa: build
+	dune exec bench/main.exe -- isa
 
 # observability bench alone: tracing overhead contract + per-stage
 # latencies; writes BENCH_obs.json and BENCH_obs_trace.json

@@ -7,9 +7,12 @@
 
    Targets: table1 table2 table3 fig4 fig5 fig6 fig12 fig13 fig14 fig15
    fig16 templates variational calibration decoherence calibrate leakage
-   compile serve serve-net serve-cluster chaos obs all (default: all).
+   compile isa serve serve-net serve-cluster chaos obs all (default: all).
    compile profiles the nanopass plans per pass (--limit is its suite
-   prefix) and gates on per-pass Chrome-trace spans. For
+   prefix) and gates on per-pass Chrome-trace spans. isa compiles a
+   suite prefix to every target ISA (--limit is its suite prefix),
+   gates on the reconfigurable ISA beating every fixed target on 2Q
+   count, and writes the matrix to BENCH_isa.json. For
    serve-net, --limit is the per-client request count, --clients the
    load-generator count, --pipeline the per-client pipelining window
    (0 = the whole stream at once), and --seed pins client-side jitter
@@ -29,8 +32,8 @@
 let known_targets =
   [ "table1"; "table2"; "table3"; "fig4"; "fig5"; "fig6"; "fig12"; "fig13";
     "fig14"; "fig15"; "fig16"; "templates"; "variational"; "calibration";
-    "decoherence"; "calibrate"; "leakage"; "compile"; "serve"; "serve-net";
-    "serve-cluster"; "chaos"; "obs"; "all" ]
+    "decoherence"; "calibrate"; "leakage"; "compile"; "isa"; "serve";
+    "serve-net"; "serve-cluster"; "chaos"; "obs"; "all" ]
 
 let value_flags =
   [ "--haar-n"; "--trajectories"; "--limit"; "--clients"; "--pipeline";
@@ -133,6 +136,7 @@ let () =
   if want "calibrate" then Extras.calibrate ();
   if want "leakage" then Extras.leakage_study ();
   if want "compile" then Passes_bench.compile_bench ?limit ~big ();
+  if want "isa" then Isa_bench.isa_bench ?limit ~big ();
   if want "serve" then Serve_bench.serve ?limit ~big ();
   if want "serve-net" then
     Serve_net_bench.serve_net ~clients ~pipeline ?requests:limit ?seed ();

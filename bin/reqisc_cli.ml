@@ -2,7 +2,7 @@
 
    Usage:
      reqisc_cli list
-     reqisc_cli compile BENCH [--mode eff|full|nc] [--route chain|grid] [--pulses]
+     reqisc_cli compile BENCH [--mode eff|full|nc] [--isa NAME] [--route chain|grid] [--pulses]
      reqisc_cli pulse GATE [--coupling xy|xx] (GATE in cnot|cz|iswap|sqisw|b|swap)
      reqisc_cli qasm FILE [--pulses]
      reqisc_cli serve [--listen tcp:HOST:PORT|unix:PATH] [--cache FILE]
@@ -45,8 +45,8 @@ let subcommands =
   [
     ("list", "list", "show the benchmark suite, grouped by category");
     ( "compile",
-      "compile BENCH [--mode eff|full|nc] [--passes a,b,c] [--start-from PASS] [--stop-after PASS] [--route chain|grid] [--pulses]",
-      "compile a suite benchmark to the SU(4) ISA" );
+      "compile BENCH [--mode eff|full|nc] [--isa NAME] [--passes a,b,c] [--start-from PASS] [--stop-after PASS] [--route chain|grid] [--pulses]",
+      "compile a suite benchmark to the SU(4) ISA, or lower to a fixed target ISA" );
     ( "passes",
       "passes",
       "list the registered compiler passes and the named plans" );
@@ -245,12 +245,33 @@ let cmd_compile name args =
       | Ok plan -> plan
       | Error e -> usage_error "--passes: %s" (Robust.Err.to_string e))
   in
+  (* target-ISA lowering: --isa retargets the default plan of the mode
+     (it replaces mirroring with the [to_can; lower_isa] tail, so it is
+     exclusive with an explicit --passes plan) *)
+  let isa_target =
+    match flag_value args "--isa" with
+    | None -> None
+    | Some name ->
+      if flag_value args "--passes" <> None then
+        usage_error "give either --passes or --isa, not both";
+      (match Isa.find name with
+      | Some t -> Some t
+      | None ->
+        usage_error "unknown isa %s (known targets: %s)" name
+          (String.concat ", " Isa.known_names))
+  in
+  let plan =
+    match isa_target with
+    | None -> plan
+    | Some t -> Compiler.Passes.plan_for_isa ~mode t
+  in
   let start_from = flag_value args "--start-from" in
   let stop_after = flag_value args "--stop-after" in
   Option.iter (check_pass_name "--start-from") start_from;
   Option.iter (check_pass_name "--stop-after") stop_after;
   let custom_plan =
     flag_value args "--passes" <> None || start_from <> None || stop_after <> None
+    || isa_target <> None
   in
   let rng = Numerics.Rng.create 1L in
   let input = Compiler.Pipeline.program_to_cnot_input b.program in
@@ -265,15 +286,43 @@ let cmd_compile name args =
     | Ok (out, stats) -> (out, stats)
     | Error e -> solver_error e
   in
-  let isa = Compiler.Metrics.Su4_isa (Microarch.Coupling.xy ~g:1.0) in
-  let r = Compiler.Metrics.report isa out.Compiler.Pipeline.circuit in
+  let r =
+    match isa_target with
+    | Some t ->
+      (* metrics under the target's own cost model (fixed basis-gate tau,
+         or cycle-quantized slots for eqasm) *)
+      let c = out.Compiler.Pipeline.circuit in
+      {
+        Compiler.Metrics.count_2q = Circuit.count_2q c;
+        depth_2q = Circuit.depth_2q c;
+        duration = Isa.duration t c;
+        distinct_2q = Circuit.distinct_2q c;
+      }
+    | None ->
+      Compiler.Metrics.report
+        (Compiler.Metrics.Su4_isa (Microarch.Coupling.xy ~g:1.0))
+        out.Compiler.Pipeline.circuit
+  in
   let label =
-    if custom_plan then Printf.sprintf "plan %s" (Reqisc.Plan.name plan)
-    else Compiler.Pipeline.mode_to_string mode
+    match isa_target with
+    | Some t -> Printf.sprintf "isa %s" t.Isa.name
+    | None ->
+      if custom_plan then Printf.sprintf "plan %s" (Reqisc.Plan.name plan)
+      else Compiler.Pipeline.mode_to_string mode
   in
   Printf.printf "%s:  %s  (mirrored %d)\n" label
     (Format.asprintf "%a" Compiler.Metrics.pp_report r)
     out.Compiler.Pipeline.mirrored;
+  (* the timed executable format gets its schedule printed: explicit
+     pulse slots with start times and cycle-quantized durations *)
+  (match isa_target with
+  | Some t when t.Isa.name = "eqasm" ->
+    let lines = String.split_on_char '\n' (Isa.eqasm_text t out.Compiler.Pipeline.circuit) in
+    let limit = 14 in
+    List.iteri (fun i l -> if i < limit && l <> "" then print_endline l) lines;
+    let extra = List.length lines - limit in
+    if extra > 0 then Printf.printf "  ... (%d more slots)\n" extra
+  | _ -> ());
   if custom_plan then begin
     Printf.printf "per-pass:\n";
     List.iter

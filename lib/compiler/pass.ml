@@ -12,6 +12,7 @@ type ir =
       mirrored : int;
     }
   | Can of Circuit.t
+  | Native of { isa : string; circuit : Circuit.t }
 
 let ir_form = function
   | Source _ -> "source"
@@ -19,14 +20,17 @@ let ir_form = function
   | Su4 _ -> "su4"
   | Mirrored _ -> "mirrored"
   | Can _ -> "can"
+  | Native { isa; _ } -> "native:" ^ isa
 
 let width = function
-  | Source (Gates c) | Ccx c | Su4 c | Can c -> c.Circuit.n
+  | Source (Gates c) | Ccx c | Su4 c | Can c | Native { circuit = c; _ } ->
+    c.Circuit.n
   | Source (Pauli p) -> p.Phoenix.n
   | Mirrored m -> m.circuit.Circuit.n
 
 let circuit_of_ir = function
-  | Source (Gates c) | Ccx c | Su4 c | Can c -> Some c
+  | Source (Gates c) | Ccx c | Su4 c | Can c | Native { circuit = c; _ } ->
+    Some c
   | Mirrored m -> Some m.circuit
   | Source (Pauli _) -> None
 
@@ -61,7 +65,7 @@ type t = {
 
 let apply_ir ir st =
   match ir with
-  | Source (Gates c) | Ccx c | Su4 c | Can c ->
+  | Source (Gates c) | Ccx c | Su4 c | Can c | Native { circuit = c; _ } ->
     State.run_from ~n:c.Circuit.n c.Circuit.gates st
   | Source (Pauli p) ->
     let c = Phoenix.to_cx_circuit p in

@@ -34,9 +34,12 @@ type ir =
       mirrored : int;
     }  (** su4/su4* + 1Q, plus the mirroring permutation *)
   | Can of Circuit.t  (** final {Can, U3} ISA form *)
+  | Native of { isa : string; circuit : Circuit.t }
+      (** lowered to a named target ISA ({!Isa.target}) — native 2Q
+          gates plus exact 1Q corrections *)
 
 (** Stable lowercase tag of the IR form (["source"], ["ccx"], ["su4"],
-    ["mirrored"], ["can"]). *)
+    ["mirrored"], ["can"], ["native:<isa>"]). *)
 val ir_form : ir -> string
 
 (** [width ir] — the number of logical wires. *)

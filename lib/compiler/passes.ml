@@ -112,6 +112,22 @@ let to_can =
       | Pass.Su4 c -> Pass.Can (Decomp.to_can_isa c)
       | ir -> ir)
 
+(* One lowering pass per registered target ISA. Each consumes the {Can,
+   U3} form (so ISA plans end [...; to_can; lower_isa:<t>]) and carries
+   the synthesis oracle: the lowered circuit is differentially checked
+   against the simulator exactly like every other synthesis pass. *)
+let lower_isa (t : Isa.target) =
+  pass
+    ~name:("lower_isa:" ^ t.Isa.name)
+    ~oracle:synth_oracle
+    ~doc:(Printf.sprintf "lower the {Can, U3} form to the %s target ISA" t.Isa.name)
+    ~applies:(function Pass.Can _ -> true | _ -> false)
+    (fun _ctx -> function
+      | Pass.Can c -> Pass.Native { isa = t.Isa.name; circuit = Isa.lower t c }
+      | ir -> ir)
+
+let lower_isa_passes = List.map lower_isa Isa.targets
+
 let all =
   [
     lower_3q;
@@ -124,6 +140,7 @@ let all =
     mirroring;
     to_can;
   ]
+  @ lower_isa_passes
 
 let known_names = List.map (fun (p : Pass.t) -> p.name) all
 let find name = List.find_opt (fun (p : Pass.t) -> p.Pass.name = name) all
@@ -146,6 +163,30 @@ let plan_of_mode = function
       plan_name = "nc";
       passes = [ lower_3q; template; phoenix_to_su4; hierarchical_nc; mirroring ];
     }
+
+(* The default plan retargeted at a named ISA: mirroring is dropped (it
+   leaves a wire permutation the Can form does not carry) and the tail
+   becomes [to_can; lower_isa:<t>]. *)
+let plan_for_isa ?(mode = Eff) (t : Isa.target) =
+  let synth =
+    match mode with
+    | Eff -> [ lower_3q; template; phoenix_to_su4 ]
+    | Full -> [ lower_3q; template; phoenix_to_su4; hierarchical ]
+    | Nc -> [ lower_3q; template; phoenix_to_su4; hierarchical_nc ]
+  in
+  {
+    plan_name = (plan_of_mode mode).plan_name ^ "+isa:" ^ t.Isa.name;
+    passes = synth @ [ to_can; lower_isa t ];
+  }
+
+(* Retarget an existing plan: append the lowering tail. [lower_isa] only
+   applies to the Can form, so a plan that ends in [mirroring] records
+   the tail as skipped instead of lowering. *)
+let with_isa plan (t : Isa.target) =
+  {
+    plan_name = plan.plan_name ^ "+isa:" ^ t.Isa.name;
+    passes = plan.passes @ [ to_can; lower_isa t ];
+  }
 
 let plan_stage = "compiler.plan"
 
@@ -256,7 +297,7 @@ let output_of_ir ctx ir =
   match ir with
   | Pass.Mirrored { circuit; final_mapping; mirrored } ->
     Ok { circuit; final_mapping; mirrored; template_classes = classes () }
-  | Pass.Ccx c | Pass.Su4 c | Pass.Can c ->
+  | Pass.Ccx c | Pass.Su4 c | Pass.Can c | Pass.Native { circuit = c; _ } ->
     Ok
       {
         circuit = c;

@@ -41,7 +41,16 @@ val peephole : Pass.t
 val mirroring : Pass.t
 val to_can : Pass.t
 
-(** Every registered pass, in canonical pipeline order. *)
+(** [lower_isa t] — the lowering pass for one target ISA: consumes the
+    {Can, U3} form ([Pass.Can]) and produces [Pass.Native], with the
+    synthesis oracle attached. Registered as ["lower_isa:<name>"] for
+    every {!Isa.targets} entry ({!lower_isa_passes}). *)
+val lower_isa : Isa.target -> Pass.t
+
+val lower_isa_passes : Pass.t list
+
+(** Every registered pass, in canonical pipeline order (the per-ISA
+    lowering passes come last). *)
 val all : Pass.t list
 
 val known_names : string list
@@ -62,6 +71,17 @@ val plan_of_mode : mode -> plan
 (** [of_names names] builds a custom plan; an unknown name is a typed
     error (stage ["compiler.plan"]) naming every known pass. *)
 val of_names : ?name:string -> string list -> (plan, Robust.Err.t) result
+
+(** [plan_for_isa ?mode t] is the default plan of [mode] (default [Eff])
+    retargeted at ISA [t]: the synthesis passes, then [to_can], then
+    [lower_isa t]. Mirroring is dropped — it leaves a wire permutation
+    the Can form does not carry. *)
+val plan_for_isa : ?mode:mode -> Isa.target -> plan
+
+(** [with_isa plan t] appends the [to_can; lower_isa t] tail to a custom
+    plan. The tail applies to the [Su4]/[Can] forms only, so a plan that
+    ends in [mirroring] records it as skipped rather than lowering. *)
+val with_isa : plan -> Isa.target -> plan
 
 (** {1 Running} *)
 

@@ -22,18 +22,34 @@ module Plan = struct
     List.map (fun (ps : Compiler.Pass.t) -> ps.Compiler.Pass.name) p.Compiler.Passes.passes
 end
 
-let compile_program ?(mode = Eff) ?plan rng p =
-  let plan = Option.value ~default:(Plan.default mode) plan in
-  Result.map fst (Compiler.Passes.compile_plan ~plan rng p)
+(* Resolve the effective plan from mode / custom plan / target ISA: an
+   ISA name builds (or extends) the plan with the [to_can; lower_isa]
+   tail; an unknown name is a typed error at stage "compiler.isa". *)
+let resolve_plan ~mode ~plan ~isa =
+  match isa with
+  | None -> Ok (Option.value ~default:(Plan.default mode) plan)
+  | Some name -> (
+    match Isa.find name with
+    | None -> Error (Isa.unknown_error name)
+    | Some t ->
+      Ok
+        (match plan with
+        | None -> Compiler.Passes.plan_for_isa ~mode t
+        | Some p -> Compiler.Passes.with_isa p t))
 
-let compile ?mode ?plan rng c =
-  compile_program ?mode ?plan rng (Compiler.Pipeline.Gates c)
+let compile_program ?(mode = Eff) ?plan ?isa rng p =
+  match resolve_plan ~mode ~plan ~isa with
+  | Error e -> Error e
+  | Ok plan -> Result.map fst (Compiler.Passes.compile_plan ~plan rng p)
+
+let compile ?mode ?plan ?isa rng c =
+  compile_program ?mode ?plan ?isa rng (Compiler.Pipeline.Gates c)
 
 let compile_exn ?(mode = Eff) rng c =
   Compiler.Pipeline.compile ~mode rng (Compiler.Pipeline.Gates c)
 
-let compile_pauli ?mode ?plan rng p =
-  compile_program ?mode ?plan rng (Compiler.Pipeline.Pauli p)
+let compile_pauli ?mode ?plan ?isa rng p =
+  compile_program ?mode ?plan ?isa rng (Compiler.Pipeline.Pauli p)
 
 let compile_pauli_exn ?(mode = Eff) rng p =
   Compiler.Pipeline.compile ~mode rng (Compiler.Pipeline.Pauli p)

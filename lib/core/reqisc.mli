@@ -52,17 +52,29 @@ end
 (** [compile rng ~mode circuit] compiles a Type-I (CCX/CX/1Q) circuit to the
     SU(4) ISA. Numerical breakdown inside the pipeline surfaces as a typed
     [Error], never an exception. [?plan] overrides the default plan of
-    [mode] (when given, [mode] is ignored). *)
+    [mode] (when given, [mode] is ignored). [?isa] names a target
+    instruction set ({!Isa.known_names}): the plan gains the
+    [to_can; lower_isa:<name>] tail (replacing mirroring under the
+    default plans), so [circuit] lands in that target's native 2Q gates
+    plus exact 1Q corrections; an unknown name is a typed error at stage
+    ["compiler.isa"]. *)
 val compile :
-  ?mode:mode -> ?plan:Plan.t -> Rng.t -> Circuit.t -> (compiled, Robust.Err.t) result
+  ?mode:mode ->
+  ?plan:Plan.t ->
+  ?isa:string ->
+  Rng.t ->
+  Circuit.t ->
+  (compiled, Robust.Err.t) result
 
 (** [compile_exn] is {!compile} that raises on pipeline failure. *)
 val compile_exn : ?mode:mode -> Rng.t -> Circuit.t -> compiled
 
-(** [compile_pauli rng ~mode p] compiles a Pauli-rotation program. *)
+(** [compile_pauli rng ~mode p] compiles a Pauli-rotation program
+    ([?isa] as in {!compile}). *)
 val compile_pauli :
   ?mode:mode ->
   ?plan:Plan.t ->
+  ?isa:string ->
   Rng.t ->
   Compiler.Phoenix.program ->
   (compiled, Robust.Err.t) result

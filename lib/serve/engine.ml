@@ -223,7 +223,37 @@ let pass_stat_json (s : Compiler.Passes.pass_stat) =
       ("wall_ms", Json.Num (s.wall_s *. 1e3));
     ]
 
-let exec_compile t ~budget ~bench ~mode ~pulses ~passes =
+(* Validate the request's raw "isa" member against the target registry.
+   Both failure shapes the protocol documents — a non-string value and an
+   unknown name — surface as bad_request at the compiler's stage. *)
+let isa_of_json = function
+  | None -> Ok None
+  | Some v -> (
+    match Json.str v with
+    | None ->
+      Error
+        (Printf.sprintf "isa must be a string naming a target ISA (known targets: %s)"
+           (String.concat ", " Isa.known_names))
+    | Some name -> (
+      match Isa.find name with
+      | Some t -> Ok (Some t)
+      | None ->
+        Error
+          (Printf.sprintf "unknown isa %S (known targets: %s)" name
+             (String.concat ", " Isa.known_names))))
+
+(* metrics under the target's own cost model: the lowered circuit's 2Q
+   count / depth, with durations charged per the ISA (fixed basis-gate
+   tau, or cycle-quantized slots for eqasm) *)
+let isa_report (target : Isa.target) c =
+  {
+    Compiler.Metrics.count_2q = Circuit.count_2q c;
+    depth_2q = Circuit.depth_2q c;
+    duration = Isa.duration target c;
+    distinct_2q = Circuit.distinct_2q c;
+  }
+
+let exec_compile t ~budget ~bench ~mode ~pulses ~passes ~isa =
   match
     List.find_opt (fun (b : Benchmarks.Suite.bench) -> b.name = bench) t.suite
   with
@@ -231,6 +261,9 @@ let exec_compile t ~budget ~bench ~mode ~pulses ~passes =
     Protocol.error_item ~kind:"bad_request" ~stage:"serve.compile"
       (Printf.sprintf "unknown benchmark %S" bench)
   | Some b -> (
+    match isa_of_json isa with
+    | Error msg -> Protocol.error_item ~kind:"bad_request" ~stage:Isa.stage msg
+    | Ok target -> (
     let mode_v =
       match mode with
       | "full" -> Compiler.Pipeline.Full
@@ -242,6 +275,16 @@ let exec_compile t ~budget ~bench ~mode ~pulses ~passes =
       | None -> Ok (Compiler.Passes.plan_of_mode mode_v)
       | Some names -> plan_of_passes names
     in
+    (* the isa retargets whichever plan was selected: the default mode
+       plan swaps mirroring for the lowering tail; a custom plan gets
+       the tail appended *)
+    let plan =
+      match (plan, target) with
+      | Error _, _ | _, None -> plan
+      | Ok _, Some tgt when passes = None ->
+        Ok (Compiler.Passes.plan_for_isa ~mode:mode_v tgt)
+      | Ok p, Some tgt -> Ok (Compiler.Passes.with_isa p tgt)
+    in
     match plan with
     | Error e -> Protocol.err_item e
     | Ok plan ->
@@ -252,8 +295,11 @@ let exec_compile t ~budget ~bench ~mode ~pulses ~passes =
       let input = Compiler.Pipeline.program_to_cnot_input b.program in
       let base = Compiler.Metrics.report Compiler.Metrics.Cnot_isa input in
       let opt =
-        Compiler.Metrics.report (Compiler.Metrics.Su4_isa xy)
-          out.Compiler.Pipeline.circuit
+        match target with
+        | Some tgt -> isa_report tgt out.Compiler.Pipeline.circuit
+        | None ->
+          Compiler.Metrics.report (Compiler.Metrics.Su4_isa xy)
+            out.Compiler.Pipeline.circuit
       in
       let fields =
         [
@@ -267,6 +313,13 @@ let exec_compile t ~budget ~bench ~mode ~pulses ~passes =
           ( "template_classes",
             Json.Num (float_of_int out.Compiler.Pipeline.template_classes) );
         ]
+      in
+      (* the isa field rides along only when requested, so default
+         responses are byte-identical to before *)
+      let fields =
+        match target with
+        | None -> fields
+        | Some tgt -> fields @ [ ("isa", Json.Str tgt.Isa.name) ]
       in
       (* per-pass metrics ride along only when a custom plan was asked
          for, so default responses are byte-identical to before *)
@@ -300,7 +353,7 @@ let exec_compile t ~budget ~bench ~mode ~pulses ~passes =
             ]
         end
       in
-      Protocol.ok_item ~op:"compile" (Json.Obj fields))
+      Protocol.ok_item ~op:"compile" (Json.Obj fields)))
 
 (* -------------------------------------------------------------- stats *)
 
@@ -336,8 +389,8 @@ let rec exec_body ?remaining_s t (b : Protocol.body) =
     Protocol.ok_item ~op:"shutdown" (Json.Obj [ ("draining", Json.Bool true) ])
   | Protocol.Pulses { target; coupling; passes } ->
     exec_pulses t ~budget ~target ~coupling ~passes
-  | Protocol.Compile { bench; mode; pulses; passes } ->
-    exec_compile t ~budget ~bench ~mode ~pulses ~passes
+  | Protocol.Compile { bench; mode; pulses; passes; isa } ->
+    exec_compile t ~budget ~bench ~mode ~pulses ~passes ~isa
   | Protocol.Batch bodies ->
     (* inner items inherit the envelope's remaining-deadline clamp (the
        deadline covers the batch as a whole) on top of their own specs *)

@@ -7,6 +7,7 @@ type op =
       mode : string;
       pulses : bool;
       passes : string list option;
+      isa : Json.t option;
     }
   | Pulses of { target : target; coupling : string; passes : string list option }
   | Batch of body list
@@ -129,8 +130,16 @@ let rec parse_body ?(depth = 0) json =
         let mode = Option.value ~default:"eff" (Json.mem_str "mode" json) in
         let pulses = Option.value ~default:false (Json.mem_bool "pulses" json) in
         let* passes = parse_passes json in
+        (* the isa member rides along verbatim: the engine validates it,
+           so a bad value is a typed error at the compiler's stage
+           ("compiler.isa"), not a protocol-stage parse failure *)
+        let isa =
+          match Json.member "isa" json with
+          | None | Some Json.Null -> None
+          | Some v -> Some v
+        in
         match mode with
-        | "eff" | "full" | "nc" -> Ok (Compile { bench; mode; pulses; passes })
+        | "eff" | "full" | "nc" -> Ok (Compile { bench; mode; pulses; passes; isa })
         | m -> Error (Printf.sprintf "unknown mode %S (expected eff|full|nc)" m)))
     | Some "pulses" -> (
       let* target = parse_target json in
@@ -198,6 +207,16 @@ let body_key (b : body) =
     | None -> fp
     | Some ps -> List.fold_left F.str (F.str fp "passes") ps
   in
+  (* same fold-only-when-present discipline for the target ISA, under its
+     own marker: requests differing only in "isa" (or only in "passes")
+     can never share a key, and an absent field reproduces the legacy
+     bytes exactly. The raw JSON rendering is folded so even a
+     typed-wrong value ("isa": 42) gets a distinct key while it rides to
+     the engine's validator. *)
+  let with_isa fp = function
+    | None -> fp
+    | Some v -> F.str (F.str fp "isa") (Json.to_string v)
+  in
   match b.op with
   | Shutdown | Batch _ -> None
   | Stats -> Some (F.key (budget (F.create "serve.stats.v1")))
@@ -209,11 +228,14 @@ let body_key (b : body) =
       | Coords (x, y, z) -> F.floats (F.str fp "coords") [| x; y; z |]
     in
     Some (F.key (budget (with_passes (F.str fp coupling) passes)))
-  | Compile { bench; mode; pulses; passes } ->
+  | Compile { bench; mode; pulses; passes; isa } ->
     let fp = F.create "serve.compile.v1" in
     Some
       (F.key
-         (budget (with_passes (F.bool (F.str (F.str fp bench) mode) pulses) passes)))
+         (budget
+            (with_isa
+               (with_passes (F.bool (F.str (F.str fp bench) mode) pulses) passes)
+               isa)))
 
 let max_line_bytes = 1 lsl 20
 

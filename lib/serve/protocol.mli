@@ -23,7 +23,12 @@ val version : int
       default "eff"), ["pulses"] (bool, default false), ["passes"] (an
       optional non-empty array of registered pass names — a custom
       compilation plan; an unknown name is a [bad_request] naming every
-      known pass).
+      known pass), ["isa"] (an optional target-ISA name,
+      {!Isa.known_names}: the compiled circuit is lowered to that
+      target's native gates; a non-string or unknown name is a
+      [bad_request] at stage ["compiler.isa"]). The ["isa"] member is
+      carried verbatim ([Json.t]) and validated by the engine, so its
+      errors carry the compiler's stage, not the protocol's.
     - [pulses]: ["gate"] (named 2Q gate) or ["coords"] ([[x, y, z]] Weyl
       target), ["coupling"] ("xy"|"xx", default "xy"), ["passes"] (gate
       targets only: compile the gate through the plan first).
@@ -45,6 +50,7 @@ type op =
       mode : string;
       pulses : bool;
       passes : string list option;
+      isa : Json.t option;
     }
   | Pulses of { target : target; coupling : string; passes : string list option }
   | Batch of body list
@@ -84,8 +90,10 @@ val op_name : op -> string
     the same key are interchangeable computations whose results (and
     typed errors) can be fanned out to every concurrent requester. Built
     on {!Cache.Fingerprint}, floats quantized at the pulse cache's
-    quantum. A custom ["passes"] plan folds into the key only when
-    present (legacy keys are unchanged; distinct plans never mix).
+    quantum. A custom ["passes"] plan or ["isa"] selection folds into
+    the key only when present, each under its own marker (legacy keys
+    are unchanged; distinct plans or targets never mix — and a plan can
+    never collide with an ISA, because the markers differ).
     [stats]/[shutdown]/[batch] return [None]. *)
 val body_key : body -> string option
 
